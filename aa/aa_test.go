@@ -1,0 +1,230 @@
+package aa
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Model: ModelCrash, N: 5, T: 2, Epsilon: 0.01, Lo: 0, Hi: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero model", Config{N: 5, T: 2, Epsilon: 0.01, Hi: 1}},
+		{"bad model", Config{Model: Model(99), N: 5, T: 2, Epsilon: 0.01, Hi: 1}},
+		{"crash resilience", Config{Model: ModelCrash, N: 4, T: 2, Epsilon: 0.01, Hi: 1}},
+		{"trim resilience", Config{Model: ModelByzantineTrim, N: 7, T: 1, Epsilon: 0.01, Hi: 1}},
+		{"witness resilience", Config{Model: ModelByzantineWitness, N: 3, T: 1, Epsilon: 0.01, Hi: 1}},
+		{"zero epsilon", Config{Model: ModelCrash, N: 5, T: 2, Hi: 1}},
+		{"negative epsilon", Config{Model: ModelCrash, N: 5, T: 2, Epsilon: -1, Hi: 1}},
+		{"inverted range", Config{Model: ModelCrash, N: 5, T: 2, Epsilon: 0.01, Lo: 2, Hi: 1}},
+		{"nan range", Config{Model: ModelCrash, N: 5, T: 2, Epsilon: 0.01, Lo: math.NaN(), Hi: 1}},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); err == nil {
+			t.Errorf("%s: expected error, got nil", c.name)
+		}
+	}
+}
+
+func TestMinN(t *testing.T) {
+	cases := []struct {
+		model Model
+		t     int
+		want  int
+	}{
+		{ModelCrash, 0, 1},
+		{ModelCrash, 3, 7},
+		{ModelByzantineTrim, 1, 8},
+		{ModelByzantineTrim, 2, 15},
+		{ModelByzantineWitness, 1, 4},
+		{ModelByzantineWitness, 3, 10},
+		{ModelSynchronous, 2, 7},
+	}
+	for _, c := range cases {
+		got, err := MinN(c.model, c.t)
+		if err != nil {
+			t.Fatalf("MinN(%v, %d): %v", c.model, c.t, err)
+		}
+		if got != c.want {
+			t.Errorf("MinN(%v, %d) = %d, want %d", c.model, c.t, got, c.want)
+		}
+	}
+	if _, err := MinN(Model(0), 1); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("MinN with bad model: got %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestConfigRounds(t *testing.T) {
+	c := Config{Model: ModelCrash, N: 5, T: 2, Epsilon: 1.0 / 1024, Lo: 0, Hi: 1}
+	r, err := c.Rounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 10 {
+		t.Errorf("Rounds() = %d, want 10 (log2(1024) halvings)", r)
+	}
+	adaptive := Config{Model: ModelCrash, N: 5, T: 2, Epsilon: 0.01, Adaptive: true}
+	r, err = adaptive.Rounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Errorf("adaptive Rounds() = %d, want 0 (input-dependent)", r)
+	}
+}
+
+func TestSimulateEveryModel(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"crash", Config{Model: ModelCrash, N: 7, T: 3, Epsilon: 1e-3, Lo: 0, Hi: 10}},
+		{"byz-trim", Config{Model: ModelByzantineTrim, N: 8, T: 1, Epsilon: 1e-3, Lo: 0, Hi: 10}},
+		{"byz-witness", Config{Model: ModelByzantineWitness, N: 7, T: 2, Epsilon: 1e-3, Lo: 0, Hi: 10}},
+		{"synchronous", Config{Model: ModelSynchronous, N: 7, T: 2, Epsilon: 1e-3, Lo: 0, Hi: 10, SyncRoundTicks: 20}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			inputs := make([]float64, c.cfg.N)
+			for i := range inputs {
+				inputs[i] = 10 * float64(i) / float64(c.cfg.N-1)
+			}
+			sched := SchedRandom
+			if c.cfg.Model == ModelSynchronous {
+				sched = SchedSynchronous
+			}
+			out, err := Simulate(c.cfg, inputs, WithSeed(3), WithScheduler(sched))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.OK() {
+				t.Fatalf("outcome not OK: spread=%v agreed=%v valid=%v err=%v",
+					out.Spread, out.Agreed, out.Valid, out.Err)
+			}
+			if len(out.Values) != c.cfg.N {
+				t.Errorf("got %d decisions, want %d", len(out.Values), c.cfg.N)
+			}
+			if out.Messages == 0 || out.Bytes == 0 {
+				t.Error("no traffic recorded")
+			}
+		})
+	}
+}
+
+func TestSimulateWithFaults(t *testing.T) {
+	cfg := Config{Model: ModelByzantineWitness, N: 10, T: 3, Epsilon: 1e-3, Lo: -5, Hi: 5}
+	inputs := make([]float64, 10)
+	for i := range inputs {
+		inputs[i] = -5 + float64(i)
+	}
+	out, err := Simulate(cfg, inputs,
+		WithSeed(11),
+		WithScheduler(SchedSplitViews),
+		WithByzantine(0, ByzEquivocate),
+		WithByzantine(4, ByzExtreme),
+		WithByzantine(9, ByzSpam),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() {
+		t.Fatalf("outcome not OK under byzantine attack: spread=%v valid=%v err=%v",
+			out.Spread, out.Valid, out.Err)
+	}
+}
+
+func TestSimulateCrashFaults(t *testing.T) {
+	cfg := Config{Model: ModelCrash, N: 9, T: 4, Epsilon: 1e-3, Lo: 0, Hi: 1}
+	inputs := make([]float64, 9)
+	for i := range inputs {
+		inputs[i] = float64(i) / 8
+	}
+	out, err := Simulate(cfg, inputs,
+		WithScheduler(SchedSkew),
+		WithCrash(0, 3),  // dies mid-first-multicast
+		WithCrash(1, 30), // dies a few rounds in
+		WithCrash(2, 0),  // never sends anything
+		WithCrash(3, 100),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() {
+		t.Fatalf("outcome not OK with 4 crashes: %+v", out)
+	}
+}
+
+func TestSimulateOptionErrors(t *testing.T) {
+	cfg := Config{Model: ModelCrash, N: 3, T: 1, Epsilon: 0.1, Lo: 0, Hi: 1}
+	inputs := []float64{0, 0.5, 1}
+	if _, err := Simulate(cfg, inputs, WithScheduler("warp")); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if _, err := Simulate(cfg, inputs, WithByzantine(0, "gremlin")); err == nil {
+		t.Error("unknown behavior accepted")
+	}
+	if _, err := Simulate(cfg, inputs[:2]); err == nil {
+		t.Error("wrong input count accepted")
+	}
+}
+
+func TestSimulateDeterminism(t *testing.T) {
+	cfg := Config{Model: ModelCrash, N: 7, T: 3, Epsilon: 1e-6, Lo: 0, Hi: 100}
+	inputs := []float64{3, 14, 15, 92, 65, 35, 89}
+	a, err := Simulate(cfg, inputs, WithSeed(5), WithScheduler(SchedRandom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg, inputs, WithSeed(5), WithScheduler(SchedRandom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, v := range a.Values {
+		if b.Values[id] != v {
+			t.Fatalf("nondeterministic: party %d got %v then %v", id, v, b.Values[id])
+		}
+	}
+	if a.Messages != b.Messages || a.Rounds != b.Rounds {
+		t.Errorf("nondeterministic stats: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunLive(t *testing.T) {
+	cfg := Config{Model: ModelCrash, N: 5, T: 2, Epsilon: 1e-3, Lo: 0, Hi: 1}
+	inputs := []float64{0, 0.25, 0.5, 0.75, 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	out, err := RunLive(ctx, cfg, inputs, LiveOptions{MaxJitter: 500 * time.Microsecond, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() {
+		t.Fatalf("live run not OK: spread=%v valid=%v", out.Spread, out.Valid)
+	}
+	if len(out.Values) != 5 {
+		t.Errorf("got %d decisions, want 5", len(out.Values))
+	}
+}
+
+func TestModelString(t *testing.T) {
+	for m, want := range map[Model]string{
+		ModelCrash:            "crash",
+		ModelByzantineTrim:    "byzantine-trim",
+		ModelByzantineWitness: "byzantine-witness",
+		ModelSynchronous:      "synchronous",
+		Model(42):             "model(42)",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("Model(%d).String() = %q, want %q", int(m), got, want)
+		}
+	}
+}

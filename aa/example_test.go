@@ -1,0 +1,91 @@
+package aa_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/aa"
+)
+
+// ExampleSimulate runs five parties with two crash faults under an
+// adversarial scheduler and prints the checked outcome.
+func ExampleSimulate() {
+	cfg := aa.Config{
+		Model:   aa.ModelCrash,
+		N:       5,
+		T:       2,
+		Epsilon: 0.01,
+		Lo:      0,
+		Hi:      10,
+	}
+	out, err := aa.Simulate(cfg, []float64{0, 2.5, 5, 7.5, 10},
+		aa.WithSeed(7),
+		aa.WithScheduler(aa.SchedSplitViews),
+		aa.WithCrash(0, 3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("agreed=%v valid=%v spread<=eps: %v\n", out.Agreed, out.Valid, out.Spread <= cfg.Epsilon)
+	// Output: agreed=true valid=true spread<=eps: true
+}
+
+// ExampleSimulate_byzantine shows the optimal-resilience witness protocol
+// neutralizing an equivocating party.
+func ExampleSimulate_byzantine() {
+	cfg := aa.Config{
+		Model:   aa.ModelByzantineWitness,
+		N:       4,
+		T:       1,
+		Epsilon: 0.05,
+		Lo:      0,
+		Hi:      1,
+	}
+	out, err := aa.Simulate(cfg, []float64{0.1, 0.9, 0.4, 0}, // party 3's entry ignored
+		aa.WithSeed(2),
+		aa.WithByzantine(3, aa.ByzEquivocate),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("honest outputs agree: %v, inside [0.1, 0.9]: %v\n", out.Agreed, out.Valid)
+	// Output: honest outputs agree: true, inside [0.1, 0.9]: true
+}
+
+// ExampleConfig_Rounds shows the logarithmic round budget.
+func ExampleConfig_Rounds() {
+	cfg := aa.Config{Model: aa.ModelCrash, N: 5, T: 2, Epsilon: 1.0 / 1024, Lo: 0, Hi: 1}
+	r, err := cfg.Rounds()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d halvings bring spread 1 below 1/1024\n", r)
+	// Output: 10 halvings bring spread 1 below 1/1024
+}
+
+// ExampleSimulateQuantized demonstrates the bridge from continuous
+// ε-agreement to at most two adjacent discrete grid values.
+func ExampleSimulateQuantized() {
+	cfg := aa.Config{Model: aa.ModelCrash, N: 5, T: 2, Epsilon: 0.1, Lo: 0, Hi: 100}
+	out, err := aa.SimulateQuantized(cfg, 0.5, []float64{10, 20, 30, 40, 50}, aa.WithSeed(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grid levels: %d (two-valued: %v)\n", len(out.Levels), out.TwoValued)
+	// Output: grid levels: 1 (two-valued: true)
+}
+
+// ExampleMinN reports the resilience thresholds of the protocol family.
+func ExampleMinN() {
+	for _, m := range []aa.Model{aa.ModelCrash, aa.ModelByzantineTrim, aa.ModelByzantineWitness} {
+		n, err := aa.MinN(m, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s tolerates t=2 from n=%d\n", m, n)
+	}
+	// Output:
+	// crash tolerates t=2 from n=5
+	// byzantine-trim tolerates t=2 from n=15
+	// byzantine-witness tolerates t=2 from n=7
+}

@@ -1,0 +1,61 @@
+package aa
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"repro/internal/livenet"
+	"repro/internal/sim"
+)
+
+// LiveOptions tunes RunLive.
+type LiveOptions struct {
+	// MaxJitter is the maximum random per-message delivery delay
+	// (default 2ms).
+	MaxJitter time.Duration
+	// Seed drives the jitter randomness.
+	Seed int64
+}
+
+// RunLive executes the protocol on a real goroutine-per-party runtime with
+// channel transports and jittered delivery, and returns the checked
+// outcome. The context bounds the run; a generous timeout should be used
+// since the runtime is only as fast as its timers.
+func RunLive(ctx context.Context, c Config, inputs []float64, opts LiveOptions) (*Outcome, error) {
+	procs := make([]sim.Process, len(inputs))
+	for i, v := range inputs {
+		p, err := NewProcess(c, v)
+		if err != nil {
+			return nil, err
+		}
+		procs[i] = p
+	}
+	res, err := livenet.Run(ctx, procs, livenet.Options{
+		MaxJitter: opts.MaxJitter,
+		Seed:      opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Values:   make(map[int]float64, len(res.Decisions)),
+		Messages: int(res.Messages),
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range inputs {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	olo, ohi := math.Inf(1), math.Inf(-1)
+	for id, v := range res.Decisions {
+		out.Values[int(id)] = v
+		olo, ohi = math.Min(olo, v), math.Max(ohi, v)
+	}
+	if len(res.Decisions) > 0 {
+		out.Spread = ohi - olo
+		tol := 1e-9 * math.Max(1, math.Max(math.Abs(lo), math.Abs(hi)))
+		out.Valid = olo >= lo-tol && ohi <= hi+tol
+		out.Agreed = out.Spread <= c.Epsilon+tol
+	}
+	return out, nil
+}

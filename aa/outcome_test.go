@@ -1,0 +1,46 @@
+package aa
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOutcomeSortedValues(t *testing.T) {
+	out := &Outcome{Values: map[int]float64{2: 3.5, 0: 1.5, 1: 2.5}}
+	got := out.SortedValues()
+	want := []float64{1.5, 2.5, 3.5}
+	if len(got) != len(want) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sorted[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOutcomeOK(t *testing.T) {
+	ok := &Outcome{Agreed: true, Valid: true}
+	if !ok.OK() {
+		t.Error("healthy outcome not OK")
+	}
+	for _, bad := range []*Outcome{
+		{Agreed: false, Valid: true},
+		{Agreed: true, Valid: false},
+		{Agreed: true, Valid: true, Err: errors.New("stalled")},
+	} {
+		if bad.OK() {
+			t.Errorf("bad outcome %+v reported OK", bad)
+		}
+	}
+}
+
+func TestVectorOutcomeOK(t *testing.T) {
+	ok := &VectorOutcome{Agreed: true, Valid: true}
+	if !ok.OK() {
+		t.Error("healthy vector outcome not OK")
+	}
+	if (&VectorOutcome{Agreed: true, Valid: true, Err: errors.New("x")}).OK() {
+		t.Error("erroring vector outcome reported OK")
+	}
+}

@@ -1,0 +1,102 @@
+package aa
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// QuantizedOutcome is the result of SimulateQuantized: continuous
+// ε-agreement post-processed onto the discrete grid {k·Step}, after which
+// the honest outputs take at most two values, and those two are adjacent
+// grid points. Two-valued outputs are what discrete follow-up machinery
+// (terminating broadcasts, voting, edge agreement) needs — this adapter is
+// the classical bridge from approximate to discrete agreement.
+type QuantizedOutcome struct {
+	// Values maps party index to its grid output (an exact multiple of
+	// Step, up to float representation).
+	Values map[int]float64
+	// Levels holds the distinct grid values among non-faulty outputs,
+	// ascending; len(Levels) <= 2 and adjacent when the run succeeded.
+	Levels []float64
+	// Step is the grid pitch used.
+	Step float64
+	// TwoValued reports the discrete guarantee: at most two levels, one
+	// step apart.
+	TwoValued bool
+	// Valid reports that every grid output is within Step of the
+	// non-Byzantine input hull (rounding may leave the hull by at most
+	// half a step; that slack is inherent to quantization).
+	Valid bool
+	// Continuous is the underlying continuous outcome.
+	Continuous *Outcome
+}
+
+// OK reports full success.
+func (q *QuantizedOutcome) OK() bool {
+	return q.Continuous.Err == nil && q.TwoValued && q.Valid
+}
+
+// SimulateQuantized runs the protocol with internal precision Step/2 and
+// rounds every output to the nearest multiple of Step (ties toward zero).
+// If the continuous run achieves Step/2-agreement, the rounded outputs can
+// straddle at most one grid boundary: at most two distinct values, one
+// step apart.
+func SimulateQuantized(c Config, step float64, inputs []float64, opts ...SimOption) (*QuantizedOutcome, error) {
+	if !(step > 0) || math.IsInf(step, 0) {
+		return nil, fmt.Errorf("aa: quantize step %v", step)
+	}
+	inner := c
+	inner.Epsilon = step / 2
+	cont, err := Simulate(inner, inputs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	q := &QuantizedOutcome{
+		Values:     make(map[int]float64, len(cont.Values)),
+		Step:       step,
+		Continuous: cont,
+	}
+	levels := map[float64]bool{}
+	for id, y := range cont.Values {
+		g := roundToGrid(y, step)
+		q.Values[id] = g
+		levels[g] = true
+	}
+	for l := range levels {
+		q.Levels = append(q.Levels, l)
+	}
+	sort.Float64s(q.Levels)
+	switch len(q.Levels) {
+	case 0, 1:
+		q.TwoValued = cont.Err == nil && cont.Agreed
+	case 2:
+		q.TwoValued = cont.Agreed &&
+			math.Abs((q.Levels[1]-q.Levels[0])-step) <= 1e-9*math.Max(1, step)
+	default:
+		q.TwoValued = false
+	}
+	// Grid validity: within half a step of the continuous outputs, which
+	// are themselves inside the hull when the continuous run was valid.
+	q.Valid = cont.Valid
+	for id, g := range q.Values {
+		if math.Abs(g-cont.Values[id]) > step/2+1e-9*math.Max(1, step) {
+			q.Valid = false
+		}
+	}
+	return q, nil
+}
+
+// roundToGrid rounds v to the nearest multiple of step, ties toward zero.
+func roundToGrid(v, step float64) float64 {
+	k := v / step
+	f := math.Floor(k)
+	frac := k - f
+	switch {
+	case frac > 0.5:
+		f++
+	case frac == 0.5 && k < 0:
+		f++ // toward zero for negative values
+	}
+	return f * step
+}

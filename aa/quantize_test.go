@@ -1,0 +1,89 @@
+package aa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimulateQuantizedTwoValued(t *testing.T) {
+	cfg := Config{Model: ModelCrash, N: 9, T: 4, Epsilon: 0.1, Lo: 0, Hi: 100}
+	for seed := int64(1); seed <= 20; seed++ {
+		inputs := make([]float64, 9)
+		for i := range inputs {
+			inputs[i] = float64((i*37+int(seed)*13)%101) * 100 / 100
+		}
+		out, err := SimulateQuantized(cfg, 0.1, inputs,
+			WithSeed(seed), WithScheduler(SchedSplitViews), WithCrash(0, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.OK() {
+			t.Fatalf("seed %d: quantized run failed: levels=%v valid=%v err=%v",
+				seed, out.Levels, out.Valid, out.Continuous.Err)
+		}
+		if len(out.Levels) > 2 {
+			t.Fatalf("seed %d: %d levels", seed, len(out.Levels))
+		}
+		if len(out.Levels) == 2 {
+			gap := out.Levels[1] - out.Levels[0]
+			if math.Abs(gap-0.1) > 1e-9 {
+				t.Fatalf("seed %d: levels %v not adjacent", seed, out.Levels)
+			}
+		}
+		for id, g := range out.Values {
+			k := math.Round(g / 0.1)
+			if math.Abs(g-k*0.1) > 1e-9 {
+				t.Fatalf("seed %d party %d: %v not on grid", seed, id, g)
+			}
+		}
+	}
+}
+
+func TestSimulateQuantizedBadStep(t *testing.T) {
+	cfg := Config{Model: ModelCrash, N: 3, T: 1, Epsilon: 0.1, Lo: 0, Hi: 1}
+	inputs := []float64{0, 0.5, 1}
+	for _, step := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := SimulateQuantized(cfg, step, inputs); err == nil {
+			t.Errorf("step %v accepted", step)
+		}
+	}
+}
+
+func TestRoundToGrid(t *testing.T) {
+	cases := []struct{ v, step, want float64 }{
+		{0.24, 0.1, 0.2},
+		{0.26, 0.1, 0.3},
+		{-0.26, 0.1, -0.3},
+		{0, 0.1, 0},
+		{5, 1, 5},
+		{-0.05, 0.1, 0}, // tie toward zero
+		{0.05, 0.1, 0},  // tie toward zero
+	}
+	for _, c := range cases {
+		if got := roundToGrid(c.v, c.step); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("roundToGrid(%v, %v) = %v, want %v", c.v, c.step, got, c.want)
+		}
+	}
+}
+
+// Property: rounding never moves a value by more than half a step, and the
+// result is always on the grid.
+func TestRoundToGridProperty(t *testing.T) {
+	f := func(raw float64, stepRaw uint16) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		v := math.Mod(raw, 1e6)
+		step := 0.001 + float64(stepRaw%1000)/100
+		g := roundToGrid(v, step)
+		if math.Abs(g-v) > step/2+1e-9 {
+			return false
+		}
+		k := math.Round(g / step)
+		return math.Abs(g-k*step) <= 1e-6*step*math.Max(1, math.Abs(k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

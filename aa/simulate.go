@@ -1,0 +1,216 @@
+package aa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/harness"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Outcome is the checked result of a simulated or live execution.
+type Outcome struct {
+	// Values maps party index to its output, for every party that decided.
+	Values map[int]float64
+	// Spread is the diameter of the non-faulty outputs.
+	Spread float64
+	// Agreed reports Spread <= Epsilon.
+	Agreed bool
+	// Valid reports every non-faulty output inside the non-Byzantine
+	// input hull.
+	Valid bool
+	// Rounds is the asynchronous round complexity of the execution (time
+	// of last output over maximum honest delay); zero for live runs.
+	Rounds float64
+	// Messages and Bytes count everything sent during the run.
+	Messages, Bytes int
+	// Err carries a liveness failure (stall / event-budget), if any.
+	Err error
+}
+
+// OK reports full success: live, valid, and ε-agreed.
+func (o *Outcome) OK() bool { return o.Err == nil && o.Agreed && o.Valid }
+
+// SortedValues returns the decided values in ascending order.
+func (o *Outcome) SortedValues() []float64 {
+	out := make([]float64, 0, len(o.Values))
+	for _, v := range o.Values {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Scheduler names accepted by WithScheduler.
+const (
+	SchedSynchronous = "sync"
+	SchedRandom      = "random"
+	SchedSkew        = "skew"
+	SchedPartition   = "partition"
+	SchedSplitViews  = "splitviews"
+	SchedStaggered   = "staggered"
+)
+
+// Behavior names accepted by WithByzantine.
+const (
+	ByzSilent     = "silent"
+	ByzExtreme    = "extreme"
+	ByzEquivocate = "equivocate"
+	ByzSpam       = "spam"
+	ByzAmplifier  = "amplifier"
+)
+
+type simSettings struct {
+	seed      int64
+	scheduler string
+	crashes   []sim.CrashPlan
+	byz       map[sim.PartyID]fault.Behavior
+	maxEvents int
+}
+
+// SimOption customizes Simulate.
+type SimOption func(*simSettings) error
+
+// WithSeed fixes the run's randomness (default 1).
+func WithSeed(seed int64) SimOption {
+	return func(s *simSettings) error {
+		s.seed = seed
+		return nil
+	}
+}
+
+// WithScheduler picks the adversarial scheduler by name (default
+// SchedRandom).
+func WithScheduler(name string) SimOption {
+	return func(s *simSettings) error {
+		switch name {
+		case SchedSynchronous, SchedRandom, SchedSkew, SchedPartition, SchedSplitViews, SchedStaggered:
+			s.scheduler = name
+			return nil
+		default:
+			return fmt.Errorf("aa: unknown scheduler %q", name)
+		}
+	}
+}
+
+// WithCrash makes a party crash after it has performed the given number of
+// point-to-point sends (a multicast counts as n sends, so a crash can
+// truncate one part-way).
+func WithCrash(party, afterSends int) SimOption {
+	return func(s *simSettings) error {
+		s.crashes = append(s.crashes, sim.CrashPlan{
+			Party:      sim.PartyID(party),
+			AfterSends: afterSends,
+		})
+		return nil
+	}
+}
+
+// WithByzantine replaces a party with the named adversarial behavior.
+func WithByzantine(party int, behavior string) SimOption {
+	return func(s *simSettings) error {
+		b, err := behaviorByName(behavior)
+		if err != nil {
+			return err
+		}
+		if s.byz == nil {
+			s.byz = make(map[sim.PartyID]fault.Behavior)
+		}
+		s.byz[sim.PartyID(party)] = b
+		return nil
+	}
+}
+
+// WithMaxEvents overrides the simulator's runaway-execution budget.
+func WithMaxEvents(n int) SimOption {
+	return func(s *simSettings) error {
+		s.maxEvents = n
+		return nil
+	}
+}
+
+func behaviorByName(name string) (fault.Behavior, error) {
+	switch name {
+	case ByzSilent:
+		return fault.Silent{}, nil
+	case ByzExtreme:
+		return fault.Extreme{Value: 1e9}, nil
+	case ByzEquivocate:
+		return fault.Equivocate{Stretch: 2}, nil
+	case ByzSpam:
+		return fault.Spam{}, nil
+	case ByzAmplifier:
+		return fault.Amplifier{Push: 1}, nil
+	default:
+		return nil, fmt.Errorf("aa: unknown byzantine behavior %q", name)
+	}
+}
+
+func schedulerByName(name string, n, t int) sched.Named {
+	half := sim.PartyID(n / 2)
+	switch name {
+	case SchedSynchronous:
+		return sched.Named{Name: name, Scheduler: sched.NewSynchronous(10)}
+	case SchedSkew:
+		victims := make([]sim.PartyID, 0, t)
+		for i := 0; i < t; i++ {
+			victims = append(victims, sim.PartyID(i))
+		}
+		return sched.Named{Name: name, Scheduler: sched.NewSkew(victims, 1, 10)}
+	case SchedPartition:
+		return sched.Named{Name: name, Scheduler: &sched.Partition{Boundary: half, Within: 1, Across: 10}}
+	case SchedSplitViews:
+		return sched.Named{Name: name, Scheduler: &sched.SplitViews{Boundary: half, Fast: 1, Slow: 10}}
+	case SchedStaggered:
+		return sched.Named{Name: name, Scheduler: &sched.Staggered{Base: 1, Step: 2}}
+	default:
+		return sched.Named{Name: SchedRandom, Scheduler: &sched.UniformRandom{Min: 1, Max: 10}}
+	}
+}
+
+// Simulate runs one execution on the deterministic discrete-event simulator
+// and checks the agreement and validity invariants. inputs must hold one
+// value per party (entries for Byzantine parties are ignored).
+func Simulate(c Config, inputs []float64, opts ...SimOption) (*Outcome, error) {
+	p, err := c.params()
+	if err != nil {
+		return nil, err
+	}
+	settings := simSettings{seed: 1, scheduler: SchedRandom}
+	for _, opt := range opts {
+		if err := opt(&settings); err != nil {
+			return nil, err
+		}
+	}
+	rep, err := harness.Run(harness.Spec{
+		Params:    p,
+		Inputs:    inputs,
+		Scheduler: schedulerByName(settings.scheduler, c.N, c.T),
+		Crashes:   settings.crashes,
+		Byz:       settings.byz,
+		Seed:      settings.seed,
+		MaxEvents: settings.maxEvents,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Values:   make(map[int]float64, len(rep.Result.Decisions)),
+		Spread:   rep.FinalSpread,
+		Agreed:   rep.AgreementOK,
+		Valid:    rep.ValidityOK,
+		Rounds:   rep.Result.Rounds(),
+		Messages: rep.Result.Stats.MessagesSent,
+		Bytes:    rep.Result.Stats.BytesSent,
+		Err:      rep.RunErr,
+	}
+	if out.Err == nil && len(rep.ProtoErrs) > 0 {
+		out.Err = rep.ProtoErrs[0]
+	}
+	for id, v := range rep.Result.Decisions {
+		out.Values[int(id)] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,229 @@
+// Benchmark harness: one benchmark per evaluation artifact (experiments
+// E1–E11 in DESIGN.md — every table and figure), plus micro-benchmarks of
+// the substrates. Each experiment benchmark regenerates its table per
+// iteration; run with -v to see a rendered table. cmd/aabench prints all
+// tables with more seeds.
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/multiset"
+	"repro/internal/rbc"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// runExperiment drives one experiment per iteration and logs the final
+// table under -v.
+func runExperiment(b *testing.B, run func() (*trace.Table, error)) {
+	b.Helper()
+	var tbl *trace.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if tbl != nil {
+		var sb strings.Builder
+		if err := tbl.Render(&sb); err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + sb.String())
+	}
+}
+
+// BenchmarkE1Resilience regenerates Table E1 (resilience thresholds).
+func BenchmarkE1Resilience(b *testing.B) {
+	runExperiment(b, func() (*trace.Table, error) { return harness.E1Resilience(1) })
+}
+
+// BenchmarkE2Convergence regenerates Table E2 (per-round convergence rate).
+func BenchmarkE2Convergence(b *testing.B) {
+	runExperiment(b, func() (*trace.Table, error) { return harness.E2Convergence(1) })
+}
+
+// BenchmarkE3Rounds regenerates Table E3 (round complexity vs spread).
+func BenchmarkE3Rounds(b *testing.B) {
+	runExperiment(b, harness.E3Rounds)
+}
+
+// BenchmarkE4Messages regenerates Table E4 (message and bit complexity).
+func BenchmarkE4Messages(b *testing.B) {
+	runExperiment(b, harness.E4Messages)
+}
+
+// BenchmarkE5Trajectories regenerates Figure E5 (diameter by round under
+// each Byzantine behavior).
+func BenchmarkE5Trajectories(b *testing.B) {
+	runExperiment(b, harness.E5Trajectories)
+}
+
+// BenchmarkE6Scaling regenerates Figure E6 (scaling with n), capped at
+// n=32 to keep the iteration under a second; aabench runs the full sweep.
+func BenchmarkE6Scaling(b *testing.B) {
+	runExperiment(b, func() (*trace.Table, error) {
+		return harness.E6ScalingSizes([]int{8, 16, 32})
+	})
+}
+
+// BenchmarkE7Functions regenerates Table E7 (approximation-function
+// ablation).
+func BenchmarkE7Functions(b *testing.B) {
+	runExperiment(b, func() (*trace.Table, error) { return harness.E7Functions(1) })
+}
+
+// BenchmarkE8Adaptive regenerates Table E8 (adaptive vs fixed-range
+// termination).
+func BenchmarkE8Adaptive(b *testing.B) {
+	runExperiment(b, func() (*trace.Table, error) { return harness.E8Adaptive(1) })
+}
+
+// BenchmarkE9Attacks regenerates Table E9 (Byzantine strategy
+// effectiveness).
+func BenchmarkE9Attacks(b *testing.B) {
+	runExperiment(b, func() (*trace.Table, error) { return harness.E9Attacks(1) })
+}
+
+// BenchmarkE10Vector regenerates Table E10 (coordinate-wise agreement in
+// R^d).
+func BenchmarkE10Vector(b *testing.B) {
+	runExperiment(b, harness.E10Vector)
+}
+
+// BenchmarkE11FIFO regenerates Table E11 (FIFO vs unordered channels).
+func BenchmarkE11FIFO(b *testing.B) {
+	runExperiment(b, harness.E11FIFO)
+}
+
+// --- micro-benchmarks of the substrates and a single protocol run ---
+
+func benchOneRun(b *testing.B, p core.Params) {
+	b.Helper()
+	inputs := harness.LinearInputs(p.N, p.Lo, p.Hi)
+	var msgs, bytes int
+	for i := 0; i < b.N; i++ {
+		rep, err := harness.Run(harness.Spec{
+			Params:    p,
+			Inputs:    inputs,
+			Scheduler: sched.Named{Name: "random", Scheduler: &sched.UniformRandom{Min: 1, Max: 10}},
+			Seed:      int64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.OK() {
+			b.Fatalf("run failed: %s", rep.Failure())
+		}
+		msgs = rep.Result.Stats.MessagesSent
+		bytes = rep.Result.Stats.BytesSent
+	}
+	b.ReportMetric(float64(msgs), "msgs/run")
+	b.ReportMetric(float64(bytes), "bytes/run")
+}
+
+// BenchmarkRunCrashAA measures one full crash-protocol execution
+// (n=10, t=4, eps=1e-3).
+func BenchmarkRunCrashAA(b *testing.B) {
+	benchOneRun(b, core.Params{Protocol: core.ProtoCrash, N: 10, T: 4, Eps: 1e-3, Lo: 0, Hi: 1})
+}
+
+// BenchmarkRunByzTrimAA measures one full trim-protocol execution
+// (n=15, t=2).
+func BenchmarkRunByzTrimAA(b *testing.B) {
+	benchOneRun(b, core.Params{Protocol: core.ProtoByzTrim, N: 15, T: 2, Eps: 1e-3, Lo: 0, Hi: 1})
+}
+
+// BenchmarkRunWitnessAA measures one full witness-protocol execution
+// (n=10, t=3), the cubic-message member of the family.
+func BenchmarkRunWitnessAA(b *testing.B) {
+	benchOneRun(b, core.Params{Protocol: core.ProtoWitness, N: 10, T: 3, Eps: 1e-3, Lo: 0, Hi: 1})
+}
+
+// BenchmarkRBCRound measures n concurrent reliable broadcasts among n=16
+// parties delivered to completion.
+func BenchmarkRBCRound(b *testing.B) {
+	const n, tf = 16, 5
+	for i := 0; i < b.N; i++ {
+		queue := make([][]byte, 0, 1024)
+		senders := make([]uint16, 0, 1024)
+		bcs := make([]*rbc.Broadcaster, n)
+		for p := 0; p < n; p++ {
+			p := p
+			bc, err := rbc.New(n, tf, uint16(p), func(data []byte) {
+				queue = append(queue, data)
+				senders = append(senders, uint16(p))
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bcs[p] = bc
+		}
+		for p := 0; p < n; p++ {
+			bcs[p].Broadcast(1, float64(p))
+		}
+		delivered := 0
+		for len(queue) > 0 {
+			data, from := queue[0], senders[0]
+			queue, senders = queue[1:], senders[1:]
+			for p := 0; p < n; p++ {
+				delivered += len(bcs[p].Handle(from, data))
+			}
+		}
+		if delivered != n*n {
+			b.Fatalf("delivered %d, want %d", delivered, n*n)
+		}
+	}
+}
+
+// BenchmarkApproxFuncs measures the per-round approximation functions on a
+// quorum-sized multiset.
+func BenchmarkApproxFuncs(b *testing.B) {
+	sorted := make([]float64, 64)
+	for i := range sorted {
+		sorted[i] = float64(i)
+	}
+	for _, fn := range []multiset.Func{
+		multiset.MidExtremes{Trim: 8},
+		multiset.TrimmedMean{Trim: 8},
+		multiset.Median{},
+		multiset.SelectDouble{Trim: 8, K: 4},
+	} {
+		fn := fn
+		b.Run(fn.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fn.Apply(sorted); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireRoundtrip measures encode+decode of the core round message.
+func BenchmarkWireRoundtrip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := wire.MarshalValue(wire.Value{Round: 7, Horizon: 30, Value: 3.25})
+		if _, err := wire.UnmarshalValue(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContractionSearch measures the adversarial one-round contraction
+// search used by E2/E7.
+func BenchmarkContractionSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := multiset.WorstContraction(multiset.MidExtremes{},
+			multiset.ViewModel{N: 9, T: 4}, 500, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command aabench regenerates every evaluation artifact (experiments E1–E10
+// in DESIGN.md) and prints them as aligned tables, optionally also writing
+// CSV files. This is the one-command reproduction of the paper's claims;
+// EXPERIMENTS.md records a captured run next to the claims themselves.
+//
+// Usage:
+//
+//	aabench [-seeds N] [-only E4] [-csv DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "aabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("aabench", flag.ContinueOnError)
+	seeds := fs.Int("seeds", 3, "seeds per configuration")
+	only := fs.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	csvDir := fs.String("csv", "", "directory to also write CSV tables into")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, exp := range harness.Experiments(*seeds) {
+		if len(want) > 0 && !want[exp.ID] {
+			continue
+		}
+		start := time.Now()
+		tbl, err := exp.Run()
+		if err != nil {
+			return fmt.Errorf("%s (%s): %w", exp.ID, exp.Title, err)
+		}
+		fmt.Printf("== %s: %s (%.1fs) ==\n", exp.ID, exp.Title, time.Since(start).Seconds())
+		if err := tbl.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			f, err := os.Create(filepath.Join(*csvDir, strings.ToLower(exp.ID)+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := tbl.CSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperimentWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-seeds", "1", "-only", "E3,e10", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"e3.csv", "e10.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if lines := strings.Count(string(data), "\n"); lines < 3 {
+			t.Errorf("%s: only %d lines", name, lines)
+		}
+	}
+	// Experiments not selected must not have been written.
+	if _, err := os.Stat(filepath.Join(dir, "e6.csv")); !os.IsNotExist(err) {
+		t.Error("unselected experiment written")
+	}
+}
+
+func TestRunUnknownFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunUnknownExperimentIsSkipped(t *testing.T) {
+	// Asking only for a nonexistent ID simply runs nothing.
+	if err := run([]string{"-only", "E99"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+// Command aafuzz randomly searches the adversarial configuration space —
+// protocols, fault plans, schedulers, input shapes, seeds — for invariant
+// violations (lost liveness, hull-validity breaks, missed ε-agreement).
+// It prints a reproduction description for anything it finds and exits
+// non-zero. A healthy tree survives any budget:
+//
+//	aafuzz -trials 5000 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "aafuzz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("aafuzz", flag.ContinueOnError)
+	trials := fs.Int("trials", 1000, "number of randomized executions")
+	seed := fs.Int64("seed", time.Now().UnixNano(), "search seed (printed for reproduction)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("fuzzing %d trials with seed %d\n", *trials, *seed)
+	start := time.Now()
+	res, err := harness.Fuzz(*trials, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ran %d trials in %.1fs:", res.Trials, time.Since(start).Seconds())
+	for proto, count := range res.ByProtocol {
+		fmt.Printf(" %s=%d", proto, count)
+	}
+	fmt.Println()
+	fmt.Printf("rounds:   %s\n", res.Rounds)
+	fmt.Printf("messages: %s\n", res.Messages)
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Println("VIOLATION:", v)
+		}
+		return fmt.Errorf("%d invariant violations", len(res.Violations))
+	}
+	fmt.Println("no invariant violations")
+	return nil
+}

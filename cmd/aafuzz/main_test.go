@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunSmallBudget(t *testing.T) {
+	if err := run([]string{"-trials", "20", "-seed", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,189 @@
+// Command aarun executes a single approximate-agreement instance on the
+// simulator (or the live goroutine runtime) and prints the outcome. It is
+// the quickest way to poke at the protocols:
+//
+//	aarun -model crash -n 7 -t 3 -inputs 1,2,3,4,5,6,7 -eps 0.01
+//	aarun -model witness -n 10 -t 3 -sched splitviews -byz 0:equivocate,1:extreme
+//	aarun -model crash -n 5 -t 2 -live
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/aa"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "aarun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("aarun", flag.ContinueOnError)
+	model := fs.String("model", "crash", "crash | trim | witness | sync")
+	n := fs.Int("n", 7, "number of parties")
+	t := fs.Int("t", 2, "fault bound")
+	eps := fs.Float64("eps", 1e-3, "agreement precision")
+	lo := fs.Float64("lo", 0, "promised input range low end")
+	hi := fs.Float64("hi", 100, "promised input range high end")
+	inputsFlag := fs.String("inputs", "", "comma-separated inputs (default: evenly spaced over the range)")
+	schedName := fs.String("sched", aa.SchedRandom, "scheduler: sync|random|skew|partition|splitviews|staggered")
+	seed := fs.Int64("seed", 1, "random seed")
+	crashFlag := fs.String("crash", "", "crash plans id:afterSends,id:afterSends,...")
+	byzFlag := fs.String("byz", "", "byzantine assignments id:behavior,... (silent|extreme|equivocate|spam|amplifier)")
+	adaptive := fs.Bool("adaptive", false, "adaptive termination (estimate spread at runtime)")
+	live := fs.Bool("live", false, "run on the goroutine runtime instead of the simulator")
+	timeout := fs.Duration("timeout", 30*time.Second, "live-run timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := aa.Config{
+		N: *n, T: *t, Epsilon: *eps, Lo: *lo, Hi: *hi, Adaptive: *adaptive,
+	}
+	switch *model {
+	case "crash":
+		cfg.Model = aa.ModelCrash
+	case "trim":
+		cfg.Model = aa.ModelByzantineTrim
+	case "witness":
+		cfg.Model = aa.ModelByzantineWitness
+	case "sync":
+		cfg.Model = aa.ModelSynchronous
+		cfg.SyncRoundTicks = 20
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+
+	inputs, err := parseInputs(*inputsFlag, *n, *lo, *hi)
+	if err != nil {
+		return err
+	}
+
+	if *live {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		out, err := aa.RunLive(ctx, cfg, inputs, aa.LiveOptions{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		printOutcome(out, cfg)
+		return nil
+	}
+
+	opts := []aa.SimOption{aa.WithSeed(*seed), aa.WithScheduler(*schedName)}
+	crashOpts, err := parseCrashes(*crashFlag)
+	if err != nil {
+		return err
+	}
+	opts = append(opts, crashOpts...)
+	byzOpts, err := parseByz(*byzFlag)
+	if err != nil {
+		return err
+	}
+	opts = append(opts, byzOpts...)
+
+	out, err := aa.Simulate(cfg, inputs, opts...)
+	if err != nil {
+		return err
+	}
+	printOutcome(out, cfg)
+	if !out.OK() {
+		return fmt.Errorf("run failed: agreed=%v valid=%v err=%v", out.Agreed, out.Valid, out.Err)
+	}
+	return nil
+}
+
+func parseInputs(s string, n int, lo, hi float64) ([]float64, error) {
+	if s == "" {
+		out := make([]float64, n)
+		for i := range out {
+			if n > 1 {
+				out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+			} else {
+				out[i] = lo
+			}
+		}
+		return out, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("got %d inputs for %d parties", len(parts), n)
+	}
+	out := make([]float64, n)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("input %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseCrashes(s string) ([]aa.SimOption, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var opts []aa.SimOption
+	for _, part := range strings.Split(s, ",") {
+		var id, after int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d:%d", &id, &after); err != nil {
+			return nil, fmt.Errorf("crash plan %q (want id:afterSends): %w", part, err)
+		}
+		opts = append(opts, aa.WithCrash(id, after))
+	}
+	return opts, nil
+}
+
+func parseByz(s string) ([]aa.SimOption, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var opts []aa.SimOption
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("byzantine assignment %q (want id:behavior)", part)
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("byzantine assignment %q: %w", part, err)
+		}
+		opts = append(opts, aa.WithByzantine(id, fields[1]))
+	}
+	return opts, nil
+}
+
+func printOutcome(out *aa.Outcome, cfg aa.Config) {
+	ids := make([]int, 0, len(out.Values))
+	for id := range out.Values {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Printf("party %2d -> %.9g\n", id, out.Values[id])
+	}
+	fmt.Printf("spread    %.3g (eps %.3g)\n", out.Spread, cfg.Epsilon)
+	fmt.Printf("agreed    %v\n", out.Agreed)
+	fmt.Printf("valid     %v\n", out.Valid)
+	if out.Rounds > 0 {
+		fmt.Printf("rounds    %.1f\n", out.Rounds)
+	}
+	fmt.Printf("messages  %d\n", out.Messages)
+	if out.Bytes > 0 {
+		fmt.Printf("bytes     %d\n", out.Bytes)
+	}
+	if out.Err != nil {
+		fmt.Printf("error     %v\n", out.Err)
+	}
+}

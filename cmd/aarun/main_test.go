@@ -1,0 +1,100 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseInputsDefault(t *testing.T) {
+	in, err := parseInputs("", 5, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in) != 5 || in[0] != 0 || in[4] != 8 {
+		t.Errorf("default inputs %v", in)
+	}
+	single, err := parseInputs("", 1, 3, 9)
+	if err != nil || single[0] != 3 {
+		t.Errorf("single default input %v, %v", single, err)
+	}
+}
+
+func TestParseInputsExplicit(t *testing.T) {
+	in, err := parseInputs(" 1, 2.5 ,3", 3, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 1 || in[1] != 2.5 || in[2] != 3 {
+		t.Errorf("inputs %v", in)
+	}
+	if _, err := parseInputs("1,2", 3, 0, 10); err == nil {
+		t.Error("count mismatch accepted")
+	}
+	if _, err := parseInputs("1,x,3", 3, 0, 10); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestParseCrashes(t *testing.T) {
+	opts, err := parseCrashes("0:3, 2:10")
+	if err != nil || len(opts) != 2 {
+		t.Fatalf("opts %v err %v", opts, err)
+	}
+	if _, err := parseCrashes("nope"); err == nil {
+		t.Error("malformed crash accepted")
+	}
+	none, err := parseCrashes("")
+	if err != nil || none != nil {
+		t.Errorf("empty crash flag: %v %v", none, err)
+	}
+}
+
+func TestParseByz(t *testing.T) {
+	opts, err := parseByz("0:equivocate,1:silent")
+	if err != nil || len(opts) != 2 {
+		t.Fatalf("opts %v err %v", opts, err)
+	}
+	if _, err := parseByz("0"); err == nil {
+		t.Error("missing behavior accepted")
+	}
+	if _, err := parseByz("x:silent"); err == nil {
+		t.Error("bad id accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if err := run([]string{"-model", "crash", "-n", "5", "-t", "2", "-eps", "0.01",
+		"-hi", "10", "-sched", "splitviews", "-crash", "0:3"}); err != nil {
+		t.Fatalf("crash run: %v", err)
+	}
+	if err := run([]string{"-model", "witness", "-n", "7", "-t", "2",
+		"-byz", "0:equivocate"}); err != nil {
+		t.Fatalf("witness run: %v", err)
+	}
+	if err := run([]string{"-model", "trim", "-n", "8", "-t", "1"}); err != nil {
+		t.Fatalf("trim run: %v", err)
+	}
+	if err := run([]string{"-model", "sync", "-n", "7", "-t", "2", "-sched", "sync"}); err != nil {
+		t.Fatalf("sync run: %v", err)
+	}
+}
+
+func TestRunRejects(t *testing.T) {
+	if err := run([]string{"-model", "warp"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run([]string{"-model", "crash", "-n", "4", "-t", "2"}); err == nil {
+		t.Error("bad resilience accepted")
+	}
+	if err := run([]string{"-model", "crash", "-inputs", "1,2"}); err == nil {
+		t.Error("input count mismatch accepted")
+	}
+	if err := run([]string{"-model", "crash", "-sched", "warp"}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if err := run([]string{"-model", "crash", "-byz", "0:gremlin"}); err == nil {
+		t.Error("unknown behavior accepted")
+	}
+	if err := run([]string{"-model", "crash", "-crash", "zzz"}); err == nil {
+		t.Error("malformed crash plan accepted")
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of the foundational
+// asynchronous approximate agreement system ("Asynchronous Approximate
+// Agreement", PODC 1987): n message-passing parties, up to t faulty, with
+// real-valued inputs, reaching ε-agreement inside the convex hull of the
+// non-faulty inputs over a fully asynchronous network.
+//
+// The public API lives in repro/aa; the protocol family, the asynchronous
+// network simulator, the adversary suite, and the experiment harness live
+// under internal/. See README.md for a tour, DESIGN.md for the system
+// inventory and proofs, and EXPERIMENTS.md for the measured reproduction of
+// every evaluation table and figure.
+package repro

@@ -1,0 +1,64 @@
+// Price oracle on the live runtime: seven oracle nodes observe slightly
+// different exchange prices and must publish values that agree within one
+// basis point — on a real goroutine-per-node runtime with channel
+// transports and jittered delivery, not the deterministic simulator. This
+// is the deployment-shaped path of the library: the same protocol state
+// machines, driven by real concurrency and wall-clock timers.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/aa"
+)
+
+func main() {
+	const (
+		nodes = 7
+		t     = 3 // crash-fault bound (n >= 2t+1)
+		price = 42_000.0
+	)
+	cfg := aa.Config{
+		Model:   aa.ModelCrash,
+		N:       nodes,
+		T:       t,
+		Epsilon: price * 1e-4, // one basis point
+		Lo:      price * 0.95, // sanity band promised by the feed contract
+		Hi:      price * 1.05,
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Each node's locally observed price (spread of ~0.4%).
+	observed := []float64{
+		41_923.10, 42_011.50, 41_988.25, 42_102.75,
+		41_956.00, 42_044.30, 42_075.80,
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	out, err := aa.RunLive(ctx, cfg, observed, aa.LiveOptions{
+		MaxJitter: 2 * time.Millisecond,
+		Seed:      time.Now().UnixNano() % 1000, // jitter varies run to run
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("published oracle prices:")
+	for id, v := range out.Values {
+		fmt.Printf("  node %d: %.2f\n", id, v)
+	}
+	fmt.Printf("\nspread %.4f (allowed %.4f): agreed=%v valid=%v\n",
+		out.Spread, cfg.Epsilon, out.Agreed, out.Valid)
+	fmt.Printf("wall time %.0fms, %d messages over live channels\n",
+		time.Since(start).Seconds()*1000, out.Messages)
+	if !out.OK() {
+		log.Fatal("oracle round failed")
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/multiset"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// futureRoundSlack bounds how far beyond the current horizon round-tagged
+// values are buffered, so a Byzantine sender cannot exhaust memory with
+// absurd round numbers while honest values slightly ahead of a growing
+// adaptive horizon are still retained.
+const futureRoundSlack = 4096
+
+// AsyncAA is the asynchronous value-exchange protocol (ProtoCrash and
+// ProtoByzTrim). Each round r the party multicasts ⟨VAL, r, v⟩, waits until
+// it holds round-r values from n−t distinct parties (its own included),
+// applies the approximation function, and advances; after the final round it
+// decides.
+//
+// In fixed-range mode every party derives the same round count R from the
+// public parameters, so every party sends a value for every round 1..R and
+// quorums always fill: liveness and unconditional ε-agreement follow.
+//
+// In adaptive mode the party first multicasts ⟨INIT, input⟩, estimates the
+// spread from n−t INIT values, and derives a private horizon which it
+// piggybacks on every VAL message; horizons are joined by maximum. A party
+// that decides multicasts ⟨DECIDED, y⟩, and receivers use y as that party's
+// value for every later round. The adaptive guarantee is conditional (see
+// DESIGN.md §Termination modes); experiment E8 maps the boundary.
+type AsyncAA struct {
+	p       Params
+	rounds  map[uint32]map[sim.PartyID]float64
+	inits   map[sim.PartyID]float64
+	frozen  map[sim.PartyID]float64
+	api     sim.API
+	fn      multiset.Func
+	input   float64
+	v       float64
+	round   uint32 // round currently being collected (1-based)
+	horizon uint32 // last round; 0 means decide immediately
+	started bool   // value rounds have begun (always true in fixed mode)
+	decided bool
+	err     error
+}
+
+var (
+	_ sim.Process   = (*AsyncAA)(nil)
+	_ sim.Estimator = (*AsyncAA)(nil)
+)
+
+// NewAsyncAA builds a party of the asynchronous protocol. Params must have
+// Protocol ProtoCrash or ProtoByzTrim and pass Validate; input is this
+// party's input value.
+func NewAsyncAA(p Params, input float64) (*AsyncAA, error) {
+	if p.Protocol != ProtoCrash && p.Protocol != ProtoByzTrim {
+		return nil, fmt.Errorf("%w: AsyncAA does not implement %s", ErrBadParams, p.Protocol)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !isUsable(input) {
+		return nil, fmt.Errorf("%w: non-finite input %v", ErrBadParams, input)
+	}
+	if !p.Adaptive && (input < p.Lo || input > p.Hi) {
+		return nil, fmt.Errorf("%w: input %v outside promised range [%v, %v]",
+			ErrBadParams, input, p.Lo, p.Hi)
+	}
+	return &AsyncAA{
+		p:      p,
+		fn:     p.fn(),
+		input:  input,
+		v:      input,
+		rounds: make(map[uint32]map[sim.PartyID]float64),
+		inits:  make(map[sim.PartyID]float64),
+		frozen: make(map[sim.PartyID]float64),
+	}, nil
+}
+
+// Init implements sim.Process.
+func (a *AsyncAA) Init(api sim.API) {
+	a.api = api
+	if a.p.Adaptive {
+		api.Multicast(wire.MarshalInit(wire.Init{Value: a.input}))
+		return
+	}
+	r, err := a.p.FixedRounds()
+	if err != nil {
+		a.fail(err)
+		return
+	}
+	a.begin(uint32(r))
+}
+
+// begin starts the value-exchange rounds. The horizon is joined with any
+// horizon already learned from early VAL messages of faster parties.
+func (a *AsyncAA) begin(horizon uint32) {
+	a.started = true
+	if horizon > a.horizon {
+		a.horizon = horizon
+	}
+	a.round = 1
+	if a.horizon == 0 {
+		a.decide()
+		return
+	}
+	a.sendRound()
+	a.advance()
+}
+
+// sendRound multicasts the current value tagged with the current round.
+func (a *AsyncAA) sendRound() {
+	a.api.Multicast(wire.MarshalValue(wire.Value{
+		Round:   a.round,
+		Horizon: a.horizon,
+		Value:   a.v,
+	}))
+}
+
+// Deliver implements sim.Process.
+func (a *AsyncAA) Deliver(from sim.PartyID, data []byte) {
+	if a.err != nil {
+		return
+	}
+	kind, err := wire.Peek(data)
+	if err != nil {
+		return // garbage from a Byzantine sender
+	}
+	switch kind {
+	case wire.KindInit:
+		m, err := wire.UnmarshalInit(data)
+		if err != nil || !isUsable(m.Value) {
+			return
+		}
+		a.onInit(from, m.Value)
+	case wire.KindValue:
+		m, err := wire.UnmarshalValue(data)
+		if err != nil || !isUsable(m.Value) {
+			return
+		}
+		a.onValue(from, m)
+	case wire.KindDecided:
+		m, err := wire.UnmarshalDecided(data)
+		if err != nil || !isUsable(m.Value) {
+			return
+		}
+		if _, ok := a.frozen[from]; !ok {
+			a.frozen[from] = m.Value
+			a.advance()
+		}
+	default:
+		// RBC and report traffic belongs to other protocols; ignore.
+	}
+}
+
+// onInit handles adaptive-mode input announcements. Late INIT values that
+// grow the spread estimate extend the horizon monotonically.
+func (a *AsyncAA) onInit(from sim.PartyID, v float64) {
+	if !a.p.Adaptive {
+		return
+	}
+	if _, ok := a.inits[from]; ok {
+		return
+	}
+	a.inits[from] = v
+	if !a.started {
+		if len(a.inits) >= a.p.Quorum() {
+			a.begin(uint32(a.p.adaptiveRounds(a.initSpread())))
+		}
+		return
+	}
+	a.extendHorizon(uint32(a.p.adaptiveRounds(a.initSpread())))
+}
+
+func (a *AsyncAA) initSpread() float64 {
+	vals := make([]float64, 0, len(a.inits))
+	for _, v := range a.inits {
+		vals = append(vals, v)
+	}
+	return multiset.Spread(vals)
+}
+
+// extendHorizon joins horizons by maximum (adaptive mode only).
+func (a *AsyncAA) extendHorizon(h uint32) {
+	if !a.p.Adaptive || a.decided || h <= a.horizon {
+		return
+	}
+	a.horizon = h
+}
+
+// onValue records a round-tagged value, joining the piggybacked horizon.
+func (a *AsyncAA) onValue(from sim.PartyID, m wire.Value) {
+	a.extendHorizon(m.Horizon)
+	if m.Round == 0 || uint64(m.Round) > uint64(a.horizon)+futureRoundSlack {
+		return
+	}
+	bucket, ok := a.rounds[m.Round]
+	if !ok {
+		bucket = make(map[sim.PartyID]float64, a.p.N)
+		a.rounds[m.Round] = bucket
+	}
+	if _, dup := bucket[from]; dup {
+		return // only a sender's first value for a round counts
+	}
+	bucket[from] = m.Value
+	a.advance()
+}
+
+// advance processes as many rounds as currently have full quorums.
+func (a *AsyncAA) advance() {
+	if !a.started || a.decided || a.err != nil {
+		return
+	}
+	for {
+		view := a.view(a.round)
+		if len(view) < a.p.Quorum() {
+			return
+		}
+		next, err := a.fn.Apply(multiset.Sorted(view))
+		if err != nil {
+			a.fail(fmt.Errorf("core: round %d: %w", a.round, err))
+			return
+		}
+		a.v = next
+		delete(a.rounds, a.round)
+		a.round++
+		if a.round > a.horizon {
+			a.decide()
+			return
+		}
+		a.sendRound()
+	}
+}
+
+// view assembles the reception multiset for a round: round-tagged values
+// plus frozen DECIDED values from parties that sent nothing for the round.
+func (a *AsyncAA) view(round uint32) []float64 {
+	bucket := a.rounds[round]
+	out := make([]float64, 0, len(bucket)+len(a.frozen))
+	for _, v := range bucket {
+		out = append(out, v)
+	}
+	for from, v := range a.frozen {
+		if _, ok := bucket[from]; !ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (a *AsyncAA) decide() {
+	if a.decided {
+		return
+	}
+	a.decided = true
+	a.api.Decide(a.v)
+	if a.p.Adaptive {
+		a.api.Multicast(wire.MarshalDecided(wire.Decided{Value: a.v}))
+	}
+}
+
+func (a *AsyncAA) fail(err error) {
+	if a.err == nil {
+		a.err = err
+	}
+}
+
+// Err reports an internal invariant failure, if any. The harness checks it
+// after every run.
+func (a *AsyncAA) Err() error { return a.err }
+
+// Estimate implements sim.Estimator.
+func (a *AsyncAA) Estimate() (float64, bool) { return a.v, true }
+
+// Round reports the round currently being collected (for tests).
+func (a *AsyncAA) Round() uint32 { return a.round }
+
+// Decided reports whether the party has output.
+func (a *AsyncAA) Decided() bool { return a.decided }

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/multiset"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// SyncAA is the lock-step synchronous baseline (ProtoSync). Rounds are
+// paced by a local timer of length Params.RoundDuration, which must be at
+// least the network's maximum message delay for the synchrony assumption to
+// hold — the point of the baseline is to show what that assumption buys and
+// what it costs when it breaks (experiment E1 runs it under asynchronous
+// schedulers to show exactly that).
+//
+// Each round the party multicasts its value, lets the timer expire, and
+// applies the approximation function to everything that arrived for the
+// round (at least n−t values under the synchrony assumption with t faults;
+// fewer arrivals than the function's minimum is recorded as an Err and the
+// party stalls, which the simulator reports as lost liveness).
+type SyncAA struct {
+	p       Params
+	api     sim.API
+	fn      multiset.Func
+	rounds  map[uint32]map[sim.PartyID]float64
+	v       float64
+	round   uint32
+	horizon uint32
+	decided bool
+	err     error
+}
+
+var (
+	_ sim.Process      = (*SyncAA)(nil)
+	_ sim.TimerHandler = (*SyncAA)(nil)
+	_ sim.Estimator    = (*SyncAA)(nil)
+)
+
+// NewSyncAA builds a party of the synchronous baseline.
+func NewSyncAA(p Params, input float64) (*SyncAA, error) {
+	if p.Protocol != ProtoSync {
+		return nil, fmt.Errorf("%w: SyncAA requires ProtoSync, got %s", ErrBadParams, p.Protocol)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !isUsable(input) {
+		return nil, fmt.Errorf("%w: non-finite input %v", ErrBadParams, input)
+	}
+	if input < p.Lo || input > p.Hi {
+		return nil, fmt.Errorf("%w: input %v outside promised range [%v, %v]",
+			ErrBadParams, input, p.Lo, p.Hi)
+	}
+	return &SyncAA{
+		p:      p,
+		fn:     p.fn(),
+		v:      input,
+		rounds: make(map[uint32]map[sim.PartyID]float64),
+	}, nil
+}
+
+// Init implements sim.Process.
+func (s *SyncAA) Init(api sim.API) {
+	s.api = api
+	r, err := s.p.FixedRounds()
+	if err != nil {
+		s.err = err
+		return
+	}
+	s.horizon = uint32(r)
+	if s.horizon == 0 {
+		s.decided = true
+		api.Decide(s.v)
+		return
+	}
+	s.round = 1
+	s.beginRound()
+}
+
+func (s *SyncAA) beginRound() {
+	s.api.Multicast(wire.MarshalValue(wire.Value{Round: s.round, Value: s.v}))
+	s.api.SetTimer(s.p.RoundDuration, uint64(s.round))
+}
+
+// Deliver implements sim.Process.
+func (s *SyncAA) Deliver(from sim.PartyID, data []byte) {
+	if s.err != nil || s.decided {
+		return
+	}
+	kind, err := wire.Peek(data)
+	if err != nil || kind != wire.KindValue {
+		return
+	}
+	m, err := wire.UnmarshalValue(data)
+	if err != nil || !isUsable(m.Value) {
+		return
+	}
+	// A synchronous party accepts values only for the current round: late
+	// values are useless by definition of the model, early ones cannot
+	// occur under the synchrony assumption and are buffered defensively.
+	if m.Round < s.round || uint64(m.Round) > uint64(s.horizon) {
+		return
+	}
+	bucket, ok := s.rounds[m.Round]
+	if !ok {
+		bucket = make(map[sim.PartyID]float64, s.p.N)
+		s.rounds[m.Round] = bucket
+	}
+	if _, dup := bucket[from]; !dup {
+		bucket[from] = m.Value
+	}
+}
+
+// OnTimer implements sim.TimerHandler: the round boundary.
+func (s *SyncAA) OnTimer(tag uint64) {
+	if s.err != nil || s.decided || tag != uint64(s.round) {
+		return
+	}
+	view := make([]float64, 0, s.p.N)
+	for _, v := range s.rounds[s.round] {
+		view = append(view, v)
+	}
+	delete(s.rounds, s.round)
+	if len(view) < s.fn.MinInputs() {
+		s.err = fmt.Errorf("core: sync round %d: %d arrivals, below %s minimum %d (synchrony assumption violated)",
+			s.round, len(view), s.fn.Name(), s.fn.MinInputs())
+		return
+	}
+	next, err := s.fn.Apply(multiset.Sorted(view))
+	if err != nil {
+		s.err = fmt.Errorf("core: sync round %d: %w", s.round, err)
+		return
+	}
+	s.v = next
+	s.round++
+	if s.round > s.horizon {
+		s.decided = true
+		s.api.Decide(s.v)
+		return
+	}
+	s.beginRound()
+}
+
+// Err reports a synchrony-assumption or invariant failure.
+func (s *SyncAA) Err() error { return s.err }
+
+// Estimate implements sim.Estimator.
+func (s *SyncAA) Estimate() (float64, bool) { return s.v, true }

@@ -1,0 +1,266 @@
+// Package fault implements the adversarial party behaviors used to attack
+// the approximate-agreement protocols: crash faults are expressed through
+// sim.CrashPlan (including mid-multicast truncation), while the Byzantine
+// behaviors here are full replacement processes that speak every wire
+// dialect (plain round values, reliable-broadcast phases, witness reports)
+// so the same behavior attacks every protocol in the family.
+//
+// Byzantine strategies deliberately do not follow the honest state machine;
+// an asynchronous one-shot adversary loses no power by emitting all its
+// traffic eagerly, because the scheduler already controls interleaving.
+package fault
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Env tells a behavior enough about the run to be maximally annoying: the
+// protocol's round horizon and the promised input range.
+type Env struct {
+	N      int
+	Rounds int
+	Lo, Hi float64
+}
+
+// Behavior constructs the adversarial process for one Byzantine party.
+type Behavior interface {
+	// Name labels the behavior in experiment tables.
+	Name() string
+	// New creates the process; called once per Byzantine party.
+	New(env Env) sim.Process
+}
+
+// Silent is the omission adversary: the party never sends anything. It
+// forces every quorum to form without the faulty parties.
+type Silent struct{}
+
+var _ Behavior = Silent{}
+
+// Name implements Behavior.
+func (Silent) Name() string { return "silent" }
+
+// New implements Behavior.
+func (Silent) New(Env) sim.Process { return &silentProc{} }
+
+type silentProc struct{}
+
+func (*silentProc) Init(sim.API)                {}
+func (*silentProc) Deliver(sim.PartyID, []byte) {}
+
+// Extreme floods every round with a fixed extreme value, both as plain
+// round values and as reliable broadcasts, trying to drag the honest hull
+// toward (or past) one end.
+type Extreme struct {
+	// Value is the value to push; typically far outside the honest range.
+	Value float64
+}
+
+var _ Behavior = Extreme{}
+
+// Name implements Behavior.
+func (Extreme) Name() string { return "extreme" }
+
+// New implements Behavior.
+func (b Extreme) New(env Env) sim.Process {
+	return &scriptedProc{env: env, script: func(api sim.API, env Env) {
+		for r := 1; r <= env.Rounds; r++ {
+			api.Multicast(wire.MarshalValue(wire.Value{Round: uint32(r), Value: b.Value}))
+			api.Multicast(wire.MarshalRBC(wire.RBC{
+				Phase: wire.RBCSend, Origin: uint16(api.ID()), Round: uint32(r), Value: b.Value,
+			}))
+		}
+		api.Multicast(wire.MarshalInit(wire.Init{Value: b.Value}))
+		api.Multicast(wire.MarshalDecided(wire.Decided{Value: b.Value}))
+	}}
+}
+
+// Equivocate tells the low half of the parties the low extreme and the high
+// half the high extreme, every round — the canonical split-the-views attack.
+// Against the witness protocol its RBC sends are equivocated too, which
+// reliable broadcast is expected to neutralize (a property test relies on
+// this).
+type Equivocate struct {
+	// Stretch widens the lie beyond the promised range by this factor of
+	// the range width (0 keeps lies at the range endpoints).
+	Stretch float64
+}
+
+var _ Behavior = Equivocate{}
+
+// Name implements Behavior.
+func (Equivocate) Name() string { return "equivocate" }
+
+// New implements Behavior.
+func (b Equivocate) New(env Env) sim.Process {
+	width := env.Hi - env.Lo
+	lo := env.Lo - b.Stretch*width
+	hi := env.Hi + b.Stretch*width
+	return &scriptedProc{env: env, script: func(api sim.API, env Env) {
+		half := env.N / 2
+		for r := 1; r <= env.Rounds; r++ {
+			for p := 0; p < env.N; p++ {
+				v := lo
+				if p >= half {
+					v = hi
+				}
+				api.Send(sim.PartyID(p), wire.MarshalValue(wire.Value{Round: uint32(r), Value: v}))
+				api.Send(sim.PartyID(p), wire.MarshalRBC(wire.RBC{
+					Phase: wire.RBCSend, Origin: uint16(api.ID()), Round: uint32(r), Value: v,
+				}))
+			}
+		}
+		half2 := env.N / 2
+		for p := 0; p < env.N; p++ {
+			v := lo
+			if p >= half2 {
+				v = hi
+			}
+			api.Send(sim.PartyID(p), wire.MarshalInit(wire.Init{Value: v}))
+		}
+	}}
+}
+
+// Spam floods random garbage: random round values (including attempts at
+// NaN and infinities, which honest decoders must reject), malformed bytes,
+// fake reports, and random RBC phases. It tests input sanitization as much
+// as agreement.
+type Spam struct{}
+
+var _ Behavior = Spam{}
+
+// Name implements Behavior.
+func (Spam) Name() string { return "spam" }
+
+// New implements Behavior.
+func (Spam) New(env Env) sim.Process {
+	return &scriptedProc{env: env, script: func(api sim.API, env Env) {
+		rng := api.Rand()
+		poison := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1e308, -1e308}
+		for r := 1; r <= env.Rounds; r++ {
+			v := poison[rng.Intn(len(poison))]
+			if rng.Intn(2) == 0 {
+				v = env.Lo + rng.Float64()*(env.Hi-env.Lo)*10 - (env.Hi-env.Lo)*5
+			}
+			api.Multicast(wire.MarshalValue(wire.Value{
+				Round:   uint32(rng.Intn(env.Rounds*2) + 1),
+				Horizon: uint32(rng.Intn(1 << 16)),
+				Value:   v,
+			}))
+			api.Multicast(wire.MarshalRBC(wire.RBC{
+				Phase:  byte(rng.Intn(5)),
+				Origin: uint16(rng.Intn(env.N + 2)),
+				Round:  uint32(rng.Intn(env.Rounds*2) + 1),
+				Value:  v,
+			}))
+			senders := make([]uint16, rng.Intn(env.N+1))
+			for i := range senders {
+				senders[i] = uint16(rng.Intn(env.N + 3))
+			}
+			api.Multicast(wire.MarshalReport(wire.Report{Round: uint32(r), Senders: senders}))
+			api.Multicast([]byte{byte(rng.Intn(256)), byte(rng.Intn(256))})
+			api.Multicast(nil)
+		}
+	}}
+}
+
+// scriptedProc runs a one-shot script at Init and ignores deliveries.
+type scriptedProc struct {
+	env    Env
+	script func(api sim.API, env Env)
+}
+
+var _ sim.Process = (*scriptedProc)(nil)
+
+func (s *scriptedProc) Init(api sim.API)            { s.script(api, s.env) }
+func (s *scriptedProc) Deliver(sim.PartyID, []byte) {}
+
+// Amplifier is the adaptive adversary: it tracks the extreme honest values
+// it has seen and keeps replaying a value just past the most extreme one,
+// per round, trying to hold the diameter open as the honest parties
+// contract. Unlike the scripted behaviors it reacts to received traffic.
+type Amplifier struct {
+	// Push is how far past the observed extreme the lie goes, as a
+	// fraction of the promised range width.
+	Push float64
+}
+
+var _ Behavior = Amplifier{}
+
+// Name implements Behavior.
+func (Amplifier) Name() string { return "amplifier" }
+
+// New implements Behavior.
+func (b Amplifier) New(env Env) sim.Process {
+	return &amplifierProc{env: env, push: b.Push * (env.Hi - env.Lo)}
+}
+
+type amplifierProc struct {
+	env     Env
+	api     sim.API
+	push    float64
+	lo, hi  float64
+	started bool
+}
+
+var _ sim.Process = (*amplifierProc)(nil)
+
+func (a *amplifierProc) Init(api sim.API) {
+	a.api = api
+	a.lo, a.hi = a.env.Lo, a.env.Hi
+	a.blast()
+}
+
+func (a *amplifierProc) Deliver(_ sim.PartyID, data []byte) {
+	kind, err := wire.Peek(data)
+	if err != nil || kind != wire.KindValue {
+		return
+	}
+	m, err := wire.UnmarshalValue(data)
+	if err != nil || math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+		return
+	}
+	changed := false
+	if m.Value < a.lo {
+		a.lo, changed = m.Value, true
+	}
+	if m.Value > a.hi {
+		a.hi, changed = m.Value, true
+	}
+	if changed {
+		a.blast()
+	}
+}
+
+// blast re-sends the current widened extremes for every round, split so
+// half the network is pulled down and half up.
+func (a *amplifierProc) blast() {
+	half := a.env.N / 2
+	for r := 1; r <= a.env.Rounds; r++ {
+		for p := 0; p < a.env.N; p++ {
+			v := a.lo - a.push
+			if p >= half {
+				v = a.hi + a.push
+			}
+			a.api.Send(sim.PartyID(p), wire.MarshalValue(wire.Value{Round: uint32(r), Value: v}))
+			a.api.Send(sim.PartyID(p), wire.MarshalRBC(wire.RBC{
+				Phase: wire.RBCSend, Origin: uint16(a.api.ID()), Round: uint32(r), Value: v,
+			}))
+		}
+	}
+}
+
+// Suite returns the standard Byzantine behavior suite for the experiment
+// harness, parameterized by the promised range.
+func Suite(lo, hi float64) []Behavior {
+	width := hi - lo
+	return []Behavior{
+		Silent{},
+		Extreme{Value: hi + 100*width},
+		Equivocate{Stretch: 2},
+		Spam{},
+		Amplifier{Push: 1},
+	}
+}

@@ -1,0 +1,615 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/multiset"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Experiment is a named driver that produces one reproduction table.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*trace.Table, error)
+}
+
+// Experiments returns every experiment in DESIGN.md order. Seeds is the
+// number of seeds per configuration (the benchmark suite uses a smaller
+// count than cmd/aabench).
+func Experiments(seeds int) []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "Resilience thresholds", Run: func() (*trace.Table, error) { return E1Resilience(seeds) }},
+		{ID: "E2", Title: "Per-round convergence rate", Run: func() (*trace.Table, error) { return E2Convergence(seeds) }},
+		{ID: "E3", Title: "Round complexity vs initial spread", Run: func() (*trace.Table, error) { return E3Rounds() }},
+		{ID: "E4", Title: "Message and bit complexity", Run: func() (*trace.Table, error) { return E4Messages() }},
+		{ID: "E5", Title: "Diameter trajectories under attack", Run: func() (*trace.Table, error) { return E5Trajectories() }},
+		{ID: "E6", Title: "Scaling with n", Run: func() (*trace.Table, error) { return E6Scaling() }},
+		{ID: "E7", Title: "Approximation-function ablation", Run: func() (*trace.Table, error) { return E7Functions(seeds) }},
+		{ID: "E8", Title: "Adaptive vs fixed-range termination", Run: func() (*trace.Table, error) { return E8Adaptive(seeds) }},
+		{ID: "E9", Title: "Byzantine strategy effectiveness", Run: func() (*trace.Table, error) { return E9Attacks(seeds) }},
+		{ID: "E10", Title: "Coordinate-wise agreement in R^d", Run: E10Vector},
+		{ID: "E11", Title: "FIFO vs unordered channels", Run: E11FIFO},
+	}
+}
+
+// worstOver runs a spec-generating closure across the scheduler suite and
+// seed range and returns the worst observed final spread along with whether
+// every run satisfied all invariants.
+type sweepOutcome struct {
+	worstSpread   float64
+	worstGammaEff float64
+	allOK         bool
+	firstFailure  string
+	runs          int
+}
+
+func sweep(p core.Params, inputs []float64, crashes []sim.CrashPlan,
+	byz map[sim.PartyID]fault.Behavior, seeds int) (sweepOutcome, error) {
+	out := sweepOutcome{allOK: true}
+	rounds, err := p.FixedRounds()
+	if err != nil {
+		return out, err
+	}
+	for _, sc := range sched.Suite(p.N, p.T) {
+		if p.Protocol == core.ProtoSync && sc.Name != "sync" {
+			continue // the baseline is only defined under synchrony
+		}
+		for seed := int64(0); seed < int64(seeds); seed++ {
+			rep, err := Run(Spec{
+				Params:    p,
+				Inputs:    inputs,
+				Scheduler: sc,
+				Crashes:   crashes,
+				Byz:       byz,
+				Seed:      seed*7919 + 1,
+			})
+			if err != nil {
+				return out, fmt.Errorf("sweep %s seed %d: %w", sc.Name, seed, err)
+			}
+			out.runs++
+			if rep.FinalSpread > out.worstSpread {
+				out.worstSpread = rep.FinalSpread
+			}
+			if g := gammaEff(rep, rounds); g > out.worstGammaEff {
+				out.worstGammaEff = g
+			}
+			if !rep.OK() && out.allOK {
+				out.allOK = false
+				out.firstFailure = fmt.Sprintf("%s/seed%d: %s", sc.Name, seed, rep.Failure())
+			}
+		}
+	}
+	return out, nil
+}
+
+// gammaEff computes the effective per-round contraction of a finished run.
+func gammaEff(rep *Report, rounds int) float64 {
+	if rounds == 0 || rep.InitialSpread == 0 || rep.FinalSpread == 0 {
+		return 0
+	}
+	return math.Pow(rep.FinalSpread/rep.InitialSpread, 1/float64(rounds))
+}
+
+// stdSchedule returns the scheduler used when an experiment needs a single
+// deterministic adversarial schedule.
+func stdSchedule(n int) sched.Named {
+	return sched.Named{
+		Name:      "splitviews",
+		Scheduler: &sched.SplitViews{Boundary: sim.PartyID(n / 2), Fast: 1, Slow: 10},
+	}
+}
+
+// maxCrashes builds t crash plans with staggered mid-multicast budgets, so
+// some crashes truncate multicasts part-way.
+func maxCrashes(n, t int) []sim.CrashPlan {
+	plans := make([]sim.CrashPlan, 0, t)
+	for i := 0; i < t; i++ {
+		plans = append(plans, sim.CrashPlan{
+			Party:      sim.PartyID(i),
+			AfterSends: n/2 + i*n*2, // first victims die mid-INIT-multicast, later ones survive longer
+		})
+	}
+	return plans
+}
+
+// byzAssign gives the behavior to the first t parties.
+func byzAssign(t int, b fault.Behavior) map[sim.PartyID]fault.Behavior {
+	m := make(map[sim.PartyID]fault.Behavior, t)
+	for i := 0; i < t; i++ {
+		m[sim.PartyID(i)] = b
+	}
+	return m
+}
+
+// --- E1: resilience thresholds ---
+
+// E1Resilience demonstrates each protocol at its fault bound and the loss of
+// liveness or safety one fault past it (the protocol is configured for its
+// bound t, and the adversary injects t+1 faults).
+func E1Resilience(seeds int) (*trace.Table, error) {
+	tbl := trace.NewTable("E1: resilience thresholds (protocol at bound t, then overloaded with t+1 faults)",
+		"protocol", "n", "t", "faults", "bound", "live", "valid", "eps-agreed", "note")
+	type cfg struct {
+		proto  core.Protocol
+		n, t   int
+		isCash bool
+	}
+	cases := []cfg{
+		{core.ProtoCrash, 9, 4, true},
+		{core.ProtoByzTrim, 15, 2, false},
+		{core.ProtoWitness, 10, 3, false},
+	}
+	for _, c := range cases {
+		p := core.Params{Protocol: c.proto, N: c.n, T: c.t, Eps: 1e-3, Lo: 0, Hi: 100}
+		inputs := BimodalInputs(c.n, 0, 100)
+		// At the bound.
+		var crashes []sim.CrashPlan
+		var byz map[sim.PartyID]fault.Behavior
+		if c.isCash {
+			crashes = maxCrashes(c.n, c.t)
+		} else {
+			byz = byzAssign(c.t, fault.Equivocate{Stretch: 2})
+		}
+		out, err := sweep(p, inputs, crashes, byz, seeds)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(p.Protocol.String(), trace.I(c.n), trace.I(c.t), trace.I(c.t),
+			trace.Sprintf("t<=%d", (c.n-1)/faultDivisor(c.proto)), trace.B(out.allOK),
+			trace.B(out.allOK), trace.B(out.allOK), "at bound: all invariants hold")
+
+		// One past the bound.
+		live, valid, agreed, note := overloadRun(p, inputs, c.isCash)
+		tbl.AddRow(p.Protocol.String(), trace.I(c.n), trace.I(c.t), trace.I(c.t+1),
+			"exceeded", trace.B(live), trace.B(valid), trace.B(agreed), note)
+	}
+
+	// The trim protocol at the classical n = 5t+1 resilience: the
+	// equivocation attack parks the two halves of the network on different
+	// trimmed medians and the diameter never contracts. This run is why
+	// ProtoByzTrim claims n >= 7t+1 and why the witness technique exists.
+	p := core.Params{Protocol: core.ProtoByzTrim, N: 11, T: 2, Eps: 1e-3, Lo: 0, Hi: 100,
+		AllowBelowBound: true}
+	inputs := BimodalInputs(11, 0, 100)
+	rep, err := runUnchecked(p, inputs, nil, byzAssign(2, fault.Equivocate{Stretch: 2}), stdSchedule(11), 99)
+	if err != nil {
+		return nil, err
+	}
+	tbl.AddRow(p.Protocol.String()+"@5t+1", "11", "2", "2", "below proven bound",
+		trace.B(rep.RunErr == nil), trace.B(rep.ValidityOK), trace.B(rep.AgreementOK),
+		"equivocation stalls contraction at classical resilience")
+	return tbl, nil
+}
+
+func faultDivisor(p core.Protocol) int {
+	switch p {
+	case core.ProtoCrash:
+		return 2
+	case core.ProtoByzTrim:
+		return 7
+	default:
+		return 3
+	}
+}
+
+// overloadRun injects t+1 faults against a protocol configured for t and
+// reports which property breaks.
+func overloadRun(p core.Params, inputs []float64, crash bool) (live, valid, agreed bool, note string) {
+	var crashes []sim.CrashPlan
+	byz := map[sim.PartyID]fault.Behavior{}
+	if crash {
+		for i := 0; i <= p.T; i++ {
+			crashes = append(crashes, sim.CrashPlan{Party: sim.PartyID(i), AfterSends: p.N + i})
+		}
+		byz = nil
+	} else {
+		for i := 0; i <= p.T; i++ {
+			byz[sim.PartyID(i)] = fault.Equivocate{Stretch: 2}
+		}
+	}
+	rep, err := runUnchecked(p, inputs, crashes, byz, stdSchedule(p.N), 99)
+	if err != nil {
+		return false, false, false, err.Error()
+	}
+	live = rep.RunErr == nil
+	valid = rep.ValidityOK
+	agreed = rep.AgreementOK
+	switch {
+	case !live:
+		note = "liveness lost (quorum unreachable)"
+	case !valid:
+		note = "validity violated"
+	case !agreed:
+		note = "agreement violated"
+	default:
+		note = "survived this adversary (bound is worst-case)"
+	}
+	return live, valid, agreed, note
+}
+
+// runUnchecked runs a spec bypassing the fault-count guard (used only by the
+// overload experiment).
+func runUnchecked(p core.Params, inputs []float64, crashes []sim.CrashPlan,
+	byz map[sim.PartyID]fault.Behavior, sc sched.Named, seed int64) (*Report, error) {
+	spec := Spec{Params: p, Inputs: inputs, Scheduler: sc, Crashes: crashes, Byz: byz,
+		Seed: seed, MaxEvents: 2_000_000, allowOverfault: true}
+	return Run(spec)
+}
+
+// --- E2: convergence rate ---
+
+// E2Convergence reports, per protocol and (n,t), the provable contraction
+// bound, the single-round adversarial-search contraction (multiset layer),
+// and the worst end-to-end effective rate across the scheduler and fault
+// suite.
+func E2Convergence(seeds int) (*trace.Table, error) {
+	tbl := trace.NewTable("E2: per-round convergence rate gamma (lower is faster; budget is what the round count assumes)",
+		"protocol", "n", "t", "bound", "search-1round", "measured-e2e", "all-ok")
+	type cfg struct {
+		proto core.Protocol
+		n, t  int
+		bound string
+	}
+	cases := []cfg{
+		{core.ProtoCrash, 5, 2, "0.5 (proven)"},
+		{core.ProtoCrash, 9, 4, "0.5 (proven)"},
+		{core.ProtoCrash, 13, 6, "0.5 (proven)"},
+		{core.ProtoByzTrim, 8, 1, "0.5 (proven)"},
+		{core.ProtoByzTrim, 15, 2, "0.5 (proven)"},
+		{core.ProtoByzTrim, 22, 3, "0.5 (proven)"},
+		{core.ProtoWitness, 4, 1, "0.5 (proven)"},
+		{core.ProtoWitness, 7, 2, "0.5 (proven)"},
+		{core.ProtoWitness, 10, 3, "0.5 (proven)"},
+	}
+	for _, c := range cases {
+		p := core.Params{Protocol: c.proto, N: c.n, T: c.t, Eps: 1e-4, Lo: 0, Hi: 1}
+		inputs := BimodalInputs(c.n, 0, 1)
+		var crashes []sim.CrashPlan
+		var byz map[sim.PartyID]fault.Behavior
+		if c.proto == core.ProtoCrash {
+			crashes = maxCrashes(c.n, c.t)
+		} else {
+			byz = byzAssign(c.t, fault.Equivocate{Stretch: 2})
+		}
+		out, err := sweep(p, inputs, crashes, byz, seeds)
+		if err != nil {
+			return nil, err
+		}
+		search := "-"
+		if c.proto != core.ProtoWitness {
+			repSearch, err := multiset.WorstContraction(p.DefaultFunc(),
+				multiset.ViewModel{N: c.n, T: c.t, Byzantine: c.proto == core.ProtoByzTrim},
+				4000, 11)
+			if err != nil {
+				return nil, err
+			}
+			search = trace.F(repSearch.Gamma)
+		}
+		tbl.AddRow(p.Protocol.String(), trace.I(c.n), trace.I(c.t), c.bound,
+			search, trace.F(out.worstGammaEff), trace.B(out.allOK))
+	}
+	return tbl, nil
+}
+
+// --- E3: round complexity vs spread ---
+
+// E3Rounds shows the logarithmic dependence of the round count on the
+// initial spread, and the measured asynchronous rounds of real executions.
+func E3Rounds() (*trace.Table, error) {
+	tbl := trace.NewTable("E3: rounds to eps-agreement vs initial spread (crash-aa, n=10 t=4, eps=1e-3)",
+		"spread", "log2(S/eps)", "budget-R", "measured-rounds", "final-spread", "ok")
+	for _, s := range []float64{1e1, 1e2, 1e3, 1e4, 1e5, 1e6} {
+		p := core.Params{Protocol: core.ProtoCrash, N: 10, T: 4, Eps: 1e-3, Lo: 0, Hi: s}
+		budget, err := p.FixedRounds()
+		if err != nil {
+			return nil, err
+		}
+		rep, err := Run(Spec{
+			Params:    p,
+			Inputs:    BimodalInputs(10, 0, s),
+			Scheduler: sched.Named{Name: "sync", Scheduler: sched.NewSynchronous(5)},
+			Crashes:   maxCrashes(10, 4),
+			Seed:      3,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(trace.F(s), trace.F(math.Log2(s/p.Eps)), trace.I(budget),
+			trace.F(rep.Result.Rounds()), trace.F(rep.FinalSpread), trace.B(rep.OK()))
+	}
+	return tbl, nil
+}
+
+// --- E4: message and bit complexity ---
+
+// E4Messages measures total and per-round message/byte counts, and
+// normalizes by n² to expose the quadratic (crash, trim) versus cubic
+// (witness) scaling.
+func E4Messages() (*trace.Table, error) {
+	tbl := trace.NewTable("E4: message and bit complexity (bimodal inputs over [0,1], eps=1e-3, splitviews scheduler)",
+		"protocol", "n", "t", "R", "msgs", "msgs/round", "msgs/round/n^2", "bytes", "ok")
+	type cfg struct {
+		proto core.Protocol
+		ns    []int
+	}
+	cases := []cfg{
+		{core.ProtoCrash, []int{5, 9, 17, 33}},
+		{core.ProtoByzTrim, []int{8, 15, 29, 43}},
+		{core.ProtoWitness, []int{4, 7, 13, 25}},
+	}
+	for _, c := range cases {
+		for _, n := range c.ns {
+			t := maxT(c.proto, n)
+			p := core.Params{Protocol: c.proto, N: n, T: t, Eps: 1e-3, Lo: 0, Hi: 1}
+			r, err := p.FixedRounds()
+			if err != nil {
+				return nil, err
+			}
+			rep, err := Run(Spec{
+				Params:    p,
+				Inputs:    BimodalInputs(n, 0, 1),
+				Scheduler: stdSchedule(n),
+				Seed:      5,
+			})
+			if err != nil {
+				return nil, err
+			}
+			msgs := rep.Result.Stats.MessagesSent
+			perRound := float64(msgs) / float64(r)
+			tbl.AddRow(p.Protocol.String(), trace.I(n), trace.I(t), trace.I(r),
+				trace.I(msgs), trace.F(perRound), trace.F(perRound/float64(n*n)),
+				trace.I(rep.Result.Stats.BytesSent), trace.B(rep.OK()))
+		}
+	}
+	return tbl, nil
+}
+
+// maxT returns the largest fault bound a protocol supports at a given n.
+func maxT(p core.Protocol, n int) int {
+	switch p {
+	case core.ProtoCrash:
+		return (n - 1) / 2
+	case core.ProtoByzTrim:
+		return (n - 1) / 7
+	default:
+		return (n - 1) / 3
+	}
+}
+
+// --- E5: trajectories ---
+
+// E5Trajectories samples the honest diameter at round boundaries under each
+// Byzantine behavior. It uses the trim protocol, whose views stay maximally
+// divergent under the split-views scheduler, so the geometric halving is
+// visible round by round (the witness protocol's views are near-identical
+// once its reports align, so it collapses in about one round — E2 covers
+// it).
+func E5Trajectories() (*trace.Table, error) {
+	n, t := 15, 2
+	p := core.Params{Protocol: core.ProtoByzTrim, N: n, T: t, Eps: 1e-3, Lo: 0, Hi: 1}
+	rounds, err := p.FixedRounds()
+	if err != nil {
+		return nil, err
+	}
+	behaviors := fault.Suite(0, 1)
+	cols := []string{"round"}
+	for _, b := range behaviors {
+		cols = append(cols, b.Name())
+	}
+	tbl := trace.NewTable("E5: honest diameter by round under each Byzantine behavior (byztrim-aa, n=15 t=2, splitviews scheduler)", cols...)
+	series := make([][]float64, len(behaviors))
+	for i, b := range behaviors {
+		rep, err := Run(Spec{
+			Params:           p,
+			Inputs:           BimodalInputs(n, 0, 1),
+			Scheduler:        stdSchedule(n),
+			Byz:              byzAssign(t, b),
+			Seed:             9,
+			RecordTrajectory: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !rep.OK() {
+			return nil, fmt.Errorf("E5 %s: %s", b.Name(), rep.Failure())
+		}
+		series[i] = sampleTrajectory(rep, rounds)
+	}
+	for r := 0; r <= rounds; r++ {
+		row := []string{trace.I(r)}
+		for i := range behaviors {
+			row = append(row, trace.F(series[i][r]))
+		}
+		tbl.AddRow(row...)
+	}
+	// Figure form: each column as a decay sparkline.
+	figure := []string{"figure"}
+	for i := range behaviors {
+		figure = append(figure, trace.Sparkline(series[i]))
+	}
+	tbl.AddRow(figure...)
+	return tbl, nil
+}
+
+// sampleTrajectory resamples a trajectory at uniform round marks using the
+// run's measured max honest delay as the round unit.
+func sampleTrajectory(rep *Report, rounds int) []float64 {
+	out := make([]float64, rounds+1)
+	delta := rep.Result.MaxHonestDelay
+	if delta == 0 {
+		delta = 1
+	}
+	// The witness protocol needs several delays per protocol round (RBC is
+	// multi-phase); scale time so the final sample lands on the last round.
+	total := rep.Result.FinishTime
+	cur := rep.InitialSpread
+	j := 0
+	for r := 0; r <= rounds; r++ {
+		limit := sim.Time(float64(total) * float64(r) / float64(rounds))
+		for j < len(rep.Trajectory) && rep.Trajectory[j].Time <= limit {
+			cur = rep.Trajectory[j].Diameter
+			j++
+		}
+		out[r] = cur
+	}
+	return out
+}
+
+// --- E6: scaling ---
+
+// E6Scaling sweeps n at the maximum witness fault ratio and reports
+// virtual-time, message, and byte scaling for all three protocols.
+func E6Scaling() (*trace.Table, error) {
+	return E6ScalingSizes([]int{8, 16, 32, 64})
+}
+
+// E6ScalingSizes is E6Scaling with a custom size sweep (the benchmark suite
+// uses smaller sizes to keep iteration time sane).
+func E6ScalingSizes(sizes []int) (*trace.Table, error) {
+	tbl := trace.NewTable("E6: scaling with n (eps=1e-3, inputs linear over [0,1], random scheduler)",
+		"protocol", "n", "t", "virt-rounds", "msgs", "bytes", "deliveries", "ok")
+	for _, proto := range []core.Protocol{core.ProtoCrash, core.ProtoByzTrim, core.ProtoWitness} {
+		for _, n := range sizes {
+			t := maxT(proto, n)
+			p := core.Params{Protocol: proto, N: n, T: t, Eps: 1e-3, Lo: 0, Hi: 1}
+			rep, err := Run(Spec{
+				Params:    p,
+				Inputs:    LinearInputs(n, 0, 1),
+				Scheduler: sched.Named{Name: "random", Scheduler: &sched.UniformRandom{Min: 1, Max: 10}},
+				Seed:      13,
+				MaxEvents: 20_000_000,
+			})
+			if err != nil {
+				return nil, err
+			}
+			tbl.AddRow(p.Protocol.String(), trace.I(n), trace.I(t),
+				trace.F(rep.Result.Rounds()), trace.I(rep.Result.Stats.MessagesSent),
+				trace.I(rep.Result.Stats.BytesSent), trace.I(rep.Result.Stats.MessagesDelivered),
+				trace.B(rep.OK()))
+		}
+	}
+	return tbl, nil
+}
+
+// --- E7: approximation-function ablation ---
+
+// E7Functions compares approximation functions in the crash protocol: the
+// single-round adversarial-search contraction and whether end-to-end runs
+// meet the eps deadline within the default (halving) round budget.
+func E7Functions(seeds int) (*trace.Table, error) {
+	n, t := 10, 4
+	tbl := trace.NewTable("E7: approximation-function ablation (crash-aa, n=10 t=4, round budget assumes gamma=0.5)",
+		"function", "search-1round", "measured-e2e", "eps-met", "note")
+	funcs := []struct {
+		fn   multiset.Func
+		note string
+	}{
+		{multiset.MidExtremes{}, "default; provable halving"},
+		{multiset.MidExtremes{Trim: 2}, "trimmed midpoint"},
+		{multiset.TrimmedMean{Trim: 0}, "plain mean of quorum"},
+		{multiset.TrimmedMean{Trim: 2}, "mean of 2-trimmed quorum"},
+		{multiset.Median{}, "no contraction guarantee"},
+		{multiset.SelectDouble{Trim: 1, K: 2}, "DLPSW select family"},
+	}
+	for _, fc := range funcs {
+		p := core.Params{Protocol: core.ProtoCrash, N: n, T: t, Eps: 1e-3, Lo: 0, Hi: 1,
+			Func: fc.fn, Gamma: 0.5}
+		inputs := BimodalInputs(n, 0, 1)
+		out, err := sweep(p, inputs, maxCrashes(n, t), nil, seeds)
+		if err != nil {
+			return nil, err
+		}
+		search, err := multiset.WorstContraction(fc.fn, multiset.ViewModel{N: n, T: t}, 4000, 11)
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(fc.fn.Name(), trace.F(search.Gamma), trace.F(out.worstGammaEff),
+			trace.B(out.allOK), fc.note)
+	}
+	return tbl, nil
+}
+
+// --- E8: adaptive vs fixed termination ---
+
+// E8Adaptive compares fixed-range and adaptive termination on a workload
+// whose true spread (10) is far below the promised range (1e6): adaptive
+// mode should finish in a fraction of the rounds. It also stresses adaptive
+// mode with crash-truncated multicasts and skewed scheduling, where its
+// guarantee is only conditional.
+func E8Adaptive(seeds int) (*trace.Table, error) {
+	n, t := 10, 4
+	tbl := trace.NewTable("E8: adaptive vs fixed-range termination (crash-aa, n=10 t=4, eps=1e-3, range [0,1e6], true spread 10)",
+		"mode", "scheduler", "rounds", "msgs", "final-spread", "eps-met")
+	inputs := LinearInputs(n, 0, 10)
+	for _, adaptive := range []bool{false, true} {
+		for _, sc := range sched.Suite(n, t) {
+			worstRounds, worstMsgs, worstSpread := 0.0, 0, 0.0
+			ok := true
+			for seed := int64(0); seed < int64(seeds); seed++ {
+				p := core.Params{Protocol: core.ProtoCrash, N: n, T: t, Eps: 1e-3,
+					Lo: 0, Hi: 1e6, Adaptive: adaptive}
+				rep, err := Run(Spec{
+					Params:    p,
+					Inputs:    inputs,
+					Scheduler: sc,
+					Crashes:   maxCrashes(n, t),
+					Seed:      seed*104729 + 7,
+				})
+				if err != nil {
+					return nil, err
+				}
+				worstRounds = math.Max(worstRounds, rep.Result.Rounds())
+				if rep.Result.Stats.MessagesSent > worstMsgs {
+					worstMsgs = rep.Result.Stats.MessagesSent
+				}
+				worstSpread = math.Max(worstSpread, rep.FinalSpread)
+				ok = ok && rep.OK()
+			}
+			mode := "fixed"
+			if adaptive {
+				mode = "adaptive"
+			}
+			tbl.AddRow(mode, sc.Name, trace.F(worstRounds), trace.I(worstMsgs),
+				trace.F(worstSpread), trace.B(ok))
+		}
+	}
+	return tbl, nil
+}
+
+// --- E9: attack effectiveness ---
+
+// E9Attacks measures what each Byzantine behavior costs the two Byzantine
+// protocols: the worst final spread and whether all invariants held.
+func E9Attacks(seeds int) (*trace.Table, error) {
+	tbl := trace.NewTable("E9: Byzantine strategy effectiveness (bimodal inputs over [0,1], eps=1e-3)",
+		"behavior", "protocol", "n", "t", "worst-final-spread", "all-ok", "first-failure")
+	cases := []struct {
+		proto core.Protocol
+		n, t  int
+	}{
+		{core.ProtoByzTrim, 15, 2},
+		{core.ProtoWitness, 10, 3},
+	}
+	for _, b := range fault.Suite(0, 1) {
+		for _, c := range cases {
+			p := core.Params{Protocol: c.proto, N: c.n, T: c.t, Eps: 1e-3, Lo: 0, Hi: 1}
+			out, err := sweep(p, BimodalInputs(c.n, 0, 1), nil, byzAssign(c.t, b), seeds)
+			if err != nil {
+				return nil, err
+			}
+			fail := "-"
+			if !out.allOK {
+				fail = out.firstFailure
+			}
+			tbl.AddRow(b.Name(), p.Protocol.String(), trace.I(c.n), trace.I(c.t),
+				trace.F(out.worstSpread), trace.B(out.allOK), fail)
+		}
+	}
+	return tbl, nil
+}

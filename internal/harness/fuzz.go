@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// FuzzResult summarizes a randomized adversarial search.
+type FuzzResult struct {
+	// Trials is the number of executions performed.
+	Trials int
+	// Violations describes every invariant violation found (empty on a
+	// healthy protocol suite).
+	Violations []string
+	// ByProtocol counts trials per protocol.
+	ByProtocol map[string]int
+	// Rounds and Messages summarize the per-trial execution costs.
+	Rounds, Messages trace.Summary
+}
+
+// Fuzz runs `trials` randomized executions: random protocol, random legal
+// (n, t), random scheduler parameters, random crash timings and Byzantine
+// behavior assignments, random input shapes — asserting the liveness,
+// validity, and ε-agreement invariants on each. It is the search a
+// reviewer would run overnight; the unit suite runs a small budget.
+//
+// Adaptive-mode ε-agreement is conditional by design (DESIGN.md), so
+// adaptive trials assert only liveness and validity.
+func Fuzz(trials int, seed int64) (*FuzzResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	res := &FuzzResult{ByProtocol: map[string]int{}}
+	var rounds, messages []float64
+	for i := 0; i < trials; i++ {
+		spec, adaptive, desc := randomSpec(rng)
+		rep, err := Run(spec)
+		if err != nil {
+			return res, fmt.Errorf("fuzz trial %d (%s): %w", i, desc, err)
+		}
+		res.Trials++
+		res.ByProtocol[spec.Params.Protocol.String()]++
+		rounds = append(rounds, rep.Result.Rounds())
+		messages = append(messages, float64(rep.Result.Stats.MessagesSent))
+		bad := false
+		if rep.RunErr != nil || len(rep.ProtoErrs) > 0 || !rep.ValidityOK {
+			bad = true
+		}
+		if !adaptive && !rep.AgreementOK {
+			bad = true
+		}
+		if bad {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("trial %d: %s: %s", i, desc, rep.Failure()))
+		}
+	}
+	res.Rounds = trace.Summarize(rounds)
+	res.Messages = trace.Summarize(messages)
+	return res, nil
+}
+
+// randomSpec draws one legal adversarial configuration.
+func randomSpec(rng *rand.Rand) (Spec, bool, string) {
+	protos := []core.Protocol{core.ProtoCrash, core.ProtoCrash, core.ProtoByzTrim, core.ProtoWitness}
+	proto := protos[rng.Intn(len(protos))]
+	var n, t int
+	switch proto {
+	case core.ProtoCrash:
+		t = 1 + rng.Intn(4)
+		n = 2*t + 1 + rng.Intn(4)
+	case core.ProtoByzTrim:
+		t = 1 + rng.Intn(2)
+		n = 7*t + 1 + rng.Intn(3)
+	default:
+		t = 1 + rng.Intn(3)
+		n = 3*t + 1 + rng.Intn(3)
+	}
+	adaptive := proto == core.ProtoCrash && rng.Intn(4) == 0
+	lo := -100 + 200*rng.Float64()
+	hi := lo + 200*rng.Float64() + 1e-6
+	p := core.Params{
+		Protocol: proto,
+		N:        n,
+		T:        t,
+		Eps:      []float64{1e-1, 1e-2, 1e-3}[rng.Intn(3)],
+		Lo:       lo,
+		Hi:       hi,
+		Adaptive: adaptive,
+	}
+
+	var inputs []float64
+	inputKind := rng.Intn(4)
+	switch inputKind {
+	case 0:
+		inputs = LinearInputs(n, lo, hi)
+	case 1:
+		inputs = BimodalInputs(n, lo, hi)
+	case 2:
+		inputs = OutlierInputs(n, lo, hi)
+	default:
+		inputs = UniformInputs(n, lo, hi, rng.Int63())
+	}
+
+	scheds := sched.Suite(n, t)
+	scheds = append(scheds, sched.Named{
+		Name:      "heavytail",
+		Scheduler: &sched.HeavyTail{Base: 1, Alpha: 1.2 + rng.Float64(), Cap: 400},
+	})
+	sc := scheds[rng.Intn(len(scheds))]
+
+	spec := Spec{
+		Params:    p,
+		Inputs:    inputs,
+		Scheduler: sc,
+		Seed:      rng.Int63(),
+	}
+	var faults []string
+	budget := rng.Intn(t + 1)
+	if proto == core.ProtoCrash {
+		for i := 0; i < budget; i++ {
+			after := rng.Intn(4 * n * 3)
+			spec.Crashes = append(spec.Crashes, sim.CrashPlan{
+				Party:      sim.PartyID(i),
+				AfterSends: after,
+			})
+			faults = append(faults, fmt.Sprintf("crash%d@%d", i, after))
+		}
+	} else {
+		suite := fault.Suite(lo, hi)
+		for i := 0; i < budget; i++ {
+			b := suite[rng.Intn(len(suite))]
+			if spec.Byz == nil {
+				spec.Byz = map[sim.PartyID]fault.Behavior{}
+			}
+			spec.Byz[sim.PartyID(i)] = b
+			faults = append(faults, fmt.Sprintf("byz%d:%s", i, b.Name()))
+		}
+	}
+	desc := fmt.Sprintf("%s n=%d t=%d eps=%g adaptive=%v sched=%s inputs=%d faults=[%s] seed=%d",
+		p.Protocol, n, t, p.Eps, adaptive, sc.Name, inputKind, strings.Join(faults, ","), spec.Seed)
+	return spec, adaptive, desc
+}

@@ -1,0 +1,45 @@
+package harness
+
+import "testing"
+
+// TestFuzzBudget runs a randomized adversarial search; any violation is a
+// genuine protocol bug.
+func TestFuzzBudget(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	res, err := Fuzz(trials, 20260613)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != trials {
+		t.Errorf("ran %d trials, want %d", res.Trials, trials)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if len(res.ByProtocol) < 2 {
+		t.Errorf("poor protocol coverage: %v", res.ByProtocol)
+	}
+}
+
+// TestFuzzDeterministic: the same seed explores the same configurations.
+func TestFuzzDeterministic(t *testing.T) {
+	a, err := Fuzz(10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fuzz(10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trials != b.Trials || len(a.Violations) != len(b.Violations) {
+		t.Error("fuzz not deterministic per seed")
+	}
+	for proto, count := range a.ByProtocol {
+		if b.ByProtocol[proto] != count {
+			t.Errorf("protocol mix differs: %v vs %v", a.ByProtocol, b.ByProtocol)
+		}
+	}
+}

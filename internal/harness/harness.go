@@ -1,0 +1,332 @@
+// Package harness assembles protocols, schedulers, fault plans, and input
+// generators into runnable experiments, checks the agreement/validity
+// invariants after every run, and implements the experiment drivers (E1–E9
+// in DESIGN.md) behind cmd/aabench and the root benchmark suite.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/multiset"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Spec describes one execution.
+type Spec struct {
+	// Params are the protocol parameters (shared by all parties).
+	Params core.Params
+	// Inputs holds one input per party, indexed by PartyID. Entries for
+	// Byzantine parties are ignored.
+	Inputs []float64
+	// Scheduler orders deliveries.
+	Scheduler sched.Named
+	// Crashes and Byz assign faults; together they must not exceed
+	// Params.T (checked).
+	Crashes []sim.CrashPlan
+	Byz     map[sim.PartyID]fault.Behavior
+	// Seed drives all randomness in the run.
+	Seed int64
+	// RecordTrajectory enables diameter-over-time sampling.
+	RecordTrajectory bool
+	// MaxEvents overrides the simulator's default event budget.
+	MaxEvents int
+	// allowOverfault disables the faults<=T guard; only the resilience
+	// overload experiment sets it, to demonstrate what breaks past the
+	// bound.
+	allowOverfault bool
+}
+
+// TrajPoint is one sample of the honest-value diameter over virtual time.
+type TrajPoint struct {
+	Time     sim.Time
+	Diameter float64
+}
+
+// Report is the checked outcome of one run.
+type Report struct {
+	Result *sim.Result
+	// RunErr is the simulator's verdict (nil, ErrStalled, ErrEventBudget).
+	RunErr error
+	// ProtoErrs collects internal protocol errors per party.
+	ProtoErrs []error
+	// HullLo and HullHi bound the non-Byzantine inputs: the validity hull.
+	HullLo, HullHi float64
+	// InitialSpread is the diameter of the non-faulty inputs.
+	InitialSpread float64
+	// FinalSpread is the diameter of the non-faulty outputs.
+	FinalSpread float64
+	// ValidityOK reports whether every honest output is inside the hull.
+	ValidityOK bool
+	// AgreementOK reports whether FinalSpread <= eps (with float slack).
+	AgreementOK bool
+	// Trajectory holds diameter samples if requested.
+	Trajectory []TrajPoint
+}
+
+// OK reports overall success: live, valid, and ε-agreed.
+func (r *Report) OK() bool {
+	return r.RunErr == nil && len(r.ProtoErrs) == 0 && r.ValidityOK && r.AgreementOK
+}
+
+// Failure summarizes what went wrong, for test messages.
+func (r *Report) Failure() string {
+	switch {
+	case r.RunErr != nil:
+		return fmt.Sprintf("run error: %v", r.RunErr)
+	case len(r.ProtoErrs) > 0:
+		return fmt.Sprintf("protocol error: %v", r.ProtoErrs[0])
+	case !r.ValidityOK:
+		return fmt.Sprintf("validity violated: outputs %v outside hull [%v, %v]",
+			r.Result.HonestDecisions(), r.HullLo, r.HullHi)
+	case !r.AgreementOK:
+		return fmt.Sprintf("agreement violated: spread %v > eps", r.FinalSpread)
+	default:
+		return "ok"
+	}
+}
+
+// errTooManyFaults guards the spec.
+var errTooManyFaults = errors.New("harness: fault assignments exceed params.T")
+
+// Run executes a spec and checks the invariants.
+func Run(spec Spec) (*Report, error) {
+	p := spec.Params
+	if len(spec.Inputs) != p.N {
+		return nil, fmt.Errorf("harness: %d inputs for %d parties", len(spec.Inputs), p.N)
+	}
+	if !spec.allowOverfault && len(spec.Crashes)+len(spec.Byz) > p.T {
+		return nil, errTooManyFaults
+	}
+	env, err := behaviorEnv(p)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.Config{
+		N:         p.N,
+		Scheduler: spec.Scheduler.Scheduler,
+		Seed:      spec.Seed,
+		Crashes:   spec.Crashes,
+		MaxEvents: spec.MaxEvents,
+	}
+	if len(spec.Byz) > 0 {
+		cfg.Byzantine = make(map[sim.PartyID]sim.Process, len(spec.Byz))
+		for id, b := range spec.Byz {
+			cfg.Byzantine[id] = b.New(env)
+		}
+	}
+	net, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	estimators := make(map[sim.PartyID]sim.Estimator, p.N)
+	for i := 0; i < p.N; i++ {
+		id := sim.PartyID(i)
+		if _, isByz := spec.Byz[id]; isByz {
+			continue
+		}
+		proc, err := newParty(p, spec.Inputs[i])
+		if err != nil {
+			return nil, fmt.Errorf("harness: party %d: %w", i, err)
+		}
+		if err := net.SetProcess(id, proc); err != nil {
+			return nil, err
+		}
+		if est, ok := proc.(sim.Estimator); ok && !isCrashPlanned(spec.Crashes, id) {
+			estimators[id] = est
+		}
+	}
+	rep := &Report{}
+	if spec.RecordTrajectory {
+		last := math.Inf(1)
+		net.SetObserver(func(now sim.Time, _ sim.Envelope) {
+			d, ok := honestDiameter(estimators)
+			if !ok {
+				return
+			}
+			if d != last {
+				rep.Trajectory = append(rep.Trajectory, TrajPoint{Time: now, Diameter: d})
+				last = d
+			}
+		})
+	}
+	res, runErr := net.Run()
+	rep.Result = res
+	rep.RunErr = runErr
+	for i := 0; i < p.N; i++ {
+		id := sim.PartyID(i)
+		if ef, ok := net.Party(id).(interface{ Err() error }); ok {
+			if _, isByz := spec.Byz[id]; !isByz {
+				if perr := ef.Err(); perr != nil {
+					rep.ProtoErrs = append(rep.ProtoErrs, fmt.Errorf("party %d: %w", i, perr))
+				}
+			}
+		}
+	}
+	rep.check(spec)
+	return rep, nil
+}
+
+// check fills the invariant verdicts.
+func (r *Report) check(spec Spec) {
+	p := spec.Params
+	// Validity hull: inputs of every non-Byzantine party. Crashed parties
+	// never lie, so their inputs legitimately enter the computation.
+	r.HullLo, r.HullHi = math.Inf(1), math.Inf(-1)
+	for i := 0; i < p.N; i++ {
+		if _, isByz := spec.Byz[sim.PartyID(i)]; isByz {
+			continue
+		}
+		v := spec.Inputs[i]
+		r.HullLo = math.Min(r.HullLo, v)
+		r.HullHi = math.Max(r.HullHi, v)
+	}
+	var honestInputs []float64
+	for _, id := range r.Result.Honest {
+		honestInputs = append(honestInputs, spec.Inputs[id])
+	}
+	r.InitialSpread = multiset.Spread(honestInputs)
+	r.FinalSpread = r.Result.HonestSpread()
+
+	tol := 1e-9 * math.Max(1, math.Max(math.Abs(r.HullLo), math.Abs(r.HullHi)))
+	r.ValidityOK = true
+	for _, id := range r.Result.Honest {
+		y, ok := r.Result.Decisions[id]
+		if !ok {
+			r.ValidityOK = false
+			continue
+		}
+		if y < r.HullLo-tol || y > r.HullHi+tol {
+			r.ValidityOK = false
+		}
+	}
+	r.AgreementOK = r.FinalSpread <= p.Eps+tol
+}
+
+// newParty instantiates the right protocol for the params.
+func newParty(p core.Params, input float64) (sim.Process, error) {
+	switch p.Protocol {
+	case core.ProtoCrash, core.ProtoByzTrim:
+		return core.NewAsyncAA(p, input)
+	case core.ProtoWitness:
+		return core.NewWitnessAA(p, input)
+	case core.ProtoSync:
+		return core.NewSyncAA(p, input)
+	default:
+		return nil, fmt.Errorf("harness: unknown protocol %v", p.Protocol)
+	}
+}
+
+// behaviorEnv derives what Byzantine behaviors are told about the run.
+func behaviorEnv(p core.Params) (fault.Env, error) {
+	env := fault.Env{N: p.N, Lo: p.Lo, Hi: p.Hi}
+	if p.Adaptive {
+		// Behaviors still need a horizon to script against; give them a
+		// generous one.
+		env.Rounds = 128
+		return env, nil
+	}
+	r, err := p.FixedRounds()
+	if err != nil {
+		return env, err
+	}
+	env.Rounds = r
+	return env, nil
+}
+
+func isCrashPlanned(crashes []sim.CrashPlan, id sim.PartyID) bool {
+	for _, c := range crashes {
+		if c.Party == id {
+			return true
+		}
+	}
+	return false
+}
+
+// honestDiameter computes the diameter of the current estimates.
+func honestDiameter(est map[sim.PartyID]sim.Estimator) (float64, bool) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, e := range est {
+		v, ok := e.Estimate()
+		if !ok {
+			continue
+		}
+		any = true
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if !any {
+		return 0, false
+	}
+	return hi - lo, true
+}
+
+// --- Input generators ---
+
+// LinearInputs spreads n inputs evenly across [lo, hi] in party order. The
+// interpolation is clamped: lo + (hi−lo)·1.0 can exceed hi by one ulp in
+// floating point, which a protocol's range check rightly rejects (found by
+// the fuzz harness).
+func LinearInputs(n int, lo, hi float64) []float64 {
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = lo
+		return out
+	}
+	for i := range out {
+		v := lo + (hi-lo)*float64(i)/float64(n-1)
+		out[i] = math.Min(math.Max(v, lo), hi)
+	}
+	return out
+}
+
+// BimodalInputs gives the low half of the parties lo and the high half hi —
+// the worst case for the split-views scheduler.
+func BimodalInputs(n int, lo, hi float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if i >= n/2 {
+			out[i] = hi
+		} else {
+			out[i] = lo
+		}
+	}
+	return out
+}
+
+// UniformInputs draws n inputs uniformly from [lo, hi].
+func UniformInputs(n int, lo, hi float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return out
+}
+
+// OutlierInputs puts one party at lo and everyone else at hi: the spread is
+// carried by a single party, the hardest case for adaptive estimation.
+func OutlierInputs(n int, lo, hi float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = hi
+	}
+	if n > 0 {
+		out[0] = lo
+	}
+	return out
+}
+
+// SortedCopy is a convenience for tests.
+func SortedCopy(v []float64) []float64 {
+	out := append([]float64(nil), v...)
+	sort.Float64s(out)
+	return out
+}

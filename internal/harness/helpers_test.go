@@ -1,0 +1,15 @@
+package harness
+
+import (
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// byzMap assigns the Equivocate behavior to the listed parties.
+func byzMap(ids ...sim.PartyID) map[sim.PartyID]fault.Behavior {
+	m := make(map[sim.PartyID]fault.Behavior, len(ids))
+	for _, id := range ids {
+		m[id] = fault.Equivocate{Stretch: 2}
+	}
+	return m
+}

@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestSmokeCrash(t *testing.T) {
+	p := core.Params{Protocol: core.ProtoCrash, N: 7, T: 3, Eps: 1e-3, Lo: 0, Hi: 100}
+	rep, err := Run(Spec{
+		Params:    p,
+		Inputs:    LinearInputs(7, 0, 100),
+		Scheduler: sched.Named{Name: "random", Scheduler: &sched.UniformRandom{Min: 1, Max: 10}},
+		Crashes:   []sim.CrashPlan{{Party: 0, AfterSends: 3}, {Party: 1, AfterSends: 20}},
+		Seed:      42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("crash run failed: %s", rep.Failure())
+	}
+	t.Logf("crash: spread %g rounds %.1f msgs %d", rep.FinalSpread, rep.Result.Rounds(), rep.Result.Stats.MessagesSent)
+}
+
+func TestSmokeWitness(t *testing.T) {
+	p := core.Params{Protocol: core.ProtoWitness, N: 7, T: 2, Eps: 1e-3, Lo: 0, Hi: 100}
+	rep, err := Run(Spec{
+		Params:    p,
+		Inputs:    LinearInputs(7, 0, 100),
+		Scheduler: sched.Named{Name: "splitviews", Scheduler: &sched.SplitViews{Boundary: 3, Fast: 1, Slow: 10}},
+		Byz:       byzMap(0, 1),
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("witness run failed: %s", rep.Failure())
+	}
+	t.Logf("witness: spread %g rounds %.1f msgs %d", rep.FinalSpread, rep.Result.Rounds(), rep.Result.Stats.MessagesSent)
+}

@@ -1,0 +1,232 @@
+// Package livenet runs the same protocol state machines as the simulator on
+// a real concurrent runtime: one goroutine per party, channel transports,
+// and wall-clock timers with random message jitter. It is the
+// production-shaped deployment path — the discrete-event simulator proves
+// properties under adversarial schedules, livenet demonstrates the code
+// running under genuine concurrency.
+//
+// Each party's process is driven by a single goroutine, so process
+// implementations need no internal locking (the same single-threaded
+// contract the simulator provides).
+package livenet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Options configures a live run.
+type Options struct {
+	// MaxJitter is the maximum random delivery delay per message
+	// (default 2ms). Zero jitter still yields nondeterministic ordering
+	// from goroutine scheduling.
+	MaxJitter time.Duration
+	// Tick converts protocol timer ticks (sim.Time) to wall time
+	// (default 1ms per tick).
+	Tick time.Duration
+	// Seed drives jitter randomness.
+	Seed int64
+	// WaitFor is how many parties must decide before the run completes
+	// (default: all).
+	WaitFor int
+	// InboxDepth is the per-party channel buffer (default 4096).
+	InboxDepth int
+}
+
+// Result of a live run.
+type Result struct {
+	// Decisions maps party index to output for every party that decided.
+	Decisions map[sim.PartyID]float64
+	// Elapsed is the wall time from start to the WaitFor-th decision.
+	Elapsed time.Duration
+	// Messages counts point-to-point sends.
+	Messages int64
+}
+
+// ErrTimeout is returned when the context expires before enough parties
+// decide.
+var ErrTimeout = errors.New("livenet: context done before enough parties decided")
+
+type item struct {
+	from  sim.PartyID
+	data  []byte
+	timer bool
+	tag   uint64
+}
+
+type network struct {
+	opts     Options
+	inboxes  []chan item
+	ctx      context.Context
+	cancel   context.CancelFunc
+	messages atomic.Int64
+
+	mu        sync.Mutex
+	decisions map[sim.PartyID]float64
+	want      int
+	doneCh    chan struct{}
+	doneOnce  sync.Once
+}
+
+type liveAPI struct {
+	net *network
+	id  sim.PartyID
+	rng *rand.Rand
+}
+
+var _ sim.API = (*liveAPI)(nil)
+
+func (a *liveAPI) ID() sim.PartyID  { return a.id }
+func (a *liveAPI) N() int           { return len(a.net.inboxes) }
+func (a *liveAPI) Rand() *rand.Rand { return a.rng }
+
+func (a *liveAPI) Send(to sim.PartyID, data []byte) {
+	if to < 0 || int(to) >= len(a.net.inboxes) {
+		return
+	}
+	a.net.messages.Add(1)
+	// Copy so the sender may reuse its buffer after Send returns.
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	msg := item{from: a.id, data: buf}
+	jitter := time.Duration(0)
+	if a.net.opts.MaxJitter > 0 {
+		jitter = time.Duration(a.rng.Int63n(int64(a.net.opts.MaxJitter)))
+	}
+	net := a.net
+	time.AfterFunc(jitter, func() {
+		select {
+		case net.inboxes[to] <- msg:
+		case <-net.ctx.Done():
+		}
+	})
+}
+
+func (a *liveAPI) Multicast(data []byte) {
+	for to := range a.net.inboxes {
+		a.Send(sim.PartyID(to), data)
+	}
+}
+
+func (a *liveAPI) SetTimer(delay sim.Time, tag uint64) {
+	net := a.net
+	id := a.id
+	d := time.Duration(delay) * net.opts.Tick
+	time.AfterFunc(d, func() {
+		select {
+		case net.inboxes[id] <- item{timer: true, tag: tag}:
+		case <-net.ctx.Done():
+		}
+	})
+}
+
+func (a *liveAPI) Decide(value float64) {
+	net := a.net
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	if _, dup := net.decisions[a.id]; dup {
+		return
+	}
+	net.decisions[a.id] = value
+	if len(net.decisions) >= net.want {
+		net.doneOnce.Do(func() { close(net.doneCh) })
+	}
+}
+
+// Run drives the processes until WaitFor of them decide or the context
+// expires. Each process is owned by exactly one goroutine.
+func Run(ctx context.Context, procs []sim.Process, opts Options) (*Result, error) {
+	if len(procs) == 0 {
+		return nil, errors.New("livenet: no processes")
+	}
+	for i, p := range procs {
+		if p == nil {
+			return nil, fmt.Errorf("livenet: nil process at index %d", i)
+		}
+	}
+	if opts.MaxJitter == 0 {
+		opts.MaxJitter = 2 * time.Millisecond
+	}
+	if opts.Tick == 0 {
+		opts.Tick = time.Millisecond
+	}
+	if opts.WaitFor <= 0 || opts.WaitFor > len(procs) {
+		opts.WaitFor = len(procs)
+	}
+	if opts.InboxDepth <= 0 {
+		opts.InboxDepth = 4096
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	net := &network{
+		opts:      opts,
+		inboxes:   make([]chan item, len(procs)),
+		ctx:       runCtx,
+		cancel:    cancel,
+		decisions: make(map[sim.PartyID]float64, len(procs)),
+		want:      opts.WaitFor,
+		doneCh:    make(chan struct{}),
+	}
+	for i := range net.inboxes {
+		net.inboxes[i] = make(chan item, opts.InboxDepth)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, proc := range procs {
+		wg.Add(1)
+		go func(id sim.PartyID, p sim.Process) {
+			defer wg.Done()
+			api := &liveAPI{
+				net: net,
+				id:  id,
+				rng: rand.New(rand.NewSource(opts.Seed ^ (int64(id+1) * 0x5851F42D4C957F2D))),
+			}
+			p.Init(api)
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case it := <-net.inboxes[id]:
+					if it.timer {
+						if th, ok := p.(sim.TimerHandler); ok {
+							th.OnTimer(it.tag)
+						}
+						continue
+					}
+					p.Deliver(it.from, it.data)
+				}
+			}
+		}(sim.PartyID(i), proc)
+	}
+
+	var err error
+	select {
+	case <-net.doneCh:
+	case <-ctx.Done():
+		err = fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+	}
+	elapsed := time.Since(start)
+	cancel()
+	wg.Wait()
+
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	res := &Result{
+		Decisions: make(map[sim.PartyID]float64, len(net.decisions)),
+		Elapsed:   elapsed,
+		Messages:  net.messages.Load(),
+	}
+	for id, v := range net.decisions {
+		res.Decisions[id] = v
+	}
+	return res, err
+}

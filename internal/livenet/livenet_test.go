@@ -1,0 +1,131 @@
+package livenet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func crashProcs(t *testing.T, n, faults int, inputs []float64) []sim.Process {
+	t.Helper()
+	p := core.Params{Protocol: core.ProtoCrash, N: n, T: faults, Eps: 1e-3, Lo: 0, Hi: 1}
+	procs := make([]sim.Process, n)
+	for i := range procs {
+		proc, err := core.NewAsyncAA(p, inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = proc
+	}
+	return procs
+}
+
+func TestLiveAgreement(t *testing.T) {
+	inputs := []float64{0, 0.3, 0.5, 0.7, 1}
+	procs := crashProcs(t, 5, 2, inputs)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := Run(ctx, procs, Options{MaxJitter: 300 * time.Microsecond, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) != 5 {
+		t.Fatalf("decisions: %v", res.Decisions)
+	}
+	lo, hi := 2.0, -1.0
+	for _, v := range res.Decisions {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi-lo > 1e-3 {
+		t.Errorf("spread %v > eps", hi-lo)
+	}
+	if lo < 0 || hi > 1 {
+		t.Errorf("validity violated: [%v, %v]", lo, hi)
+	}
+	if res.Messages == 0 {
+		t.Error("no messages counted")
+	}
+	if res.Elapsed <= 0 {
+		t.Error("no elapsed time")
+	}
+}
+
+func TestLiveWaitFor(t *testing.T) {
+	// One party never decides (a stuck process); WaitFor=4 must still
+	// complete.
+	inputs := []float64{0, 0.25, 0.5, 0.75, 1}
+	procs := crashProcs(t, 5, 2, inputs)
+	procs[4] = stuckProc{}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := Run(ctx, procs, Options{WaitFor: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) < 4 {
+		t.Fatalf("only %d decisions", len(res.Decisions))
+	}
+}
+
+// stuckProc never sends or decides.
+type stuckProc struct{}
+
+func (stuckProc) Init(sim.API)                {}
+func (stuckProc) Deliver(sim.PartyID, []byte) {}
+
+func TestLiveTimeout(t *testing.T) {
+	procs := []sim.Process{stuckProc{}, stuckProc{}}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := Run(ctx, procs, Options{})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestLiveValidation(t *testing.T) {
+	if _, err := Run(context.Background(), nil, Options{}); err == nil {
+		t.Error("empty process list accepted")
+	}
+	if _, err := Run(context.Background(), []sim.Process{nil}, Options{}); err == nil {
+		t.Error("nil process accepted")
+	}
+}
+
+func TestLiveTimers(t *testing.T) {
+	// A process that decides only when its timer fires.
+	done := &timerProc{}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := Run(ctx, []sim.Process{done}, Options{Tick: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decisions[0] != 42 {
+		t.Errorf("decision = %v", res.Decisions[0])
+	}
+}
+
+type timerProc struct{ api sim.API }
+
+func (p *timerProc) Init(api sim.API) {
+	p.api = api
+	api.SetTimer(5, 7)
+}
+
+func (p *timerProc) Deliver(sim.PartyID, []byte) {}
+
+func (p *timerProc) OnTimer(tag uint64) {
+	if tag == 7 {
+		p.api.Decide(42)
+	}
+}

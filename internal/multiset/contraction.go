@@ -1,0 +1,216 @@
+package multiset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ViewModel describes how an asynchronous adversary can shape two parties'
+// reception multisets in a single round.
+//
+// In the crash model there is a common pool of N genuine values (the current
+// values of all parties); each party receives an arbitrary (N−T)-subset.
+//
+// In the Byzantine model there are N−T honest values; each party's multiset
+// contains at least N−2T of them plus up to T values fabricated per-view
+// (Byzantine senders may equivocate, so the fabricated values need not be
+// consistent across views).
+type ViewModel struct {
+	N, T      int
+	Byzantine bool
+}
+
+// Validate checks the model parameters.
+func (vm ViewModel) Validate() error {
+	if vm.N < 1 || vm.T < 0 || vm.T >= vm.N {
+		return fmt.Errorf("multiset: view model n=%d t=%d invalid", vm.N, vm.T)
+	}
+	return nil
+}
+
+// ContractionReport is the outcome of an adversarial search over one round.
+type ContractionReport struct {
+	// Gamma is the largest observed |f(U)−f(W)| / spread(pool): a lower
+	// bound on the function's worst-case per-round contraction factor.
+	Gamma float64
+	// ValidityViolated is true if some view produced an output outside the
+	// convex hull of the genuine values.
+	ValidityViolated bool
+	// Trials is the number of (pool, view pair) configurations examined.
+	Trials int
+}
+
+// WorstContraction searches adversarially for the configuration of values
+// and reception sets that makes two parties' next-round values as far apart
+// as possible, relative to the current diameter. The search combines the
+// canonical structured worst case (one party sees the low end of the pool,
+// the other the high end, with Byzantine values pulling outward) with
+// randomized pools and subsets. The result is a lower bound on the true
+// worst case; EXPERIMENTS.md reports these numbers next to the provable
+// bounds.
+func WorstContraction(f Func, vm ViewModel, trials int, seed int64) (ContractionReport, error) {
+	if err := vm.Validate(); err != nil {
+		return ContractionReport{}, err
+	}
+	m := vm.N - vm.T // reception set size
+	if m < f.MinInputs() {
+		return ContractionReport{}, fmt.Errorf(
+			"multiset: view size %d below %s minimum %d", m, f.Name(), f.MinInputs())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rep := ContractionReport{}
+
+	consider := func(pool []float64, u, w []float64) error {
+		spread := Spread(pool)
+		if spread == 0 {
+			return nil
+		}
+		su, sw := Sorted(u), Sorted(w)
+		fu, err := f.Apply(su)
+		if err != nil {
+			return err
+		}
+		fw, err := f.Apply(sw)
+		if err != nil {
+			return err
+		}
+		lo, hi := minMax(pool)
+		if fu < lo-1e-12 || fu > hi+1e-12 || fw < lo-1e-12 || fw > hi+1e-12 {
+			rep.ValidityViolated = true
+		}
+		g := math.Abs(fu-fw) / spread
+		if g > rep.Gamma {
+			rep.Gamma = g
+		}
+		rep.Trials++
+		return nil
+	}
+
+	// The pool holds the genuine values a view can draw from: all n current
+	// values in the crash model, the n−t honest values under Byzantine
+	// faults (fabricated values are added per view, not pooled).
+	poolSize := vm.N
+	if vm.Byzantine {
+		poolSize = vm.N - vm.T
+	}
+
+	// Structured worst case: pool split between the extremes, one view takes
+	// the low end, the other the high end.
+	for split := 1; split < poolSize; split++ {
+		pool := make([]float64, poolSize)
+		for i := split; i < poolSize; i++ {
+			pool[i] = 1
+		}
+		u, w, err := vm.extremeViews(pool, m)
+		if err != nil {
+			return rep, err
+		}
+		if err := consider(pool, u, w); err != nil {
+			return rep, err
+		}
+	}
+
+	// Randomized search.
+	for i := 0; i < trials; i++ {
+		pool := make([]float64, poolSize)
+		for j := range pool {
+			switch rng.Intn(3) {
+			case 0:
+				pool[j] = 0
+			case 1:
+				pool[j] = 1
+			default:
+				pool[j] = rng.Float64()
+			}
+		}
+		u, err := vm.randomView(pool, m, rng)
+		if err != nil {
+			return rep, err
+		}
+		w, err := vm.randomView(pool, m, rng)
+		if err != nil {
+			return rep, err
+		}
+		if err := consider(pool, u, w); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// extremeViews builds the canonical adversarial view pair: view u prefers
+// the smallest pool values, view w the largest. In the Byzantine model the
+// pool holds the N−T honest values, each view takes N−2T of them plus T
+// fabricated extremes (far below for u, far above for w) — the exact shape
+// of a reception set under maximal equivocation.
+func (vm ViewModel) extremeViews(pool []float64, m int) (u, w []float64, err error) {
+	sorted := Sorted(pool)
+	if !vm.Byzantine {
+		if len(sorted) < m {
+			return nil, nil, fmt.Errorf("multiset: pool smaller than view")
+		}
+		u = append([]float64(nil), sorted[:m]...)
+		w = append([]float64(nil), sorted[len(sorted)-m:]...)
+		return u, w, nil
+	}
+	honest := m - vm.T
+	if len(sorted) < honest {
+		return nil, nil, fmt.Errorf("multiset: pool smaller than honest view part")
+	}
+	const out = 1e6
+	u = append([]float64(nil), sorted[:honest]...)
+	w = append([]float64(nil), sorted[len(sorted)-honest:]...)
+	for i := 0; i < vm.T; i++ {
+		u = append(u, -out)
+		w = append(w, out)
+	}
+	return u, w, nil
+}
+
+// randomView draws a view. In the crash model it is a random m-subset of
+// the n-value pool. In the Byzantine model the pool holds the N−T honest
+// values and the view takes m−b of them plus b <= T fabricated values.
+func (vm ViewModel) randomView(pool []float64, m int, rng *rand.Rand) ([]float64, error) {
+	b := 0
+	if vm.Byzantine {
+		b = rng.Intn(vm.T + 1)
+	}
+	honest := m - b
+	if honest > len(pool) {
+		honest = len(pool)
+	}
+	idx := rng.Perm(len(pool))[:honest]
+	sort.Ints(idx)
+	view := make([]float64, 0, m)
+	for _, j := range idx {
+		view = append(view, pool[j])
+	}
+	for i := 0; i < b; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			view = append(view, -1e6)
+		case 1:
+			view = append(view, 1e6)
+		case 2:
+			view = append(view, 0.5)
+		default:
+			view = append(view, rng.Float64())
+		}
+	}
+	return view, nil
+}
+
+func minMax(values []float64) (lo, hi float64) {
+	lo, hi = values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

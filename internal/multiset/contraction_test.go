@@ -1,0 +1,101 @@
+package multiset
+
+import (
+	"testing"
+)
+
+func TestViewModelValidate(t *testing.T) {
+	if err := (ViewModel{N: 5, T: 2}).Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, vm := range []ViewModel{{N: 0, T: 0}, {N: 3, T: 3}, {N: 3, T: -1}} {
+		if err := vm.Validate(); err == nil {
+			t.Errorf("%+v accepted", vm)
+		}
+	}
+}
+
+// The crash protocol's lemma: MidExtremes over intersecting (n−t)-views
+// never exceeds gamma = 1/2, and the structured split attack achieves
+// exactly 1/2.
+func TestCrashMidExtremesContraction(t *testing.T) {
+	for _, c := range []struct{ n, tFaults int }{{3, 1}, {5, 2}, {9, 4}, {13, 6}} {
+		rep, err := WorstContraction(MidExtremes{}, ViewModel{N: c.n, T: c.tFaults}, 3000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Gamma > 0.5+1e-9 {
+			t.Errorf("n=%d t=%d: gamma %v > 0.5 (halving lemma violated)", c.n, c.tFaults, rep.Gamma)
+		}
+		if rep.Gamma < 0.5-1e-9 {
+			t.Errorf("n=%d t=%d: gamma %v < 0.5 (structured attack should achieve 1/2)", c.n, c.tFaults, rep.Gamma)
+		}
+		if rep.ValidityViolated {
+			t.Errorf("n=%d t=%d: validity violated in crash model", c.n, c.tFaults)
+		}
+	}
+}
+
+// The Byzantine trim protocol's lemma: MidExtremes∘reduce^2t stays at
+// gamma <= 1/2 with valid outputs when n >= 7t+1, even under per-view
+// fabricated values.
+func TestByzTrimContractionAtProvenResilience(t *testing.T) {
+	for _, c := range []struct{ n, tFaults int }{{8, 1}, {15, 2}, {22, 3}} {
+		fn := MidExtremes{Trim: 2 * c.tFaults}
+		rep, err := WorstContraction(fn, ViewModel{N: c.n, T: c.tFaults, Byzantine: true}, 3000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Gamma > 0.5+1e-9 {
+			t.Errorf("n=%d t=%d: gamma %v > 0.5", c.n, c.tFaults, rep.Gamma)
+		}
+		if rep.ValidityViolated {
+			t.Errorf("n=%d t=%d: validity violated despite 2t trim", c.n, c.tFaults)
+		}
+	}
+}
+
+// Below the proven bound (the classical n = 5t+1), the search must find the
+// stalling configuration: gamma reaches 1.
+func TestByzTrimStallsBelowProvenResilience(t *testing.T) {
+	fn := MidExtremes{Trim: 4} // 2t with t=2
+	rep, err := WorstContraction(fn, ViewModel{N: 11, T: 2, Byzantine: true}, 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gamma < 0.99 {
+		t.Errorf("gamma %v at n=5t+1; expected the search to find the stall (gamma ~ 1)", rep.Gamma)
+	}
+}
+
+// Insufficient trim lets fabricated values escape the hull: the search must
+// flag the validity violation.
+func TestValidityViolationDetected(t *testing.T) {
+	rep, err := WorstContraction(MidExtremes{}, ViewModel{N: 7, T: 2, Byzantine: true}, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ValidityViolated {
+		t.Error("untrimmed function under Byzantine values must violate validity")
+	}
+}
+
+func TestWorstContractionErrors(t *testing.T) {
+	if _, err := WorstContraction(MidExtremes{}, ViewModel{N: 0, T: 0}, 10, 1); err == nil {
+		t.Error("invalid model accepted")
+	}
+	// View too small for the function's trim.
+	if _, err := WorstContraction(MidExtremes{Trim: 5}, ViewModel{N: 5, T: 2}, 10, 1); err == nil {
+		t.Error("undersized view accepted")
+	}
+}
+
+func TestContractionReportTrials(t *testing.T) {
+	rep, err := WorstContraction(MidExtremes{}, ViewModel{N: 5, T: 1}, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials == 0 {
+		t.Error("no trials recorded")
+	}
+}

@@ -1,0 +1,136 @@
+package multiset
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExhaustiveContraction verifies a contraction bound by exact enumeration
+// instead of randomized search. It enumerates every pool over the value
+// vertex class {0, 1} (by symmetry a pool is characterized by its count of
+// ones), every pair of reachable views, and — in the Byzantine model —
+// every multiset of fabricated values drawn from a 5-point grid that
+// includes far-out extremes. For the piecewise-linear functions in this
+// package, worst cases lie on such vertex configurations, so the result is
+// the exact worst case over the class and a high-confidence certificate
+// for the general bound (the randomized search in WorstContraction covers
+// off-vertex configurations).
+//
+// The enumeration is polynomial: pools are counted multisets, and a view
+// is characterized by how many ones it takes from the pool plus the
+// fabricated multiset.
+func ExhaustiveContraction(f Func, vm ViewModel) (ContractionReport, error) {
+	if err := vm.Validate(); err != nil {
+		return ContractionReport{}, err
+	}
+	m := vm.N - vm.T
+	if m < f.MinInputs() {
+		return ContractionReport{}, fmt.Errorf(
+			"multiset: view size %d below %s minimum %d", m, f.Name(), f.MinInputs())
+	}
+	poolSize := vm.N
+	maxByz := 0
+	if vm.Byzantine {
+		poolSize = vm.N - vm.T
+		maxByz = vm.T
+	}
+	rep := ContractionReport{}
+
+	// grid of fabricated values (Byzantine model only).
+	grid := []float64{-1e6, 0, 0.5, 1, 1e6}
+
+	// Enumerate pools: ones = number of 1-values among poolSize entries.
+	// ones = 0 or poolSize gives spread 0 (skipped by the gamma ratio).
+	for ones := 1; ones < poolSize; ones++ {
+		zeros := poolSize - ones
+		// Enumerate the two views' outputs over all reachable view shapes,
+		// then take the max pairwise distance. A view takes h honest
+		// values (h = m − b with b fabricated) of which k are ones.
+		var outputs []float64
+		var anyInvalid bool
+		for b := 0; b <= maxByz; b++ {
+			h := m - b
+			if h > poolSize || h < 0 {
+				continue
+			}
+			loK := h - zeros
+			if loK < 0 {
+				loK = 0
+			}
+			hiK := h
+			if hiK > ones {
+				hiK = ones
+			}
+			for k := loK; k <= hiK; k++ {
+				honest := make([]float64, 0, m)
+				for i := 0; i < h-k; i++ {
+					honest = append(honest, 0)
+				}
+				for i := 0; i < k; i++ {
+					honest = append(honest, 1)
+				}
+				if b == 0 {
+					out, err := f.Apply(Sorted(honest))
+					if err != nil {
+						return rep, err
+					}
+					outputs = append(outputs, out)
+					if out < -1e-12 || out > 1+1e-12 {
+						anyInvalid = true
+					}
+					rep.Trials++
+					continue
+				}
+				// Enumerate fabricated multisets of size b over the grid
+				// (combinations with repetition).
+				combos := gridCombos(grid, b)
+				for _, fab := range combos {
+					view := append(append([]float64{}, honest...), fab...)
+					out, err := f.Apply(Sorted(view))
+					if err != nil {
+						return rep, err
+					}
+					outputs = append(outputs, out)
+					if out < -1e-12 || out > 1+1e-12 {
+						anyInvalid = true
+					}
+					rep.Trials++
+				}
+			}
+		}
+		if anyInvalid {
+			rep.ValidityViolated = true
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, o := range outputs {
+			lo = math.Min(lo, o)
+			hi = math.Max(hi, o)
+		}
+		// Pool spread is 1 by construction (both 0s and 1s present).
+		if g := hi - lo; g > rep.Gamma {
+			rep.Gamma = g
+		}
+	}
+	return rep, nil
+}
+
+// gridCombos enumerates all size-b multisets over the grid values
+// (combinations with repetition), returned as slices.
+func gridCombos(grid []float64, b int) [][]float64 {
+	if b == 0 {
+		return [][]float64{{}}
+	}
+	var out [][]float64
+	var rec func(start int, cur []float64)
+	rec = func(start int, cur []float64) {
+		if len(cur) == b {
+			out = append(out, append([]float64(nil), cur...))
+			return
+		}
+		for i := start; i < len(grid); i++ {
+			rec(i, append(cur, grid[i]))
+		}
+	}
+	rec(0, make([]float64, 0, b))
+	return out
+}

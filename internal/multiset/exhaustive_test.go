@@ -1,0 +1,97 @@
+package multiset
+
+import "testing"
+
+// Exhaustive certification of the crash halving lemma over the vertex
+// class, for every (n, t) up to n = 21.
+func TestExhaustiveCrashHalving(t *testing.T) {
+	for n := 3; n <= 21; n += 2 {
+		tf := (n - 1) / 2
+		rep, err := ExhaustiveContraction(MidExtremes{}, ViewModel{N: n, T: tf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Gamma > 0.5+1e-12 {
+			t.Errorf("n=%d t=%d: exact worst gamma %v > 0.5", n, tf, rep.Gamma)
+		}
+		if rep.Gamma < 0.5-1e-12 {
+			t.Errorf("n=%d t=%d: exact worst gamma %v < 0.5 (bound should be tight)", n, tf, rep.Gamma)
+		}
+		if rep.ValidityViolated {
+			t.Errorf("n=%d t=%d: validity violated in crash model", n, tf)
+		}
+		if rep.Trials == 0 {
+			t.Fatal("no configurations enumerated")
+		}
+	}
+}
+
+// Exhaustive certification of the Byzantine trim lemma at the proven
+// resilience n = 7t+1, including every fabricated-multiset combination
+// over the grid.
+func TestExhaustiveByzTrimHalving(t *testing.T) {
+	for _, tf := range []int{1, 2} {
+		n := 7*tf + 1
+		rep, err := ExhaustiveContraction(MidExtremes{Trim: 2 * tf},
+			ViewModel{N: n, T: tf, Byzantine: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Gamma > 0.5+1e-12 {
+			t.Errorf("t=%d: exact worst gamma %v > 0.5", tf, rep.Gamma)
+		}
+		if rep.ValidityViolated {
+			t.Errorf("t=%d: validity violated despite 2t trim", tf)
+		}
+	}
+}
+
+// One step below the proven resilience, the exact enumeration must find
+// the stall.
+func TestExhaustiveByzTrimStallAt7t(t *testing.T) {
+	rep, err := ExhaustiveContraction(MidExtremes{Trim: 2},
+		ViewModel{N: 7, T: 1, Byzantine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gamma < 1-1e-12 {
+		t.Errorf("gamma %v at n=7t; expected the exact stall (1.0)", rep.Gamma)
+	}
+}
+
+// The exhaustive and randomized searches must agree on the vertex class.
+func TestExhaustiveMatchesRandomized(t *testing.T) {
+	vm := ViewModel{N: 9, T: 4}
+	exact, err := ExhaustiveContraction(MidExtremes{}, vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := WorstContraction(MidExtremes{}, vm, 3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if random.Gamma > exact.Gamma+1e-9 {
+		t.Errorf("randomized search %v exceeded exact vertex worst case %v",
+			random.Gamma, exact.Gamma)
+	}
+}
+
+func TestExhaustiveErrors(t *testing.T) {
+	if _, err := ExhaustiveContraction(MidExtremes{}, ViewModel{N: 0}); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := ExhaustiveContraction(MidExtremes{Trim: 4}, ViewModel{N: 5, T: 2}); err == nil {
+		t.Error("undersized view accepted")
+	}
+}
+
+func TestGridCombos(t *testing.T) {
+	combos := gridCombos([]float64{1, 2, 3}, 2)
+	// Combinations with repetition: C(3+2-1, 2) = 6.
+	if len(combos) != 6 {
+		t.Fatalf("got %d combos, want 6", len(combos))
+	}
+	if len(gridCombos([]float64{1}, 0)) != 1 {
+		t.Error("empty combo base case")
+	}
+}

@@ -1,0 +1,253 @@
+package multiset
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSorted(t *testing.T) {
+	in := []float64{3, 1, 2}
+	got := Sorted(in)
+	if !reflect.DeepEqual(got, []float64{1, 2, 3}) {
+		t.Errorf("Sorted = %v", got)
+	}
+	if !reflect.DeepEqual(in, []float64{3, 1, 2}) {
+		t.Error("Sorted mutated its input")
+	}
+}
+
+func TestReduce(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	got, err := Reduce(sorted, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []float64{2, 3, 4}) {
+		t.Errorf("Reduce(...,1) = %v", got)
+	}
+	got, err = Reduce(sorted, 0)
+	if err != nil || len(got) != 5 {
+		t.Errorf("Reduce(...,0) = %v, %v", got, err)
+	}
+	if _, err := Reduce(sorted, 3); !errors.Is(err, ErrTooSmall) {
+		t.Errorf("over-trim error = %v, want ErrTooSmall", err)
+	}
+	if _, err := Reduce(sorted, -1); err == nil {
+		t.Error("negative trim accepted")
+	}
+	if _, err := Reduce([]float64{2, 1}, 0); !errors.Is(err, ErrUnsorted) {
+		t.Errorf("unsorted error = %v, want ErrUnsorted", err)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7}
+	got, err := Select(sorted, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []float64{1, 4, 7}) {
+		t.Errorf("Select(...,3) = %v", got)
+	}
+	if _, err := Select(nil, 1); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty error = %v", err)
+	}
+	if _, err := Select(sorted, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestMeanSpread(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Mean(nil) err = %v", err)
+	}
+	m, err := Mean([]float64{1, 2, 3, 6})
+	if err != nil || m != 3 {
+		t.Errorf("Mean = %v, %v", m, err)
+	}
+	if s := Spread([]float64{5, -2, 3}); s != 7 {
+		t.Errorf("Spread = %v, want 7", s)
+	}
+	if s := Spread(nil); s != 0 {
+		t.Errorf("Spread(nil) = %v", s)
+	}
+}
+
+func TestFuncsBasic(t *testing.T) {
+	sorted := []float64{0, 1, 2, 3, 10}
+	cases := []struct {
+		fn   Func
+		want float64
+	}{
+		{MidExtremes{}, 5},
+		{MidExtremes{Trim: 1}, 2},
+		{TrimmedMean{Trim: 0}, 3.2},
+		{TrimmedMean{Trim: 1}, 2},
+		{Median{}, 2},
+		{SelectDouble{Trim: 1, K: 2}, 2}, // reduce -> {1,2,3}, select2 -> {1,3}, mean 2
+	}
+	for _, c := range cases {
+		got, err := c.fn.Apply(sorted)
+		if err != nil {
+			t.Fatalf("%s: %v", c.fn.Name(), err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", c.fn.Name(), got, c.want)
+		}
+	}
+}
+
+func TestFuncsRejectBadInput(t *testing.T) {
+	funcs := []Func{MidExtremes{Trim: 1}, TrimmedMean{Trim: 1}, Median{}, SelectDouble{Trim: 1, K: 2}}
+	for _, fn := range funcs {
+		if _, err := fn.Apply([]float64{3, 1, 2}); err == nil {
+			t.Errorf("%s accepted unsorted input", fn.Name())
+		}
+		if _, err := fn.Apply(nil); err == nil {
+			t.Errorf("%s accepted empty input", fn.Name())
+		}
+	}
+	if (MidExtremes{Trim: 2}).MinInputs() != 5 {
+		t.Error("MinInputs wrong for MidExtremes")
+	}
+}
+
+func TestFuncNames(t *testing.T) {
+	for fn, want := range map[Func]string{
+		MidExtremes{}:               "midextremes",
+		MidExtremes{Trim: 2}:        "midextremes/trim2",
+		TrimmedMean{Trim: 4}:        "trimmedmean/trim4",
+		Median{}:                    "median",
+		SelectDouble{Trim: 1, K: 2}: "selectdouble/c1_k2",
+	} {
+		if got := fn.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestRoundBudget(t *testing.T) {
+	r, err := RoundBudget(1024, 1, 0.5)
+	if err != nil || r != 10 {
+		t.Errorf("RoundBudget(1024,1,0.5) = %d, %v; want 10", r, err)
+	}
+	r, err = RoundBudget(0.5, 1, 0.5)
+	if err != nil || r != 0 {
+		t.Errorf("already-converged budget = %d, %v; want 0", r, err)
+	}
+	for _, bad := range []struct{ s, e, g float64 }{
+		{-1, 1, 0.5},
+		{math.NaN(), 1, 0.5},
+		{1, 0, 0.5},
+		{1, math.Inf(1), 0.5},
+		{1, 1, 0},
+		{1, 1, 1},
+		{1, 1, -0.5},
+	} {
+		if _, err := RoundBudget(bad.s, bad.e, bad.g); err == nil {
+			t.Errorf("RoundBudget(%v,%v,%v) accepted", bad.s, bad.e, bad.g)
+		}
+	}
+}
+
+// Property: the budget actually suffices — S * gamma^R <= eps.
+func TestRoundBudgetSufficientProperty(t *testing.T) {
+	f := func(sRaw, eRaw, gRaw uint32) bool {
+		s := 1 + float64(sRaw%1_000_000)
+		eps := 1e-6 + float64(eRaw%1000)/1000
+		gamma := 0.05 + 0.9*float64(gRaw%1000)/1000
+		r, err := RoundBudget(s, eps, gamma)
+		if err != nil {
+			return false
+		}
+		return s*math.Pow(gamma, float64(r)) <= eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every Func output lies within [min, max] of its input multiset.
+func TestFuncOutputInRangeProperty(t *testing.T) {
+	funcs := []Func{MidExtremes{}, MidExtremes{Trim: 2}, TrimmedMean{Trim: 0},
+		TrimmedMean{Trim: 2}, Median{}, SelectDouble{Trim: 2, K: 3}}
+	f := func(raw []float64, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, 0, len(raw)+7)
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, math.Mod(v, 1e9))
+			}
+		}
+		for len(vals) < 7 {
+			vals = append(vals, rng.Float64())
+		}
+		sorted := Sorted(vals)
+		lo, hi := sorted[0], sorted[len(sorted)-1]
+		for _, fn := range funcs {
+			if len(sorted) < fn.MinInputs() {
+				continue
+			}
+			out, err := fn.Apply(sorted)
+			if err != nil {
+				return false
+			}
+			if out < lo-1e-9 || out > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MidExtremes halves the gap between any two intersecting views
+// drawn from a common pool — the exact lemma the crash protocol's round
+// budget is built on.
+func TestMidExtremesHalvingProperty(t *testing.T) {
+	f := func(poolRaw []float64, aMask, bMask uint16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pool := make([]float64, 0, 16)
+		for _, v := range poolRaw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && len(pool) < 16 {
+				pool = append(pool, math.Mod(v, 1e6))
+			}
+		}
+		for len(pool) < 4 {
+			pool = append(pool, rng.Float64())
+		}
+		// Build two views that share at least one element.
+		pick := func(mask uint16) []float64 {
+			var out []float64
+			for i, v := range pool {
+				if mask&(1<<uint(i%16)) != 0 {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		u, w := pick(aMask), pick(bMask)
+		shared := pool[int(uint64(seed)%uint64(len(pool)))]
+		u = append(u, shared)
+		w = append(w, shared)
+		fu, err := MidExtremes{}.Apply(Sorted(u))
+		if err != nil {
+			return false
+		}
+		fw, err := MidExtremes{}.Apply(Sorted(w))
+		if err != nil {
+			return false
+		}
+		all := append(append([]float64{}, u...), w...)
+		return math.Abs(fu-fw) <= Spread(all)/2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

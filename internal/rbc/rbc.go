@@ -1,0 +1,192 @@
+// Package rbc implements Bracha-style asynchronous reliable broadcast,
+// tolerating t < n/3 Byzantine parties. It is the substrate the witness
+// technique is built on: RBC forces a Byzantine sender to be consistent —
+// if any honest party delivers (origin, round, v), every honest party
+// eventually delivers exactly that v for (origin, round) — which removes
+// equivocation from the Byzantine approximate-agreement analysis.
+//
+// Protocol per instance (origin, round):
+//
+//	origin:                multicast ⟨SEND, v⟩
+//	on ⟨SEND, v⟩ from origin (first):   multicast ⟨ECHO, v⟩
+//	on n−t ⟨ECHO, v⟩:                   multicast ⟨READY, v⟩ (once)
+//	on t+1 ⟨READY, v⟩:                  multicast ⟨READY, v⟩ (once)
+//	on 2t+1 ⟨READY, v⟩:                 deliver v
+//
+// The n−t echo threshold is a quorum: two quorums intersect in ≥ n−2t ≥ t+1
+// parties, hence in an honest party, so two honest parties can never become
+// ready for different values; the t+1 ready amplification gives totality.
+package rbc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/wire"
+)
+
+// Instance identifies one broadcast: a sender and a protocol round.
+type Instance struct {
+	Origin uint16
+	Round  uint32
+}
+
+// Delivery is a completed reliable broadcast.
+type Delivery struct {
+	Origin uint16
+	Round  uint32
+	Value  float64
+}
+
+// Broadcaster multiplexes all RBC instances for a single party. It is a
+// pure state machine: the owner feeds it incoming wire messages via Handle
+// and gives it a multicast function for its own traffic.
+type Broadcaster struct {
+	n, t      int
+	self      uint16
+	multicast func(data []byte)
+	// maxRound discards instances tagged beyond the protocol horizon so a
+	// Byzantine party cannot grow state without bound. Zero means no cap.
+	maxRound uint32
+	inst     map[Instance]*instanceState
+}
+
+type instanceState struct {
+	echoed    bool
+	readied   bool
+	delivered bool
+	// echoes and readies record each sender's first (and only counted)
+	// message, per Bracha's one-vote-per-party rule.
+	echoes      map[uint16]float64
+	readies     map[uint16]float64
+	echoVotes   map[float64]int
+	readyVotes  map[float64]int
+	sendSeen    bool
+	deliveredAs float64
+}
+
+// New creates a Broadcaster. The multicast function must deliver to all n
+// parties (self included); n must satisfy n >= 3t+1.
+func New(n, t int, self uint16, multicast func(data []byte)) (*Broadcaster, error) {
+	if n < 3*t+1 || t < 0 {
+		return nil, fmt.Errorf("rbc: need n >= 3t+1, got n=%d t=%d", n, t)
+	}
+	if int(self) >= n {
+		return nil, fmt.Errorf("rbc: self %d out of range [0,%d)", self, n)
+	}
+	if multicast == nil {
+		return nil, errors.New("rbc: nil multicast")
+	}
+	return &Broadcaster{
+		n:         n,
+		t:         t,
+		self:      self,
+		multicast: multicast,
+		inst:      make(map[Instance]*instanceState),
+	}, nil
+}
+
+// SetMaxRound caps the instance rounds the broadcaster will track.
+func (b *Broadcaster) SetMaxRound(r uint32) { b.maxRound = r }
+
+// Broadcast starts this party's own broadcast for a round.
+func (b *Broadcaster) Broadcast(round uint32, v float64) {
+	b.multicast(wire.MarshalRBC(wire.RBC{
+		Phase:  wire.RBCSend,
+		Origin: b.self,
+		Round:  round,
+		Value:  v,
+	}))
+}
+
+func (b *Broadcaster) state(key Instance) *instanceState {
+	st, ok := b.inst[key]
+	if !ok {
+		st = &instanceState{
+			echoes:     make(map[uint16]float64),
+			readies:    make(map[uint16]float64),
+			echoVotes:  make(map[float64]int),
+			readyVotes: make(map[float64]int),
+		}
+		b.inst[key] = st
+	}
+	return st
+}
+
+// Handle processes one incoming RBC wire message from a party and returns
+// the deliveries it triggers (zero or one). Malformed or out-of-cap
+// messages are silently dropped, as Byzantine input must be.
+func (b *Broadcaster) Handle(from uint16, data []byte) []Delivery {
+	m, err := wire.UnmarshalRBC(data)
+	if err != nil {
+		return nil
+	}
+	if int(from) >= b.n || int(m.Origin) >= b.n {
+		return nil
+	}
+	if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+		return nil
+	}
+	if m.Round == 0 || (b.maxRound > 0 && m.Round > b.maxRound) {
+		return nil
+	}
+	key := Instance{Origin: m.Origin, Round: m.Round}
+	st := b.state(key)
+	switch m.Phase {
+	case wire.RBCSend:
+		// Only the origin's first SEND counts.
+		if from != m.Origin || st.sendSeen {
+			return nil
+		}
+		st.sendSeen = true
+		if !st.echoed {
+			st.echoed = true
+			b.multicast(wire.MarshalRBC(wire.RBC{
+				Phase: wire.RBCEcho, Origin: m.Origin, Round: m.Round, Value: m.Value,
+			}))
+		}
+	case wire.RBCEcho:
+		if _, dup := st.echoes[from]; dup {
+			return nil
+		}
+		st.echoes[from] = m.Value
+		st.echoVotes[m.Value]++
+		if st.echoVotes[m.Value] >= b.n-b.t && !st.readied {
+			st.readied = true
+			b.multicast(wire.MarshalRBC(wire.RBC{
+				Phase: wire.RBCReady, Origin: m.Origin, Round: m.Round, Value: m.Value,
+			}))
+		}
+	case wire.RBCReady:
+		if _, dup := st.readies[from]; dup {
+			return nil
+		}
+		st.readies[from] = m.Value
+		st.readyVotes[m.Value]++
+		if st.readyVotes[m.Value] >= b.t+1 && !st.readied {
+			st.readied = true
+			b.multicast(wire.MarshalRBC(wire.RBC{
+				Phase: wire.RBCReady, Origin: m.Origin, Round: m.Round, Value: m.Value,
+			}))
+		}
+		if st.readyVotes[m.Value] >= 2*b.t+1 && !st.delivered {
+			st.delivered = true
+			st.deliveredAs = m.Value
+			return []Delivery{{Origin: m.Origin, Round: m.Round, Value: m.Value}}
+		}
+	}
+	return nil
+}
+
+// Delivered reports whether an instance has delivered, and its value.
+func (b *Broadcaster) Delivered(key Instance) (float64, bool) {
+	st, ok := b.inst[key]
+	if !ok || !st.delivered {
+		return 0, false
+	}
+	return st.deliveredAs, true
+}
+
+// Instances reports how many instances hold state (for memory tests).
+func (b *Broadcaster) Instances() int { return len(b.inst) }

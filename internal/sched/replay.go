@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Recorder wraps a scheduler and logs the delay assigned to every message
+// send (keyed by the envelope's global send sequence number, which is
+// deterministic for a fixed protocol binary and seed). The log can then
+// drive a Replay scheduler, which reproduces the exact interleaving — the
+// debugging loop for any execution the fuzzer or the grid flags:
+//
+//	rec := sched.NewRecorder(inner)
+//	... run, observe failure ...
+//	replay := sched.NewReplay(rec.Log(), fallbackDelay)
+//	... re-run with extra instrumentation, same interleaving ...
+type Recorder struct {
+	inner sim.Scheduler
+
+	mu  sync.Mutex
+	log map[uint64]sim.Time
+}
+
+var _ sim.Scheduler = (*Recorder)(nil)
+
+// NewRecorder wraps inner.
+func NewRecorder(inner sim.Scheduler) *Recorder {
+	return &Recorder{inner: inner, log: make(map[uint64]sim.Time)}
+}
+
+// Delay implements sim.Scheduler.
+func (r *Recorder) Delay(env sim.Envelope, now sim.Time, rng *rand.Rand) sim.Time {
+	d := r.inner.Delay(env, now, rng)
+	if d < 1 {
+		d = 1
+	}
+	if d > sim.MaxDelayCap {
+		d = sim.MaxDelayCap
+	}
+	r.mu.Lock()
+	r.log[env.Seq] = d
+	r.mu.Unlock()
+	return d
+}
+
+// Log returns a copy of the recorded delays.
+func (r *Recorder) Log() map[uint64]sim.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[uint64]sim.Time, len(r.log))
+	for k, v := range r.log {
+		out[k] = v
+	}
+	return out
+}
+
+// Replay re-issues recorded delays by send sequence number. Sends beyond
+// the recorded log (possible when the re-run diverges, e.g. extra
+// instrumentation traffic) get the fallback delay.
+type Replay struct {
+	log      map[uint64]sim.Time
+	fallback sim.Time
+}
+
+var _ sim.Scheduler = (*Replay)(nil)
+
+// NewReplay builds a replay scheduler from a recorded log.
+func NewReplay(log map[uint64]sim.Time, fallback sim.Time) *Replay {
+	if fallback < 1 {
+		fallback = 1
+	}
+	cp := make(map[uint64]sim.Time, len(log))
+	for k, v := range log {
+		cp[k] = v
+	}
+	return &Replay{log: cp, fallback: fallback}
+}
+
+// Delay implements sim.Scheduler.
+func (r *Replay) Delay(env sim.Envelope, _ sim.Time, _ *rand.Rand) sim.Time {
+	if d, ok := r.log[env.Seq]; ok {
+		return d
+	}
+	return r.fallback
+}
+
+// HeavyTail models real wide-area networks: most messages are fast, but a
+// Pareto-like tail is very slow. Alpha controls the tail weight (smaller =
+// heavier); Base scales the delay unit.
+type HeavyTail struct {
+	Base  sim.Time
+	Alpha float64
+	Cap   sim.Time
+}
+
+var _ sim.Scheduler = (*HeavyTail)(nil)
+
+// Delay implements sim.Scheduler.
+func (h *HeavyTail) Delay(_ sim.Envelope, _ sim.Time, rng *rand.Rand) sim.Time {
+	alpha := h.Alpha
+	if alpha <= 0 {
+		alpha = 1.5
+	}
+	base := h.Base
+	if base < 1 {
+		base = 1
+	}
+	capd := h.Cap
+	if capd < base {
+		capd = 100 * base
+	}
+	// Inverse-CDF Pareto sample: base / U^(1/alpha).
+	u := rng.Float64()
+	if u <= 0 {
+		u = 1e-12
+	}
+	d := sim.Time(float64(base) * math.Pow(1/u, 1/alpha))
+	if d < base {
+		d = base
+	}
+	if d > capd {
+		d = capd
+	}
+	return d
+}

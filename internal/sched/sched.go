@@ -1,0 +1,182 @@
+// Package sched implements message-delivery schedulers for the asynchronous
+// network simulator. A scheduler is the adversary's ordering power: it picks
+// a finite delay for every message, which fixes the whole interleaving.
+//
+// The strategies here span the space the approximate-agreement literature
+// cares about: lock-step synchrony (baseline), benign random asynchrony,
+// bounded skew against a victim set, partitions with slow cross-links, and
+// the split-views attack that maximizes disagreement between the reception
+// sets of different parties (the known worst case for convergence-rate
+// measurements).
+package sched
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Synchronous delivers every message with the same constant delay, yielding
+// lock-step rounds. The zero value is invalid; use NewSynchronous.
+type Synchronous struct {
+	delay sim.Time
+}
+
+// NewSynchronous returns a constant-delay scheduler. Delay must be >= 1.
+func NewSynchronous(delay sim.Time) *Synchronous {
+	if delay < 1 {
+		delay = 1
+	}
+	return &Synchronous{delay: delay}
+}
+
+var _ sim.Scheduler = (*Synchronous)(nil)
+
+// Delay implements sim.Scheduler.
+func (s *Synchronous) Delay(_ sim.Envelope, _ sim.Time, _ *rand.Rand) sim.Time {
+	return s.delay
+}
+
+// UniformRandom draws each delay independently and uniformly from
+// [Min, Max]. It models benign asynchrony with no adversarial intent.
+type UniformRandom struct {
+	Min, Max sim.Time
+}
+
+var _ sim.Scheduler = (*UniformRandom)(nil)
+
+// Delay implements sim.Scheduler.
+func (s *UniformRandom) Delay(_ sim.Envelope, _ sim.Time, rng *rand.Rand) sim.Time {
+	lo, hi := s.Min, s.Max
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo + sim.Time(rng.Int63n(int64(hi-lo)+1))
+}
+
+// Skew delays every message sent by or to a victim set by SlowDelay while
+// the rest of the network runs at FastDelay. This starves victims of
+// timeliness without ever dropping their messages — the canonical way an
+// asynchronous adversary biases which n−t values each party collects.
+type Skew struct {
+	Victims   map[sim.PartyID]bool
+	FastDelay sim.Time
+	SlowDelay sim.Time
+}
+
+var _ sim.Scheduler = (*Skew)(nil)
+
+// NewSkew builds a Skew scheduler over the given victims.
+func NewSkew(victims []sim.PartyID, fast, slow sim.Time) *Skew {
+	set := make(map[sim.PartyID]bool, len(victims))
+	for _, v := range victims {
+		set[v] = true
+	}
+	return &Skew{Victims: set, FastDelay: fast, SlowDelay: slow}
+}
+
+// Delay implements sim.Scheduler.
+func (s *Skew) Delay(env sim.Envelope, _ sim.Time, _ *rand.Rand) sim.Time {
+	if s.Victims[env.From] || s.Victims[env.To] {
+		return max1(s.SlowDelay)
+	}
+	return max1(s.FastDelay)
+}
+
+// Partition splits the parties into two blocks: messages within a block are
+// fast, messages across are slow (but still delivered — asynchrony, not a
+// network split). Parties with ID < Boundary form the first block.
+type Partition struct {
+	Boundary sim.PartyID
+	Within   sim.Time
+	Across   sim.Time
+}
+
+var _ sim.Scheduler = (*Partition)(nil)
+
+// Delay implements sim.Scheduler.
+func (s *Partition) Delay(env sim.Envelope, _ sim.Time, _ *rand.Rand) sim.Time {
+	a := env.From < s.Boundary
+	b := env.To < s.Boundary
+	if a == b {
+		return max1(s.Within)
+	}
+	return max1(s.Across)
+}
+
+// SplitViews is the convergence attack: the party set is split into a low
+// half (ID < Boundary) and a high half. Messages from low-half senders to
+// high-half recipients are delayed by Slow, and symmetrically messages from
+// high-half senders to low-half recipients; everything else travels at Fast.
+// When inputs are sorted by party ID (the harness's bimodal generator does
+// this) each half predominantly sees its own half's values, which maximizes
+// the disagreement between reception sets round after round. This is the
+// scheduler against which worst-case contraction factors are measured.
+type SplitViews struct {
+	Boundary sim.PartyID
+	Fast     sim.Time
+	Slow     sim.Time
+}
+
+var _ sim.Scheduler = (*SplitViews)(nil)
+
+// Delay implements sim.Scheduler.
+func (s *SplitViews) Delay(env sim.Envelope, _ sim.Time, _ *rand.Rand) sim.Time {
+	fromLow := env.From < s.Boundary
+	toLow := env.To < s.Boundary
+	if fromLow != toLow {
+		return max1(s.Slow)
+	}
+	return max1(s.Fast)
+}
+
+// Staggered delivers messages from party i with delay Base + i*Step, so
+// higher-ID parties are systematically late. It exercises jump-over-round
+// buffering in protocols without targeting any specific party set.
+type Staggered struct {
+	Base sim.Time
+	Step sim.Time
+}
+
+var _ sim.Scheduler = (*Staggered)(nil)
+
+// Delay implements sim.Scheduler.
+func (s *Staggered) Delay(env sim.Envelope, _ sim.Time, _ *rand.Rand) sim.Time {
+	return max1(s.Base + sim.Time(env.From)*s.Step)
+}
+
+func max1(t sim.Time) sim.Time {
+	if t < 1 {
+		return 1
+	}
+	return t
+}
+
+// Named couples a scheduler with a label for experiment tables.
+type Named struct {
+	Name      string
+	Scheduler sim.Scheduler
+}
+
+// Suite returns the standard adversary-scheduler suite used by the
+// experiment harness. n is the number of parties; t the fault bound. The
+// suite always includes synchrony (as the best case) and the split-views
+// attack (as the empirically worst case).
+func Suite(n, t int) []Named {
+	half := sim.PartyID(n / 2)
+	victims := make([]sim.PartyID, 0, t)
+	for i := 0; i < t; i++ {
+		victims = append(victims, sim.PartyID(i))
+	}
+	return []Named{
+		{Name: "sync", Scheduler: NewSynchronous(10)},
+		{Name: "random", Scheduler: &UniformRandom{Min: 1, Max: 10}},
+		{Name: "skew", Scheduler: NewSkew(victims, 1, 10)},
+		{Name: "partition", Scheduler: &Partition{Boundary: half, Within: 1, Across: 10}},
+		{Name: "splitviews", Scheduler: &SplitViews{Boundary: half, Fast: 1, Slow: 10}},
+		{Name: "staggered", Scheduler: &Staggered{Base: 1, Step: 2}},
+	}
+}

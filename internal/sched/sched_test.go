@@ -1,0 +1,133 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func env(from, to sim.PartyID) sim.Envelope {
+	return sim.Envelope{From: from, To: to}
+}
+
+func TestSynchronous(t *testing.T) {
+	s := NewSynchronous(7)
+	for i := 0; i < 5; i++ {
+		if d := s.Delay(env(sim.PartyID(i), 0), 0, nil); d != 7 {
+			t.Fatalf("delay = %d, want 7", d)
+		}
+	}
+	if d := NewSynchronous(0).Delay(env(0, 1), 0, nil); d != 1 {
+		t.Errorf("zero delay not clamped: %d", d)
+	}
+}
+
+func TestUniformRandomBounds(t *testing.T) {
+	s := &UniformRandom{Min: 3, Max: 9}
+	rng := rand.New(rand.NewSource(1))
+	seen := map[sim.Time]bool{}
+	for i := 0; i < 500; i++ {
+		d := s.Delay(env(0, 1), 0, rng)
+		if d < 3 || d > 9 {
+			t.Fatalf("delay %d outside [3,9]", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("poor delay diversity: %v", seen)
+	}
+	// Degenerate configurations are repaired.
+	bad := &UniformRandom{Min: 0, Max: 0}
+	if d := bad.Delay(env(0, 1), 0, rng); d != 1 {
+		t.Errorf("degenerate range delay = %d", d)
+	}
+	inverted := &UniformRandom{Min: 5, Max: 2}
+	if d := inverted.Delay(env(0, 1), 0, rng); d != 5 {
+		t.Errorf("inverted range delay = %d", d)
+	}
+}
+
+func TestSkew(t *testing.T) {
+	s := NewSkew([]sim.PartyID{0, 1}, 1, 50)
+	if d := s.Delay(env(0, 3), 0, nil); d != 50 {
+		t.Errorf("victim sender delay = %d", d)
+	}
+	if d := s.Delay(env(3, 1), 0, nil); d != 50 {
+		t.Errorf("victim recipient delay = %d", d)
+	}
+	if d := s.Delay(env(2, 3), 0, nil); d != 1 {
+		t.Errorf("bystander delay = %d", d)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	s := &Partition{Boundary: 2, Within: 1, Across: 40}
+	if d := s.Delay(env(0, 1), 0, nil); d != 1 {
+		t.Errorf("within-low delay = %d", d)
+	}
+	if d := s.Delay(env(2, 3), 0, nil); d != 1 {
+		t.Errorf("within-high delay = %d", d)
+	}
+	if d := s.Delay(env(1, 2), 0, nil); d != 40 {
+		t.Errorf("across delay = %d", d)
+	}
+	if d := s.Delay(env(3, 0), 0, nil); d != 40 {
+		t.Errorf("across delay = %d", d)
+	}
+}
+
+func TestSplitViews(t *testing.T) {
+	s := &SplitViews{Boundary: 2, Fast: 1, Slow: 30}
+	if d := s.Delay(env(0, 1), 0, nil); d != 1 {
+		t.Errorf("same-half delay = %d", d)
+	}
+	if d := s.Delay(env(0, 3), 0, nil); d != 30 {
+		t.Errorf("cross-half delay = %d", d)
+	}
+	if d := s.Delay(env(3, 1), 0, nil); d != 30 {
+		t.Errorf("cross-half delay = %d", d)
+	}
+}
+
+func TestStaggered(t *testing.T) {
+	s := &Staggered{Base: 2, Step: 3}
+	if d := s.Delay(env(0, 1), 0, nil); d != 2 {
+		t.Errorf("party 0 delay = %d", d)
+	}
+	if d := s.Delay(env(4, 1), 0, nil); d != 14 {
+		t.Errorf("party 4 delay = %d", d)
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite(10, 3)
+	if len(suite) != 6 {
+		t.Fatalf("suite size %d", len(suite))
+	}
+	names := map[string]bool{}
+	rng := rand.New(rand.NewSource(1))
+	for _, nm := range suite {
+		if nm.Name == "" || nm.Scheduler == nil {
+			t.Fatalf("malformed entry %+v", nm)
+		}
+		if names[nm.Name] {
+			t.Fatalf("duplicate name %q", nm.Name)
+		}
+		names[nm.Name] = true
+		// Every scheduler must produce legal delays for arbitrary pairs.
+		for from := 0; from < 10; from++ {
+			for to := 0; to < 10; to++ {
+				d := nm.Scheduler.Delay(env(sim.PartyID(from), sim.PartyID(to)), 0, rng)
+				if d < 1 || d > sim.MaxDelayCap {
+					t.Fatalf("%s: illegal delay %d", nm.Name, d)
+				}
+			}
+		}
+	}
+	for _, want := range []string{"sync", "random", "skew", "partition", "splitviews", "staggered"} {
+		if !names[want] {
+			t.Errorf("suite missing %q", want)
+		}
+	}
+}

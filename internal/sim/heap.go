@@ -1,0 +1,71 @@
+package sim
+
+// event is a scheduled delivery or timer expiry.
+type event struct {
+	at    Time
+	env   Envelope
+	timer bool
+	tag   uint64
+}
+
+// eventHeap is a binary min-heap ordered by (delivery time, send sequence).
+// The sequence tiebreak makes executions fully deterministic for a given
+// scheduler and seed. A hand-rolled heap (rather than container/heap) avoids
+// per-operation interface allocations in the simulator's hot loop.
+type eventHeap struct {
+	items []event
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.env.Seq < b.env.Seq
+}
+
+// Push inserts an event.
+func (h *eventHeap) Push(e event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the earliest event. It must not be called on an
+// empty heap.
+func (h *eventHeap) Pop() event {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	h.siftDown(0)
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

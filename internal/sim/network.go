@@ -1,0 +1,346 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Stats aggregates message-level accounting for one execution.
+type Stats struct {
+	// MessagesSent counts point-to-point sends issued (a multicast counts
+	// as N sends). Sends truncated by a crash are not counted.
+	MessagesSent int
+	// MessagesDelivered counts deliveries actually performed.
+	MessagesDelivered int
+	// BytesSent sums the wire sizes of all sent messages.
+	BytesSent int
+	// HonestMessagesSent counts sends whose sender has no fault assignment.
+	HonestMessagesSent int
+	// HonestBytesSent sums wire sizes of honest sends.
+	HonestBytesSent int
+}
+
+// Result summarizes a finished execution.
+type Result struct {
+	// Decisions holds one entry per party that called Decide.
+	Decisions map[PartyID]float64
+	// DecidedAt records the virtual time of each decision.
+	DecidedAt map[PartyID]Time
+	// FinishTime is the virtual time of the last honest decision.
+	FinishTime Time
+	// MaxHonestDelay is the largest delay the scheduler imposed on a
+	// message between two non-faulty parties. Round complexity of the
+	// execution is FinishTime / MaxHonestDelay.
+	MaxHonestDelay Time
+	// Stats carries message accounting.
+	Stats Stats
+	// Honest lists the parties with no fault assignment, ascending.
+	Honest []PartyID
+}
+
+// Rounds reports the asynchronous round complexity of the execution: the
+// time of the last honest output divided by the maximum honest message
+// delay, per the standard definition of asynchronous rounds.
+func (r *Result) Rounds() float64 {
+	if r.MaxHonestDelay <= 0 {
+		return 0
+	}
+	return float64(r.FinishTime) / float64(r.MaxHonestDelay)
+}
+
+// HonestDecisions returns the decisions of non-faulty parties, sorted
+// ascending by value.
+func (r *Result) HonestDecisions() []float64 {
+	out := make([]float64, 0, len(r.Honest))
+	for _, p := range r.Honest {
+		if v, ok := r.Decisions[p]; ok {
+			out = append(out, v)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// HonestSpread returns the diameter of the honest decisions (0 when fewer
+// than two parties decided).
+func (r *Result) HonestSpread() float64 {
+	d := r.HonestDecisions()
+	if len(d) < 2 {
+		return 0
+	}
+	return d[len(d)-1] - d[0]
+}
+
+// Network is the discrete-event simulator. Create one with New, attach
+// processes with SetProcess for every honest party, then call Run.
+type Network struct {
+	cfg        Config
+	parties    []*partyState
+	queue      eventHeap
+	rng        *rand.Rand
+	now        Time
+	seq        uint64
+	stats      Stats
+	finishTime Time
+
+	maxHonestDelay Time
+	pendingHonest  int // honest parties that have not decided yet
+
+	// observer, when non-nil, is invoked after every delivery.
+	observer func(now Time, env Envelope)
+
+	defaultMaxEvents int
+}
+
+type partyState struct {
+	id      PartyID
+	proc    Process
+	net     *Network
+	rng     *rand.Rand
+	faulty  bool // any fault assignment (crash or byzantine)
+	byz     bool
+	crashed bool // crash already triggered
+	// sendBudget is the number of sends remaining before a crash fires;
+	// -1 means unlimited (no crash plan).
+	sendBudget int
+	decided    bool
+	decision   float64
+	decidedAt  Time
+}
+
+var _ API = (*partyState)(nil)
+
+func (p *partyState) ID() PartyID      { return p.id }
+func (p *partyState) N() int           { return p.net.cfg.N }
+func (p *partyState) Rand() *rand.Rand { return p.rng }
+
+func (p *partyState) Send(to PartyID, data []byte) {
+	p.net.send(p, to, data)
+}
+
+func (p *partyState) Multicast(data []byte) {
+	for to := 0; to < p.net.cfg.N; to++ {
+		p.net.send(p, PartyID(to), data)
+	}
+}
+
+func (p *partyState) SetTimer(delay Time, tag uint64) {
+	if p.crashed {
+		return
+	}
+	if delay < 1 {
+		delay = 1
+	}
+	net := p.net
+	net.seq++
+	net.queue.Push(event{
+		at:    net.now + delay,
+		env:   Envelope{From: p.id, To: p.id, Seq: net.seq},
+		timer: true,
+		tag:   tag,
+	})
+}
+
+func (p *partyState) Decide(value float64) {
+	if p.decided {
+		return
+	}
+	p.decided = true
+	p.decision = value
+	p.decidedAt = p.net.now
+	if !p.faulty {
+		p.net.pendingHonest--
+		if p.net.now > p.net.finishTime {
+			p.net.finishTime = p.net.now
+		}
+	}
+}
+
+// New builds a network from the configuration. Processes for honest parties
+// must be attached with SetProcess before Run.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:              cfg,
+		rng:              rand.New(rand.NewSource(cfg.Seed)),
+		defaultMaxEvents: 5_000_000,
+	}
+	crashBudget := make(map[PartyID]int, len(cfg.Crashes))
+	for _, cr := range cfg.Crashes {
+		crashBudget[cr.Party] = cr.AfterSends
+	}
+	n.parties = make([]*partyState, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		id := PartyID(i)
+		ps := &partyState{
+			id:         id,
+			net:        n,
+			rng:        rand.New(rand.NewSource(cfg.Seed ^ (int64(i+1) * 0x7E3779B97F4A7C15))),
+			sendBudget: -1,
+		}
+		if budget, ok := crashBudget[id]; ok {
+			ps.faulty = true
+			ps.sendBudget = budget
+		}
+		if proc, ok := cfg.Byzantine[id]; ok {
+			ps.faulty = true
+			ps.byz = true
+			ps.proc = proc
+		}
+		n.parties[i] = ps
+	}
+	return n, nil
+}
+
+// SetProcess attaches the protocol state machine for a party. It must be
+// called for every non-Byzantine party before Run. Attaching to a Byzantine
+// party is an error: the adversarial process from the Config runs there.
+func (n *Network) SetProcess(id PartyID, proc Process) error {
+	if id < 0 || int(id) >= n.cfg.N {
+		return fmt.Errorf("sim: SetProcess: party %d out of range [0,%d)", id, n.cfg.N)
+	}
+	ps := n.parties[id]
+	if ps.byz {
+		return fmt.Errorf("sim: SetProcess: party %d is Byzantine; its process comes from the config", id)
+	}
+	if proc == nil {
+		return fmt.Errorf("sim: SetProcess: nil process for party %d", id)
+	}
+	ps.proc = proc
+	return nil
+}
+
+// SetObserver installs a callback invoked after every delivery, used by the
+// harness to record convergence trajectories. Pass nil to remove.
+func (n *Network) SetObserver(fn func(now Time, env Envelope)) { n.observer = fn }
+
+// Party returns the process attached to a party (nil if none). The harness
+// uses this to query Estimator implementations.
+func (n *Network) Party(id PartyID) Process {
+	if id < 0 || int(id) >= n.cfg.N {
+		return nil
+	}
+	return n.parties[id].proc
+}
+
+// Now exposes the current virtual time (used by observers and tests).
+func (n *Network) Now() Time { return n.now }
+
+func (n *Network) send(from *partyState, to PartyID, data []byte) {
+	if from.crashed {
+		return
+	}
+	if from.sendBudget == 0 {
+		// The crash plan fires: this send and everything after it is lost.
+		from.crashed = true
+		return
+	}
+	if from.sendBudget > 0 {
+		from.sendBudget--
+	}
+	n.seq++
+	env := Envelope{
+		From: from.id,
+		To:   to,
+		Data: data,
+		Sent: n.now,
+		Seq:  n.seq,
+	}
+	delay := n.cfg.Scheduler.Delay(env, n.now, n.rng)
+	if delay < 1 {
+		delay = 1
+	}
+	if delay > MaxDelayCap {
+		delay = MaxDelayCap
+	}
+	if !from.faulty && !n.parties[to].faulty && delay > n.maxHonestDelay {
+		n.maxHonestDelay = delay
+	}
+	n.stats.MessagesSent++
+	n.stats.BytesSent += len(data)
+	if !from.faulty {
+		n.stats.HonestMessagesSent++
+		n.stats.HonestBytesSent += len(data)
+	}
+	n.queue.Push(event{at: n.now + delay, env: env})
+}
+
+// Run executes the simulation until every honest party has decided, the
+// event queue drains (ErrStalled), or the event budget is exhausted
+// (ErrEventBudget). It returns a Result in all cases; on error the Result
+// reflects the partial execution, which tests use for diagnosis.
+func (n *Network) Run() (*Result, error) {
+	for _, ps := range n.parties {
+		if ps.proc == nil {
+			return nil, fmt.Errorf("sim: party %d has no process attached", ps.id)
+		}
+	}
+	n.pendingHonest = 0
+	for _, ps := range n.parties {
+		if !ps.faulty {
+			n.pendingHonest++
+		}
+	}
+	// Init in ID order at time zero; Init-time sends are scheduled normally.
+	for _, ps := range n.parties {
+		ps.proc.Init(ps)
+	}
+	budget := n.cfg.MaxEvents
+	if budget <= 0 {
+		budget = n.defaultMaxEvents
+	}
+	var err error
+	events := 0
+	for n.pendingHonest > 0 {
+		if n.queue.Len() == 0 {
+			err = ErrStalled
+			break
+		}
+		if events >= budget {
+			err = ErrEventBudget
+			break
+		}
+		events++
+		ev := n.queue.Pop()
+		n.now = ev.at
+		dst := n.parties[ev.env.To]
+		if dst.crashed {
+			continue
+		}
+		if ev.timer {
+			if th, ok := dst.proc.(TimerHandler); ok {
+				th.OnTimer(ev.tag)
+			}
+			continue
+		}
+		n.stats.MessagesDelivered++
+		dst.proc.Deliver(ev.env.From, ev.env.Data)
+		if n.observer != nil {
+			n.observer(n.now, ev.env)
+		}
+	}
+	return n.result(), err
+}
+
+func (n *Network) result() *Result {
+	res := &Result{
+		Decisions:      make(map[PartyID]float64),
+		DecidedAt:      make(map[PartyID]Time),
+		FinishTime:     n.finishTime,
+		MaxHonestDelay: n.maxHonestDelay,
+		Stats:          n.stats,
+	}
+	for _, ps := range n.parties {
+		if ps.decided {
+			res.Decisions[ps.id] = ps.decision
+			res.DecidedAt[ps.id] = ps.decidedAt
+		}
+		if !ps.faulty {
+			res.Honest = append(res.Honest, ps.id)
+		}
+	}
+	return res
+}

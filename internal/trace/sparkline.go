@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"math"
+	"strings"
+)
+
+// sparkRunes are the eight block-element levels used by Sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a value series as a compact unicode bar chart — the
+// textual "figure" form used by the trajectory experiment (E5): a
+// geometric halving series renders as a clean decay staircase. Values are
+// scaled to the series' own [min, max]; non-finite entries render as
+// spaces.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		switch {
+		case math.IsNaN(v) || math.IsInf(v, 0):
+			sb.WriteByte(' ')
+		case hi == lo:
+			sb.WriteRune(sparkRunes[0])
+		default:
+			idx := int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+			sb.WriteRune(sparkRunes[idx])
+		}
+	}
+	return sb.String()
+}

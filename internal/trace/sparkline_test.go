@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparklineShape(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("length %d", utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("endpoints %q", s)
+	}
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("not monotone: %q", s)
+		}
+	}
+}
+
+func TestSparklineEdgeCases(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty series")
+	}
+	if s := Sparkline([]float64{5, 5, 5}); s != "▁▁▁" {
+		t.Errorf("constant series %q", s)
+	}
+	s := Sparkline([]float64{0, math.NaN(), 1})
+	if []rune(s)[1] != ' ' {
+		t.Errorf("NaN rendering %q", s)
+	}
+}
+
+func TestSparklineHalvingDecay(t *testing.T) {
+	series := make([]float64, 10)
+	v := 1.0
+	for i := range series {
+		series[i] = v
+		v /= 2
+	}
+	s := []rune(Sparkline(series))
+	if s[0] != '█' {
+		t.Errorf("peak not full block: %q", string(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] > s[i-1] {
+			t.Errorf("decay not monotone: %q", string(s))
+		}
+	}
+	if s[len(s)-1] != '▁' {
+		t.Errorf("tail not minimal: %q", string(s))
+	}
+}

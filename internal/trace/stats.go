@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds order statistics of a sample, used by the fuzz harness and
+// experiment sweeps to report distributions instead of single points.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+	P50, P95       float64
+	StdDev         float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+// Inputs must be finite with |max − min| representable (≤ MaxFloat64);
+// the harness's metrics (rounds, message counts, spreads) are far inside
+// that domain.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	s := Summary{
+		N:   len(sorted),
+		Min: sorted[0],
+		Max: sorted[len(sorted)-1],
+		P50: quantile(sorted, 0.50),
+		P95: quantile(sorted, 0.95),
+	}
+	// Welford's online algorithm: numerically stable and overflow-free for
+	// the mean even with values near ±MaxFloat64 (a naive sum overflows).
+	mean, m2 := 0.0, 0.0
+	for i, v := range sorted {
+		delta := v - mean
+		mean += delta / float64(i+1)
+		m2 += delta * (v - mean)
+	}
+	s.Mean = mean
+	s.StdDev = math.Sqrt(m2 / float64(len(sorted)))
+	return s
+}
+
+// quantile returns the q-quantile of a sorted sample by nearest-rank with
+// linear interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders a compact one-line summary.
+func (s Summary) String() string {
+	if s.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%s p50=%s mean=%s p95=%s max=%s",
+		s.N, F(s.Min), F(s.P50), F(s.Mean), F(s.P95), F(s.Max))
+}

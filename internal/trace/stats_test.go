@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Errorf("summary %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("stddev %v, want sqrt(2)", s.StdDev)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Errorf("empty summary %+v", s)
+	}
+	one := Summarize([]float64{7})
+	if one.Min != 7 || one.Max != 7 || one.P50 != 7 || one.P95 != 7 || one.StdDev != 0 {
+		t.Errorf("singleton summary %+v", one)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := Summarize([]float64{0, 10})
+	if s.P50 != 5 {
+		t.Errorf("p50 of {0,10} = %v, want 5", s.P50)
+	}
+	if s.P95 != 9.5 {
+		t.Errorf("p95 of {0,10} = %v, want 9.5", s.P95)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if (Summary{}).String() != "n=0" {
+		t.Error("empty string form")
+	}
+	str := Summarize([]float64{1, 2, 3}).String()
+	for _, part := range []string{"n=3", "min=", "p50=", "mean=", "p95=", "max="} {
+		if !strings.Contains(str, part) {
+			t.Errorf("summary string %q missing %q", str, part)
+		}
+	}
+}
+
+// Property: min <= p50 <= p95 <= max and min <= mean <= max.
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Stay inside Summarize's documented domain: finite, with the
+			// sample diameter representable.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, math.Mod(v, 1e12))
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		s := Summarize(vals)
+		return s.Min <= s.P50 && s.P50 <= s.P95 && s.P95 <= s.Max &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,222 @@
+// Package wire defines the fixed little-endian wire encoding of every
+// protocol message. Encoding real bytes (rather than counting structs) is
+// what makes the bit-complexity numbers in the experiment tables honest.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Kind is the first byte of every message.
+type Kind byte
+
+// Message kinds.
+const (
+	// KindInit carries a party's raw input during the adaptive spread
+	// estimation phase.
+	KindInit Kind = iota + 1
+	// KindValue carries a round-tagged protocol value with the sender's
+	// current round horizon piggybacked.
+	KindValue
+	// KindDecided announces a final output; receivers may use it as the
+	// sender's value for every future round.
+	KindDecided
+	// KindRBC carries a reliable-broadcast phase message.
+	KindRBC
+	// KindReport carries a witness-technique report: the set of senders
+	// whose round values the reporter holds.
+	KindReport
+	// KindWrapped carries an inner message tagged with a coordinate index;
+	// the multidimensional extension multiplexes one scalar protocol
+	// instance per coordinate over a single channel.
+	KindWrapped
+)
+
+// RBC phases.
+const (
+	RBCSend byte = iota + 1
+	RBCEcho
+	RBCReady
+)
+
+// Sentinel decoding errors.
+var (
+	ErrShort   = errors.New("wire: message truncated")
+	ErrBadKind = errors.New("wire: unknown message kind")
+)
+
+// Init is the adaptive-mode input announcement.
+type Init struct {
+	Value float64
+}
+
+// Value is the core round message.
+type Value struct {
+	Round   uint32
+	Horizon uint32 // sender's current last-round estimate (adaptive mode)
+	Value   float64
+}
+
+// Decided is the final-output announcement.
+type Decided struct {
+	Value float64
+}
+
+// RBC is a reliable-broadcast phase message for instance (Origin, Round).
+type RBC struct {
+	Phase  byte
+	Origin uint16
+	Round  uint32
+	Value  float64
+}
+
+// Report is the witness-technique report: the sender IDs whose round-Round
+// values the reporter has reliably delivered.
+type Report struct {
+	Round   uint32
+	Senders []uint16
+}
+
+// MarshalInit encodes an Init message.
+func MarshalInit(m Init) []byte {
+	b := make([]byte, 9)
+	b[0] = byte(KindInit)
+	binary.LittleEndian.PutUint64(b[1:], math.Float64bits(m.Value))
+	return b
+}
+
+// MarshalValue encodes a Value message.
+func MarshalValue(m Value) []byte {
+	b := make([]byte, 17)
+	b[0] = byte(KindValue)
+	binary.LittleEndian.PutUint32(b[1:], m.Round)
+	binary.LittleEndian.PutUint32(b[5:], m.Horizon)
+	binary.LittleEndian.PutUint64(b[9:], math.Float64bits(m.Value))
+	return b
+}
+
+// MarshalDecided encodes a Decided message.
+func MarshalDecided(m Decided) []byte {
+	b := make([]byte, 9)
+	b[0] = byte(KindDecided)
+	binary.LittleEndian.PutUint64(b[1:], math.Float64bits(m.Value))
+	return b
+}
+
+// MarshalRBC encodes an RBC phase message.
+func MarshalRBC(m RBC) []byte {
+	b := make([]byte, 16)
+	b[0] = byte(KindRBC)
+	b[1] = m.Phase
+	binary.LittleEndian.PutUint16(b[2:], m.Origin)
+	binary.LittleEndian.PutUint32(b[4:], m.Round)
+	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(m.Value))
+	return b
+}
+
+// MarshalReport encodes a witness report.
+func MarshalReport(m Report) []byte {
+	b := make([]byte, 7+2*len(m.Senders))
+	b[0] = byte(KindReport)
+	binary.LittleEndian.PutUint32(b[1:], m.Round)
+	binary.LittleEndian.PutUint16(b[5:], uint16(len(m.Senders)))
+	for i, s := range m.Senders {
+		binary.LittleEndian.PutUint16(b[7+2*i:], s)
+	}
+	return b
+}
+
+// Peek returns the kind of an encoded message without decoding it.
+func Peek(b []byte) (Kind, error) {
+	if len(b) < 1 {
+		return 0, ErrShort
+	}
+	k := Kind(b[0])
+	if k < KindInit || k > KindWrapped {
+		return 0, fmt.Errorf("%w: %d", ErrBadKind, b[0])
+	}
+	return k, nil
+}
+
+// MarshalWrapped prefixes an inner message with a coordinate tag.
+func MarshalWrapped(dim uint16, inner []byte) []byte {
+	b := make([]byte, 3+len(inner))
+	b[0] = byte(KindWrapped)
+	binary.LittleEndian.PutUint16(b[1:], dim)
+	copy(b[3:], inner)
+	return b
+}
+
+// UnmarshalWrapped splits a wrapped message into its coordinate tag and
+// inner bytes (which alias the input).
+func UnmarshalWrapped(b []byte) (dim uint16, inner []byte, err error) {
+	if len(b) < 3 || Kind(b[0]) != KindWrapped {
+		return 0, nil, fmt.Errorf("%w: wrapped", ErrShort)
+	}
+	return binary.LittleEndian.Uint16(b[1:]), b[3:], nil
+}
+
+// UnmarshalInit decodes an Init message.
+func UnmarshalInit(b []byte) (Init, error) {
+	if len(b) < 9 || Kind(b[0]) != KindInit {
+		return Init{}, fmt.Errorf("%w: init", ErrShort)
+	}
+	return Init{Value: math.Float64frombits(binary.LittleEndian.Uint64(b[1:]))}, nil
+}
+
+// UnmarshalValue decodes a Value message.
+func UnmarshalValue(b []byte) (Value, error) {
+	if len(b) < 17 || Kind(b[0]) != KindValue {
+		return Value{}, fmt.Errorf("%w: value", ErrShort)
+	}
+	return Value{
+		Round:   binary.LittleEndian.Uint32(b[1:]),
+		Horizon: binary.LittleEndian.Uint32(b[5:]),
+		Value:   math.Float64frombits(binary.LittleEndian.Uint64(b[9:])),
+	}, nil
+}
+
+// UnmarshalDecided decodes a Decided message.
+func UnmarshalDecided(b []byte) (Decided, error) {
+	if len(b) < 9 || Kind(b[0]) != KindDecided {
+		return Decided{}, fmt.Errorf("%w: decided", ErrShort)
+	}
+	return Decided{Value: math.Float64frombits(binary.LittleEndian.Uint64(b[1:]))}, nil
+}
+
+// UnmarshalRBC decodes an RBC phase message.
+func UnmarshalRBC(b []byte) (RBC, error) {
+	if len(b) < 16 || Kind(b[0]) != KindRBC {
+		return RBC{}, fmt.Errorf("%w: rbc", ErrShort)
+	}
+	m := RBC{
+		Phase:  b[1],
+		Origin: binary.LittleEndian.Uint16(b[2:]),
+		Round:  binary.LittleEndian.Uint32(b[4:]),
+		Value:  math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+	}
+	if m.Phase < RBCSend || m.Phase > RBCReady {
+		return RBC{}, fmt.Errorf("wire: rbc: bad phase %d", m.Phase)
+	}
+	return m, nil
+}
+
+// UnmarshalReport decodes a witness report.
+func UnmarshalReport(b []byte) (Report, error) {
+	if len(b) < 7 || Kind(b[0]) != KindReport {
+		return Report{}, fmt.Errorf("%w: report", ErrShort)
+	}
+	count := int(binary.LittleEndian.Uint16(b[5:]))
+	if len(b) < 7+2*count {
+		return Report{}, fmt.Errorf("%w: report senders", ErrShort)
+	}
+	m := Report{Round: binary.LittleEndian.Uint32(b[1:])}
+	m.Senders = make([]uint16, count)
+	for i := 0; i < count; i++ {
+		m.Senders[i] = binary.LittleEndian.Uint16(b[7+2*i:])
+	}
+	return m, nil
+}
