@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is the tier-1 gate (build + vet +
+# tests); `make bench` refreshes the BENCH_1.json performance snapshot at
+# the repo root; `make race` exercises the parallel experiment engine under
+# the race detector.
+
+GO ?= go
+
+.PHONY: check vet race bench benchmem
+
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -run 'TestEngine|TestMapOrdered|TestRunAll|TestSetParallelism|TestSmoke' ./internal/harness/
+
+# bench regenerates the committed benchmark snapshot. Seeds are kept small
+# so the refresh stays in the tens of seconds; the snapshot records the
+# seed count so trajectories compare like with like.
+bench:
+	$(GO) run ./cmd/aabench -seeds 2 -json BENCH_1.json
+
+# benchmem runs the substrate micro-benchmarks with allocation accounting,
+# the numbers PERF.md tracks.
+benchmem:
+	$(GO) test -run '^$$' -bench 'BenchmarkApproxFuncs|BenchmarkContractionSearch|BenchmarkWire' -benchmem .

@@ -11,11 +11,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/microbench"
 	"repro/internal/multiset"
 	"repro/internal/rbc"
 	"repro/internal/sched"
 	"repro/internal/trace"
-	"repro/internal/wire"
 )
 
 // runExperiment drives one experiment per iteration and logs the final
@@ -67,7 +67,21 @@ func BenchmarkE5Trajectories(b *testing.B) {
 
 // BenchmarkE6Scaling regenerates Figure E6 (scaling with n), capped at
 // n=32 to keep the iteration under a second; aabench runs the full sweep.
+// It runs on the parallel experiment engine at the default worker count;
+// compare against BenchmarkE6ScalingSequential for the engine's speedup
+// (~GOMAXPROCS on a multi-core machine).
 func BenchmarkE6Scaling(b *testing.B) {
+	runExperiment(b, func() (*trace.Table, error) {
+		return harness.E6ScalingSizes([]int{8, 16, 32})
+	})
+}
+
+// BenchmarkE6ScalingSequential is BenchmarkE6Scaling pinned to one engine
+// worker: the sequential baseline for the parallel-speedup acceptance
+// criterion (the tables rendered by both are byte-identical).
+func BenchmarkE6ScalingSequential(b *testing.B) {
+	harness.SetParallelism(1)
+	defer harness.SetParallelism(0)
 	runExperiment(b, func() (*trace.Table, error) {
 		return harness.E6ScalingSizes([]int{8, 16, 32})
 	})
@@ -182,48 +196,51 @@ func BenchmarkRBCRound(b *testing.B) {
 	}
 }
 
-// BenchmarkApproxFuncs measures the per-round approximation functions on a
-// quorum-sized multiset.
-func BenchmarkApproxFuncs(b *testing.B) {
-	sorted := make([]float64, 64)
-	for i := range sorted {
-		sorted[i] = float64(i)
-	}
-	for _, fn := range []multiset.Func{
+// benchFuncs is the approximation-function inventory the micro-benchmarks
+// sweep, on a quorum-sized multiset. The benchmark bodies live in
+// internal/microbench, shared with cmd/aabench's -json snapshot so the two
+// measurements can never drift apart.
+func benchFuncs() []multiset.Func {
+	return []multiset.Func{
 		multiset.MidExtremes{Trim: 8},
 		multiset.TrimmedMean{Trim: 8},
 		multiset.Median{},
 		multiset.SelectDouble{Trim: 8, K: 4},
-	} {
+	}
+}
+
+// BenchmarkApproxFuncs measures the per-round approximation functions on
+// the trusted-sorted fast path — the path every protocol round actually
+// takes (multiset.ApplyInPlace → ApplySorted).
+func BenchmarkApproxFuncs(b *testing.B) {
+	for _, fn := range benchFuncs() {
 		fn := fn
-		b.Run(fn.Name(), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := fn.Apply(sorted); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+		b.Run(fn.Name(), func(b *testing.B) { microbench.ApplySorted(b, fn) })
+	}
+}
+
+// BenchmarkApproxFuncsValidated measures the validating Apply path (with
+// its O(n) sortedness re-scan), the comparison point for the fast path.
+func BenchmarkApproxFuncsValidated(b *testing.B) {
+	for _, fn := range benchFuncs() {
+		fn := fn
+		b.Run(fn.Name(), func(b *testing.B) { microbench.ApplyValidated(b, fn) })
 	}
 }
 
 // BenchmarkWireRoundtrip measures encode+decode of the core round message.
 func BenchmarkWireRoundtrip(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		m := wire.MarshalValue(wire.Value{Round: 7, Horizon: 30, Value: 3.25})
-		if _, err := wire.UnmarshalValue(m); err != nil {
-			b.Fatal(err)
-		}
-	}
+	microbench.WireRoundtrip(b)
+}
+
+// BenchmarkWireAppendReuse measures the buffer-reusing encoder on a scratch
+// buffer, the zero-allocation form of the wire hot path.
+func BenchmarkWireAppendReuse(b *testing.B) {
+	microbench.WireAppendReuse(b)
 }
 
 // BenchmarkContractionSearch measures the adversarial one-round contraction
 // search used by E2/E7.
 func BenchmarkContractionSearch(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		_, err := multiset.WorstContraction(multiset.MidExtremes{},
-			multiset.ViewModel{N: 9, T: 4}, 500, 1)
-		if err != nil {
-			b.Fatal(err)
-		}
-	}
+	microbench.ContractionSearch(b)
 }

@@ -1,22 +1,33 @@
-// Command aabench regenerates every evaluation artifact (experiments E1–E10
+// Command aabench regenerates every evaluation artifact (experiments E1–E11
 // in DESIGN.md) and prints them as aligned tables, optionally also writing
-// CSV files. This is the one-command reproduction of the paper's claims;
-// EXPERIMENTS.md records a captured run next to the claims themselves.
+// CSV files and a machine-readable benchmark snapshot. This is the
+// one-command reproduction of the paper's claims; EXPERIMENTS.md records a
+// captured run next to the claims themselves, and the BENCH_*.json files at
+// the repo root record the performance trajectory across PRs.
 //
 // Usage:
 //
-//	aabench [-seeds N] [-only E4] [-csv DIR]
+//	aabench [-seeds N] [-only E4] [-csv DIR] [-parallel N] [-json FILE]
+//
+// Experiments run on the parallel engine (internal/harness worker pool) by
+// default, fanning independent simulation runs across GOMAXPROCS cores;
+// -parallel 1 forces the sequential path (the rendered tables are identical
+// by construction — the determinism tests pin this).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"testing"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/microbench"
 )
 
 func main() {
@@ -26,14 +37,52 @@ func main() {
 	}
 }
 
+// snapshot is the BENCH_*.json schema: one entry per experiment with
+// wall-clock and engine-level run accounting, plus substrate
+// micro-benchmarks (measured via testing.Benchmark, so ns/op and allocs/op
+// mean exactly what `go test -bench -benchmem` means).
+type snapshot struct {
+	Schema      string       `json:"schema"`
+	GoVersion   string       `json:"go"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Parallelism int          `json:"parallelism"`
+	Seeds       int          `json:"seeds"`
+	Generated   string       `json:"generated"`
+	Experiments []expBench   `json:"experiments"`
+	Micro       []microBench `json:"micro"`
+}
+
+type expBench struct {
+	ID     string `json:"id"`
+	Title  string `json:"title"`
+	WallNs int64  `json:"wall_ns"`
+	// Runs is the number of engine-executed simulation runs the experiment
+	// fanned out; the per-run ratios below are averaged over them.
+	Runs        int64   `json:"runs"`
+	NsPerRun    float64 `json:"ns_per_run"`
+	MsgsPerRun  float64 `json:"msgs_per_run"`
+	BytesPerRun float64 `json:"bytes_per_run"`
+}
+
+type microBench struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp int64   `json:"allocs_op"`
+	BytesOp  int64   `json:"bytes_op"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("aabench", flag.ContinueOnError)
 	seeds := fs.Int("seeds", 3, "seeds per configuration")
 	only := fs.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	csvDir := fs.String("csv", "", "directory to also write CSV tables into")
+	parallel := fs.Int("parallel", 0, "engine worker count (0 = GOMAXPROCS, 1 = sequential)")
+	jsonPath := fs.String("json", "", "file to write a BENCH_*.json benchmark snapshot into")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	harness.SetParallelism(*parallel)
+	defer harness.SetParallelism(0)
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
 		if id = strings.TrimSpace(id); id != "" {
@@ -45,20 +94,40 @@ func run(args []string) error {
 			return err
 		}
 	}
+	snap := snapshot{
+		Schema:      "aabench/v1",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: harness.Parallelism(),
+		Seeds:       *seeds,
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+	}
 	for _, exp := range harness.Experiments(*seeds) {
 		if len(want) > 0 && !want[exp.ID] {
 			continue
 		}
+		harness.ResetEngineStats()
 		start := time.Now()
 		tbl, err := exp.Run()
 		if err != nil {
 			return fmt.Errorf("%s (%s): %w", exp.ID, exp.Title, err)
 		}
-		fmt.Printf("== %s: %s (%.1fs) ==\n", exp.ID, exp.Title, time.Since(start).Seconds())
+		wall := time.Since(start)
+		stats := harness.SnapshotEngineStats()
+		fmt.Printf("== %s: %s (%.1fs, %d runs) ==\n", exp.ID, exp.Title, wall.Seconds(), stats.Runs)
 		if err := tbl.Render(os.Stdout); err != nil {
 			return err
 		}
 		fmt.Println()
+		snap.Experiments = append(snap.Experiments, expBench{
+			ID:          exp.ID,
+			Title:       exp.Title,
+			WallNs:      wall.Nanoseconds(),
+			Runs:        stats.Runs,
+			NsPerRun:    perRun(float64(wall.Nanoseconds()), stats.Runs),
+			MsgsPerRun:  perRun(float64(stats.MessagesSent), stats.Runs),
+			BytesPerRun: perRun(float64(stats.BytesSent), stats.Runs),
+		})
 		if *csvDir != "" {
 			f, err := os.Create(filepath.Join(*csvDir, strings.ToLower(exp.ID)+".csv"))
 			if err != nil {
@@ -73,5 +142,44 @@ func run(args []string) error {
 			}
 		}
 	}
-	return nil
+	if *jsonPath == "" {
+		return nil
+	}
+	snap.Micro = microBenchRunner()
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+}
+
+func perRun(total float64, runs int64) float64 {
+	if runs == 0 {
+		return 0
+	}
+	return total / float64(runs)
+}
+
+// microBenchRunner measures the snapshot micro-benchmarks. It is a
+// variable so tests can stub it: testing.Benchmark calibrates for about a
+// second per case, far too slow for a unit test that only checks the JSON
+// shape.
+var microBenchRunner = microBenches
+
+// microBenches measures the protocol substrates the hot-path work targets
+// — the shared inventory in internal/microbench, so these numbers are the
+// same measurements `go test -bench` reports.
+func microBenches() []microBench {
+	cases := microbench.Cases()
+	out := make([]microBench, 0, len(cases))
+	for _, c := range cases {
+		r := testing.Benchmark(c.Fn)
+		out = append(out, microBench{
+			Name:     c.Name,
+			NsOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsOp: r.AllocsPerOp(),
+			BytesOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return out
 }

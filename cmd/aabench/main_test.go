@@ -27,6 +27,37 @@ func TestRunSingleExperimentWithCSV(t *testing.T) {
 	}
 }
 
+func TestRunJSONSnapshot(t *testing.T) {
+	// Stub the micro-benchmark runner: testing.Benchmark calibrates for
+	// about a second per case, which this shape check does not need.
+	orig := microBenchRunner
+	microBenchRunner = func() []microBench {
+		return []microBench{{Name: "stub/micro", NsOp: 1, AllocsOp: 0, BytesOp: 0}}
+	}
+	defer func() { microBenchRunner = orig }()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	if err := run([]string{"-seeds", "1", "-only", "E3", "-parallel", "2", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		`"schema": "aabench/v1"`,
+		`"id": "E3"`,
+		`"msgs_per_run"`,
+		`"stub/micro"`,
+		`"allocs_op"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("snapshot missing %s", want)
+		}
+	}
+}
+
 func TestRunUnknownFlag(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("unknown flag accepted")

@@ -9,4 +9,25 @@
 // under internal/. See README.md for a tour, DESIGN.md for the system
 // inventory and proofs, and EXPERIMENTS.md for the measured reproduction of
 // every evaluation table and figure.
+//
+// # Performance architecture
+//
+// Experiments execute on a parallel engine (internal/harness): each E*
+// driver enumerates its independent (Spec, seed) simulation runs up front
+// and submits them to a worker pool that fans them across GOMAXPROCS
+// goroutines, aggregating results in deterministic index order — the
+// rendered tables are byte-identical to a sequential execution at any
+// worker count (cmd/aabench -parallel 1 forces the sequential path).
+//
+// The per-round protocol hot paths are allocation-free: reception views are
+// assembled into per-party scratch buffers, sorted in place, and applied
+// through the multiset package's trusted-sorted fast paths
+// (multiset.ApplyInPlace), which skip both the defensive copy and the O(n)
+// sortedness re-scan of the validating multiset.Func.Apply contract. The
+// wire package offers append-style encoders (wire.AppendValue et al.) for
+// buffer-reusing encode.
+//
+// PERF.md records the measured before/after numbers; the BENCH_*.json
+// snapshots at the repo root (written by cmd/aabench -json, refreshed via
+// `make bench`) carry the performance trajectory across PRs.
 package repro

@@ -37,6 +37,7 @@ type AsyncAA struct {
 	frozen  map[sim.PartyID]float64
 	api     sim.API
 	fn      multiset.Func
+	viewBuf []float64 // per-round reception scratch, reused across rounds
 	input   float64
 	v       float64
 	round   uint32 // round currently being collected (1-based)
@@ -218,7 +219,7 @@ func (a *AsyncAA) advance() {
 		if len(view) < a.p.Quorum() {
 			return
 		}
-		next, err := a.fn.Apply(multiset.Sorted(view))
+		next, err := multiset.ApplyInPlace(a.fn, view)
 		if err != nil {
 			a.fail(fmt.Errorf("core: round %d: %w", a.round, err))
 			return
@@ -236,9 +237,11 @@ func (a *AsyncAA) advance() {
 
 // view assembles the reception multiset for a round: round-tagged values
 // plus frozen DECIDED values from parties that sent nothing for the round.
+// The returned slice is the party's reusable scratch buffer — valid until
+// the next view call, sorted in place by the apply step.
 func (a *AsyncAA) view(round uint32) []float64 {
 	bucket := a.rounds[round]
-	out := make([]float64, 0, len(bucket)+len(a.frozen))
+	out := a.viewBuf[:0]
 	for _, v := range bucket {
 		out = append(out, v)
 	}
@@ -247,6 +250,7 @@ func (a *AsyncAA) view(round uint32) []float64 {
 			out = append(out, v)
 		}
 	}
+	a.viewBuf = out
 	return out
 }
 

@@ -25,6 +25,7 @@ type SyncAA struct {
 	api     sim.API
 	fn      multiset.Func
 	rounds  map[uint32]map[sim.PartyID]float64
+	viewBuf []float64 // per-round reception scratch, reused across rounds
 	v       float64
 	round   uint32
 	horizon uint32
@@ -118,17 +119,18 @@ func (s *SyncAA) OnTimer(tag uint64) {
 	if s.err != nil || s.decided || tag != uint64(s.round) {
 		return
 	}
-	view := make([]float64, 0, s.p.N)
+	view := s.viewBuf[:0]
 	for _, v := range s.rounds[s.round] {
 		view = append(view, v)
 	}
+	s.viewBuf = view
 	delete(s.rounds, s.round)
 	if len(view) < s.fn.MinInputs() {
 		s.err = fmt.Errorf("core: sync round %d: %d arrivals, below %s minimum %d (synchrony assumption violated)",
 			s.round, len(view), s.fn.Name(), s.fn.MinInputs())
 		return
 	}
-	next, err := s.fn.Apply(multiset.Sorted(view))
+	next, err := multiset.ApplyInPlace(s.fn, view)
 	if err != nil {
 		s.err = fmt.Errorf("core: sync round %d: %w", s.round, err)
 		return

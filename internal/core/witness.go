@@ -39,6 +39,7 @@ type WitnessAA struct {
 	pending   map[uint32]map[sim.PartyID][]uint16
 	satisfied map[uint32]map[sim.PartyID]bool
 	sentRep   map[uint32]bool
+	viewBuf   []float64 // per-round reception scratch, reused across rounds
 	v         float64
 	round     uint32
 	horizon   uint32
@@ -238,11 +239,12 @@ func (w *WitnessAA) maybeAdvance() {
 		if len(w.satisfied[w.round]) < w.p.Quorum() {
 			return
 		}
-		view := make([]float64, 0, len(w.vals[w.round]))
+		view := w.viewBuf[:0]
 		for _, v := range w.vals[w.round] {
 			view = append(view, v)
 		}
-		next, err := w.fn.Apply(multiset.Sorted(view))
+		w.viewBuf = view
+		next, err := multiset.ApplyInPlace(w.fn, view)
 		if err != nil {
 			w.err = fmt.Errorf("core: witness round %d: %w", w.round, err)
 			return

@@ -38,9 +38,9 @@ func Experiments(seeds int) []Experiment {
 	}
 }
 
-// worstOver runs a spec-generating closure across the scheduler suite and
-// seed range and returns the worst observed final spread along with whether
-// every run satisfied all invariants.
+// sweepOutcome is the aggregate of one sweep across the scheduler suite and
+// seed range: the worst observed final spread and effective contraction,
+// and whether every run satisfied all invariants.
 type sweepOutcome struct {
 	worstSpread   float64
 	worstGammaEff float64
@@ -49,19 +49,29 @@ type sweepOutcome struct {
 	runs          int
 }
 
-func sweep(p core.Params, inputs []float64, crashes []sim.CrashPlan,
-	byz map[sim.PartyID]fault.Behavior, seeds int) (sweepOutcome, error) {
-	out := sweepOutcome{allOK: true}
+// sweepJob is one sweep, enumerated as engine specs. Experiments build one
+// job per table configuration and submit every job's specs to the engine as
+// a single batch (runSweeps), so the whole table fans out across workers.
+type sweepJob struct {
+	rounds int
+	specs  []Spec
+	labels []string // "<scheduler>/seed<k>", for failure attribution
+}
+
+// newSweepJob enumerates the (scheduler, seed) grid for one configuration.
+func newSweepJob(p core.Params, inputs []float64, crashes []sim.CrashPlan,
+	byz map[sim.PartyID]fault.Behavior, seeds int) (*sweepJob, error) {
 	rounds, err := p.FixedRounds()
 	if err != nil {
-		return out, err
+		return nil, err
 	}
+	j := &sweepJob{rounds: rounds}
 	for _, sc := range sched.Suite(p.N, p.T) {
 		if p.Protocol == core.ProtoSync && sc.Name != "sync" {
 			continue // the baseline is only defined under synchrony
 		}
 		for seed := int64(0); seed < int64(seeds); seed++ {
-			rep, err := Run(Spec{
+			j.specs = append(j.specs, Spec{
 				Params:    p,
 				Inputs:    inputs,
 				Scheduler: sc,
@@ -69,23 +79,67 @@ func sweep(p core.Params, inputs []float64, crashes []sim.CrashPlan,
 				Byz:       byz,
 				Seed:      seed*7919 + 1,
 			})
-			if err != nil {
-				return out, fmt.Errorf("sweep %s seed %d: %w", sc.Name, seed, err)
-			}
-			out.runs++
-			if rep.FinalSpread > out.worstSpread {
-				out.worstSpread = rep.FinalSpread
-			}
-			if g := gammaEff(rep, rounds); g > out.worstGammaEff {
-				out.worstGammaEff = g
-			}
-			if !rep.OK() && out.allOK {
-				out.allOK = false
-				out.firstFailure = fmt.Sprintf("%s/seed%d: %s", sc.Name, seed, rep.Failure())
-			}
+			j.labels = append(j.labels, fmt.Sprintf("%s/seed%d", sc.Name, seed))
 		}
 	}
-	return out, nil
+	return j, nil
+}
+
+// aggregate folds the job's reports, in spec order, into the outcome. Index
+// order matters only for firstFailure; the numeric aggregates are maxima
+// and therefore order-independent.
+func (j *sweepJob) aggregate(reps []*Report) sweepOutcome {
+	out := sweepOutcome{allOK: true}
+	for i, rep := range reps {
+		out.runs++
+		if rep.FinalSpread > out.worstSpread {
+			out.worstSpread = rep.FinalSpread
+		}
+		if g := gammaEff(rep, j.rounds); g > out.worstGammaEff {
+			out.worstGammaEff = g
+		}
+		if !rep.OK() && out.allOK {
+			out.allOK = false
+			out.firstFailure = fmt.Sprintf("%s: %s", j.labels[i], rep.Failure())
+		}
+	}
+	return out
+}
+
+// runSweeps flattens the jobs into one engine batch and hands each job its
+// slice of the ordered reports.
+func runSweeps(jobs []*sweepJob) ([]sweepOutcome, error) {
+	var all []Spec
+	var labels []string
+	for _, j := range jobs {
+		all = append(all, j.specs...)
+		labels = append(labels, j.labels...)
+	}
+	reps, err := RunAllLabeled(all, func(i int) string { return "sweep " + labels[i] })
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]sweepOutcome, len(jobs))
+	off := 0
+	for i, j := range jobs {
+		outs[i] = j.aggregate(reps[off : off+len(j.specs)])
+		off += len(j.specs)
+	}
+	return outs, nil
+}
+
+// sweep runs a single configuration's sweep through the engine.
+func sweep(p core.Params, inputs []float64, crashes []sim.CrashPlan,
+	byz map[sim.PartyID]fault.Behavior, seeds int) (sweepOutcome, error) {
+	job, err := newSweepJob(p, inputs, crashes, byz, seeds)
+	if err != nil {
+		return sweepOutcome{}, err
+	}
+	outs, err := runSweeps([]*sweepJob{job})
+	if err != nil {
+		return sweepOutcome{}, err
+	}
+	return outs[0], nil
 }
 
 // gammaEff computes the effective per-round contraction of a finished run.
@@ -145,10 +199,16 @@ func E1Resilience(seeds int) (*trace.Table, error) {
 		{core.ProtoByzTrim, 15, 2, false},
 		{core.ProtoWitness, 10, 3, false},
 	}
-	for _, c := range cases {
+	// Enumerate everything up front — the at-bound sweeps as one engine
+	// batch, the overload demonstrations (which may legitimately fail at
+	// spec level) as a second.
+	jobs := make([]*sweepJob, len(cases))
+	overloads := make([]Spec, 0, len(cases)+1)
+	params := make([]core.Params, len(cases))
+	for i, c := range cases {
 		p := core.Params{Protocol: c.proto, N: c.n, T: c.t, Eps: 1e-3, Lo: 0, Hi: 100}
+		params[i] = p
 		inputs := BimodalInputs(c.n, 0, 100)
-		// At the bound.
 		var crashes []sim.CrashPlan
 		var byz map[sim.PartyID]fault.Behavior
 		if c.isCash {
@@ -156,33 +216,45 @@ func E1Resilience(seeds int) (*trace.Table, error) {
 		} else {
 			byz = byzAssign(c.t, fault.Equivocate{Stretch: 2})
 		}
-		out, err := sweep(p, inputs, crashes, byz, seeds)
+		job, err := newSweepJob(p, inputs, crashes, byz, seeds)
 		if err != nil {
 			return nil, err
 		}
+		jobs[i] = job
+		overloads = append(overloads, overloadSpec(p, inputs, c.isCash))
+	}
+	// The trim protocol at the classical n = 5t+1 resilience: the
+	// equivocation attack parks the two halves of the network on different
+	// trimmed medians and the diameter never contracts. This run is why
+	// ProtoByzTrim claims n >= 7t+1 and why the witness technique exists.
+	p5 := core.Params{Protocol: core.ProtoByzTrim, N: 11, T: 2, Eps: 1e-3, Lo: 0, Hi: 100,
+		AllowBelowBound: true}
+	overloads = append(overloads, uncheckedSpec(p5, BimodalInputs(11, 0, 100), nil,
+		byzAssign(2, fault.Equivocate{Stretch: 2}), stdSchedule(11), 99))
+
+	outs, err := runSweeps(jobs)
+	if err != nil {
+		return nil, err
+	}
+	overloadOuts := runAllOutcomes(overloads)
+
+	for i, c := range cases {
+		p, out := params[i], outs[i]
 		tbl.AddRow(p.Protocol.String(), trace.I(c.n), trace.I(c.t), trace.I(c.t),
 			trace.Sprintf("t<=%d", (c.n-1)/faultDivisor(c.proto)), trace.B(out.allOK),
 			trace.B(out.allOK), trace.B(out.allOK), "at bound: all invariants hold")
 
 		// One past the bound.
-		live, valid, agreed, note := overloadRun(p, inputs, c.isCash)
+		live, valid, agreed, note := overloadVerdict(overloadOuts[i])
 		tbl.AddRow(p.Protocol.String(), trace.I(c.n), trace.I(c.t), trace.I(c.t+1),
 			"exceeded", trace.B(live), trace.B(valid), trace.B(agreed), note)
 	}
-
-	// The trim protocol at the classical n = 5t+1 resilience: the
-	// equivocation attack parks the two halves of the network on different
-	// trimmed medians and the diameter never contracts. This run is why
-	// ProtoByzTrim claims n >= 7t+1 and why the witness technique exists.
-	p := core.Params{Protocol: core.ProtoByzTrim, N: 11, T: 2, Eps: 1e-3, Lo: 0, Hi: 100,
-		AllowBelowBound: true}
-	inputs := BimodalInputs(11, 0, 100)
-	rep, err := runUnchecked(p, inputs, nil, byzAssign(2, fault.Equivocate{Stretch: 2}), stdSchedule(11), 99)
-	if err != nil {
-		return nil, err
+	o5 := overloadOuts[len(cases)]
+	if o5.err != nil {
+		return nil, o5.err
 	}
-	tbl.AddRow(p.Protocol.String()+"@5t+1", "11", "2", "2", "below proven bound",
-		trace.B(rep.RunErr == nil), trace.B(rep.ValidityOK), trace.B(rep.AgreementOK),
+	tbl.AddRow(p5.Protocol.String()+"@5t+1", "11", "2", "2", "below proven bound",
+		trace.B(o5.rep.RunErr == nil), trace.B(o5.rep.ValidityOK), trace.B(o5.rep.AgreementOK),
 		"equivocation stalls contraction at classical resilience")
 	return tbl, nil
 }
@@ -198,9 +270,9 @@ func faultDivisor(p core.Protocol) int {
 	}
 }
 
-// overloadRun injects t+1 faults against a protocol configured for t and
-// reports which property breaks.
-func overloadRun(p core.Params, inputs []float64, crash bool) (live, valid, agreed bool, note string) {
+// overloadSpec builds the spec that injects t+1 faults against a protocol
+// configured for t.
+func overloadSpec(p core.Params, inputs []float64, crash bool) Spec {
 	var crashes []sim.CrashPlan
 	byz := map[sim.PartyID]fault.Behavior{}
 	if crash {
@@ -213,10 +285,15 @@ func overloadRun(p core.Params, inputs []float64, crash bool) (live, valid, agre
 			byz[sim.PartyID(i)] = fault.Equivocate{Stretch: 2}
 		}
 	}
-	rep, err := runUnchecked(p, inputs, crashes, byz, stdSchedule(p.N), 99)
-	if err != nil {
-		return false, false, false, err.Error()
+	return uncheckedSpec(p, inputs, crashes, byz, stdSchedule(p.N), 99)
+}
+
+// overloadVerdict reports which property an overload run broke.
+func overloadVerdict(o runOutcome) (live, valid, agreed bool, note string) {
+	if o.err != nil {
+		return false, false, false, o.err.Error()
 	}
+	rep := o.rep
 	live = rep.RunErr == nil
 	valid = rep.ValidityOK
 	agreed = rep.AgreementOK
@@ -233,13 +310,12 @@ func overloadRun(p core.Params, inputs []float64, crash bool) (live, valid, agre
 	return live, valid, agreed, note
 }
 
-// runUnchecked runs a spec bypassing the fault-count guard (used only by the
-// overload experiment).
-func runUnchecked(p core.Params, inputs []float64, crashes []sim.CrashPlan,
-	byz map[sim.PartyID]fault.Behavior, sc sched.Named, seed int64) (*Report, error) {
-	spec := Spec{Params: p, Inputs: inputs, Scheduler: sc, Crashes: crashes, Byz: byz,
+// uncheckedSpec builds a spec bypassing the fault-count guard (used only by
+// the overload demonstrations of E1).
+func uncheckedSpec(p core.Params, inputs []float64, crashes []sim.CrashPlan,
+	byz map[sim.PartyID]fault.Behavior, sc sched.Named, seed int64) Spec {
+	return Spec{Params: p, Inputs: inputs, Scheduler: sc, Crashes: crashes, Byz: byz,
 		Seed: seed, MaxEvents: 2_000_000, allowOverfault: true}
-	return Run(spec)
 }
 
 // --- E2: convergence rate ---
@@ -267,8 +343,11 @@ func E2Convergence(seeds int) (*trace.Table, error) {
 		{core.ProtoWitness, 7, 2, "0.5 (proven)"},
 		{core.ProtoWitness, 10, 3, "0.5 (proven)"},
 	}
-	for _, c := range cases {
+	jobs := make([]*sweepJob, len(cases))
+	params := make([]core.Params, len(cases))
+	for i, c := range cases {
 		p := core.Params{Protocol: c.proto, N: c.n, T: c.t, Eps: 1e-4, Lo: 0, Hi: 1}
+		params[i] = p
 		inputs := BimodalInputs(c.n, 0, 1)
 		var crashes []sim.CrashPlan
 		var byz map[sim.PartyID]fault.Behavior
@@ -277,22 +356,37 @@ func E2Convergence(seeds int) (*trace.Table, error) {
 		} else {
 			byz = byzAssign(c.t, fault.Equivocate{Stretch: 2})
 		}
-		out, err := sweep(p, inputs, crashes, byz, seeds)
+		job, err := newSweepJob(p, inputs, crashes, byz, seeds)
 		if err != nil {
 			return nil, err
 		}
-		search := "-"
-		if c.proto != core.ProtoWitness {
-			repSearch, err := multiset.WorstContraction(p.DefaultFunc(),
-				multiset.ViewModel{N: c.n, T: c.t, Byzantine: c.proto == core.ProtoByzTrim},
-				4000, 11)
-			if err != nil {
-				return nil, err
-			}
-			search = trace.F(repSearch.Gamma)
+		jobs[i] = job
+	}
+	outs, err := runSweeps(jobs)
+	if err != nil {
+		return nil, err
+	}
+	// The single-round adversarial searches are engine work too: one per
+	// non-witness case, fanned across the workers.
+	searches, err := mapOrdered(len(cases), func(i int) (string, error) {
+		c := cases[i]
+		if c.proto == core.ProtoWitness {
+			return "-", nil
 		}
-		tbl.AddRow(p.Protocol.String(), trace.I(c.n), trace.I(c.t), c.bound,
-			search, trace.F(out.worstGammaEff), trace.B(out.allOK))
+		repSearch, err := multiset.WorstContraction(params[i].DefaultFunc(),
+			multiset.ViewModel{N: c.n, T: c.t, Byzantine: c.proto == core.ProtoByzTrim},
+			4000, 11)
+		if err != nil {
+			return "", err
+		}
+		return trace.F(repSearch.Gamma), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cases {
+		tbl.AddRow(params[i].Protocol.String(), trace.I(c.n), trace.I(c.t), c.bound,
+			searches[i], trace.F(outs[i].worstGammaEff), trace.B(outs[i].allOK))
 	}
 	return tbl, nil
 }
@@ -304,23 +398,31 @@ func E2Convergence(seeds int) (*trace.Table, error) {
 func E3Rounds() (*trace.Table, error) {
 	tbl := trace.NewTable("E3: rounds to eps-agreement vs initial spread (crash-aa, n=10 t=4, eps=1e-3)",
 		"spread", "log2(S/eps)", "budget-R", "measured-rounds", "final-spread", "ok")
-	for _, s := range []float64{1e1, 1e2, 1e3, 1e4, 1e5, 1e6} {
+	spreads := []float64{1e1, 1e2, 1e3, 1e4, 1e5, 1e6}
+	specs := make([]Spec, 0, len(spreads))
+	budgets := make([]int, 0, len(spreads))
+	for _, s := range spreads {
 		p := core.Params{Protocol: core.ProtoCrash, N: 10, T: 4, Eps: 1e-3, Lo: 0, Hi: s}
 		budget, err := p.FixedRounds()
 		if err != nil {
 			return nil, err
 		}
-		rep, err := Run(Spec{
+		budgets = append(budgets, budget)
+		specs = append(specs, Spec{
 			Params:    p,
 			Inputs:    BimodalInputs(10, 0, s),
 			Scheduler: sched.Named{Name: "sync", Scheduler: sched.NewSynchronous(5)},
 			Crashes:   maxCrashes(10, 4),
 			Seed:      3,
 		})
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(trace.F(s), trace.F(math.Log2(s/p.Eps)), trace.I(budget),
+	}
+	reps, err := RunAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range spreads {
+		rep := reps[i]
+		tbl.AddRow(trace.F(s), trace.F(math.Log2(s/specs[i].Params.Eps)), trace.I(budgets[i]),
 			trace.F(rep.Result.Rounds()), trace.F(rep.FinalSpread), trace.B(rep.OK()))
 	}
 	return tbl, nil
@@ -343,6 +445,8 @@ func E4Messages() (*trace.Table, error) {
 		{core.ProtoByzTrim, []int{8, 15, 29, 43}},
 		{core.ProtoWitness, []int{4, 7, 13, 25}},
 	}
+	var specs []Spec
+	var rounds []int
 	for _, c := range cases {
 		for _, n := range c.ns {
 			t := maxT(c.proto, n)
@@ -351,21 +455,26 @@ func E4Messages() (*trace.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			rep, err := Run(Spec{
+			rounds = append(rounds, r)
+			specs = append(specs, Spec{
 				Params:    p,
 				Inputs:    BimodalInputs(n, 0, 1),
 				Scheduler: stdSchedule(n),
 				Seed:      5,
 			})
-			if err != nil {
-				return nil, err
-			}
-			msgs := rep.Result.Stats.MessagesSent
-			perRound := float64(msgs) / float64(r)
-			tbl.AddRow(p.Protocol.String(), trace.I(n), trace.I(t), trace.I(r),
-				trace.I(msgs), trace.F(perRound), trace.F(perRound/float64(n*n)),
-				trace.I(rep.Result.Stats.BytesSent), trace.B(rep.OK()))
 		}
+	}
+	reps, err := RunAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
+		p, rep, r := spec.Params, reps[i], rounds[i]
+		msgs := rep.Result.Stats.MessagesSent
+		perRound := float64(msgs) / float64(r)
+		tbl.AddRow(p.Protocol.String(), trace.I(p.N), trace.I(p.T), trace.I(r),
+			trace.I(msgs), trace.F(perRound), trace.F(perRound/float64(p.N*p.N)),
+			trace.I(rep.Result.Stats.BytesSent), trace.B(rep.OK()))
 	}
 	return tbl, nil
 }
@@ -403,23 +512,27 @@ func E5Trajectories() (*trace.Table, error) {
 		cols = append(cols, b.Name())
 	}
 	tbl := trace.NewTable("E5: honest diameter by round under each Byzantine behavior (byztrim-aa, n=15 t=2, splitviews scheduler)", cols...)
-	series := make([][]float64, len(behaviors))
+	specs := make([]Spec, len(behaviors))
 	for i, b := range behaviors {
-		rep, err := Run(Spec{
+		specs[i] = Spec{
 			Params:           p,
 			Inputs:           BimodalInputs(n, 0, 1),
 			Scheduler:        stdSchedule(n),
 			Byz:              byzAssign(t, b),
 			Seed:             9,
 			RecordTrajectory: true,
-		})
-		if err != nil {
-			return nil, err
 		}
-		if !rep.OK() {
-			return nil, fmt.Errorf("E5 %s: %s", b.Name(), rep.Failure())
+	}
+	reps, err := RunAllLabeled(specs, func(i int) string { return "E5 " + behaviors[i].Name() })
+	if err != nil {
+		return nil, err
+	}
+	series := make([][]float64, len(behaviors))
+	for i, b := range behaviors {
+		if !reps[i].OK() {
+			return nil, fmt.Errorf("E5 %s: %s", b.Name(), reps[i].Failure())
 		}
-		series[i] = sampleTrajectory(rep, rounds)
+		series[i] = sampleTrajectory(reps[i], rounds)
 	}
 	for r := 0; r <= rounds; r++ {
 		row := []string{trace.I(r)}
@@ -474,25 +587,30 @@ func E6Scaling() (*trace.Table, error) {
 func E6ScalingSizes(sizes []int) (*trace.Table, error) {
 	tbl := trace.NewTable("E6: scaling with n (eps=1e-3, inputs linear over [0,1], random scheduler)",
 		"protocol", "n", "t", "virt-rounds", "msgs", "bytes", "deliveries", "ok")
+	var specs []Spec
 	for _, proto := range []core.Protocol{core.ProtoCrash, core.ProtoByzTrim, core.ProtoWitness} {
 		for _, n := range sizes {
 			t := maxT(proto, n)
 			p := core.Params{Protocol: proto, N: n, T: t, Eps: 1e-3, Lo: 0, Hi: 1}
-			rep, err := Run(Spec{
+			specs = append(specs, Spec{
 				Params:    p,
 				Inputs:    LinearInputs(n, 0, 1),
 				Scheduler: sched.Named{Name: "random", Scheduler: &sched.UniformRandom{Min: 1, Max: 10}},
 				Seed:      13,
 				MaxEvents: 20_000_000,
 			})
-			if err != nil {
-				return nil, err
-			}
-			tbl.AddRow(p.Protocol.String(), trace.I(n), trace.I(t),
-				trace.F(rep.Result.Rounds()), trace.I(rep.Result.Stats.MessagesSent),
-				trace.I(rep.Result.Stats.BytesSent), trace.I(rep.Result.Stats.MessagesDelivered),
-				trace.B(rep.OK()))
 		}
+	}
+	reps, err := RunAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
+		p, rep := spec.Params, reps[i]
+		tbl.AddRow(p.Protocol.String(), trace.I(p.N), trace.I(p.T),
+			trace.F(rep.Result.Rounds()), trace.I(rep.Result.Stats.MessagesSent),
+			trace.I(rep.Result.Stats.BytesSent), trace.I(rep.Result.Stats.MessagesDelivered),
+			trace.B(rep.OK()))
 	}
 	return tbl, nil
 }
@@ -517,20 +635,29 @@ func E7Functions(seeds int) (*trace.Table, error) {
 		{multiset.Median{}, "no contraction guarantee"},
 		{multiset.SelectDouble{Trim: 1, K: 2}, "DLPSW select family"},
 	}
-	for _, fc := range funcs {
+	jobs := make([]*sweepJob, len(funcs))
+	for i, fc := range funcs {
 		p := core.Params{Protocol: core.ProtoCrash, N: n, T: t, Eps: 1e-3, Lo: 0, Hi: 1,
 			Func: fc.fn, Gamma: 0.5}
-		inputs := BimodalInputs(n, 0, 1)
-		out, err := sweep(p, inputs, maxCrashes(n, t), nil, seeds)
+		job, err := newSweepJob(p, BimodalInputs(n, 0, 1), maxCrashes(n, t), nil, seeds)
 		if err != nil {
 			return nil, err
 		}
-		search, err := multiset.WorstContraction(fc.fn, multiset.ViewModel{N: n, T: t}, 4000, 11)
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(fc.fn.Name(), trace.F(search.Gamma), trace.F(out.worstGammaEff),
-			trace.B(out.allOK), fc.note)
+		jobs[i] = job
+	}
+	outs, err := runSweeps(jobs)
+	if err != nil {
+		return nil, err
+	}
+	searches, err := mapOrdered(len(funcs), func(i int) (multiset.ContractionReport, error) {
+		return multiset.WorstContraction(funcs[i].fn, multiset.ViewModel{N: n, T: t}, 4000, 11)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, fc := range funcs {
+		tbl.AddRow(fc.fn.Name(), trace.F(searches[i].Gamma), trace.F(outs[i].worstGammaEff),
+			trace.B(outs[i].allOK), fc.note)
 	}
 	return tbl, nil
 }
@@ -547,37 +674,52 @@ func E8Adaptive(seeds int) (*trace.Table, error) {
 	tbl := trace.NewTable("E8: adaptive vs fixed-range termination (crash-aa, n=10 t=4, eps=1e-3, range [0,1e6], true spread 10)",
 		"mode", "scheduler", "rounds", "msgs", "final-spread", "eps-met")
 	inputs := LinearInputs(n, 0, 10)
+	// Enumerate the full (mode, scheduler, seed) grid; each (mode,
+	// scheduler) group is a contiguous block of `seeds` specs, so the
+	// aggregation below walks the ordered reports block by block.
+	type group struct {
+		mode string
+		sc   string
+	}
+	var specs []Spec
+	var groups []group
 	for _, adaptive := range []bool{false, true} {
 		for _, sc := range sched.Suite(n, t) {
-			worstRounds, worstMsgs, worstSpread := 0.0, 0, 0.0
-			ok := true
+			mode := "fixed"
+			if adaptive {
+				mode = "adaptive"
+			}
+			groups = append(groups, group{mode: mode, sc: sc.Name})
 			for seed := int64(0); seed < int64(seeds); seed++ {
 				p := core.Params{Protocol: core.ProtoCrash, N: n, T: t, Eps: 1e-3,
 					Lo: 0, Hi: 1e6, Adaptive: adaptive}
-				rep, err := Run(Spec{
+				specs = append(specs, Spec{
 					Params:    p,
 					Inputs:    inputs,
 					Scheduler: sc,
 					Crashes:   maxCrashes(n, t),
 					Seed:      seed*104729 + 7,
 				})
-				if err != nil {
-					return nil, err
-				}
-				worstRounds = math.Max(worstRounds, rep.Result.Rounds())
-				if rep.Result.Stats.MessagesSent > worstMsgs {
-					worstMsgs = rep.Result.Stats.MessagesSent
-				}
-				worstSpread = math.Max(worstSpread, rep.FinalSpread)
-				ok = ok && rep.OK()
 			}
-			mode := "fixed"
-			if adaptive {
-				mode = "adaptive"
-			}
-			tbl.AddRow(mode, sc.Name, trace.F(worstRounds), trace.I(worstMsgs),
-				trace.F(worstSpread), trace.B(ok))
 		}
+	}
+	reps, err := RunAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for gi, g := range groups {
+		worstRounds, worstMsgs, worstSpread := 0.0, 0, 0.0
+		ok := true
+		for _, rep := range reps[gi*seeds : (gi+1)*seeds] {
+			worstRounds = math.Max(worstRounds, rep.Result.Rounds())
+			if rep.Result.Stats.MessagesSent > worstMsgs {
+				worstMsgs = rep.Result.Stats.MessagesSent
+			}
+			worstSpread = math.Max(worstSpread, rep.FinalSpread)
+			ok = ok && rep.OK()
+		}
+		tbl.AddRow(g.mode, g.sc, trace.F(worstRounds), trace.I(worstMsgs),
+			trace.F(worstSpread), trace.B(ok))
 	}
 	return tbl, nil
 }
@@ -596,20 +738,36 @@ func E9Attacks(seeds int) (*trace.Table, error) {
 		{core.ProtoByzTrim, 15, 2},
 		{core.ProtoWitness, 10, 3},
 	}
+	type rowMeta struct {
+		behavior string
+		proto    core.Protocol
+		n, t     int
+	}
+	var jobs []*sweepJob
+	var metas []rowMeta
 	for _, b := range fault.Suite(0, 1) {
 		for _, c := range cases {
 			p := core.Params{Protocol: c.proto, N: c.n, T: c.t, Eps: 1e-3, Lo: 0, Hi: 1}
-			out, err := sweep(p, BimodalInputs(c.n, 0, 1), nil, byzAssign(c.t, b), seeds)
+			job, err := newSweepJob(p, BimodalInputs(c.n, 0, 1), nil, byzAssign(c.t, b), seeds)
 			if err != nil {
 				return nil, err
 			}
-			fail := "-"
-			if !out.allOK {
-				fail = out.firstFailure
-			}
-			tbl.AddRow(b.Name(), p.Protocol.String(), trace.I(c.n), trace.I(c.t),
-				trace.F(out.worstSpread), trace.B(out.allOK), fail)
+			jobs = append(jobs, job)
+			metas = append(metas, rowMeta{behavior: b.Name(), proto: c.proto, n: c.n, t: c.t})
 		}
+	}
+	outs, err := runSweeps(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, meta := range metas {
+		out := outs[i]
+		fail := "-"
+		if !out.allOK {
+			fail = out.firstFailure
+		}
+		tbl.AddRow(meta.behavior, meta.proto.String(), trace.I(meta.n), trace.I(meta.t),
+			trace.F(out.worstSpread), trace.B(out.allOK), fail)
 	}
 	return tbl, nil
 }

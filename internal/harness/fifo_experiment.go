@@ -23,6 +23,9 @@ func E11FIFO() (*trace.Table, error) {
 		{core.ProtoByzTrim, 15, 2},
 		{core.ProtoWitness, 7, 2},
 	}
+	// Each spec gets its own scheduler instance: FIFO is stateful (per-link
+	// ordering memory) and must never be shared across concurrent runs.
+	var specs []Spec
 	for _, c := range cases {
 		for _, fifo := range []bool{false, true} {
 			var scheduler sim.Scheduler = &sched.UniformRandom{Min: 1, Max: 25}
@@ -32,19 +35,23 @@ func E11FIFO() (*trace.Table, error) {
 				name = "fifo"
 			}
 			p := core.Params{Protocol: c.proto, N: c.n, T: c.t, Eps: 1e-3, Lo: 0, Hi: 1}
-			rep, err := Run(Spec{
+			specs = append(specs, Spec{
 				Params:    p,
 				Inputs:    LinearInputs(c.n, 0, 1),
 				Scheduler: sched.Named{Name: name, Scheduler: scheduler},
 				Seed:      31,
 			})
-			if err != nil {
-				return nil, err
-			}
-			tbl.AddRow(p.Protocol.String(), trace.I(c.n), trace.I(c.t), name,
-				trace.F(rep.Result.Rounds()), trace.I(rep.Result.Stats.MessagesSent),
-				trace.F(rep.FinalSpread), trace.B(rep.OK()))
 		}
+	}
+	reps, err := RunAll(specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
+		p, rep := spec.Params, reps[i]
+		tbl.AddRow(p.Protocol.String(), trace.I(p.N), trace.I(p.T), spec.Scheduler.Name,
+			trace.F(rep.Result.Rounds()), trace.I(rep.Result.Stats.MessagesSent),
+			trace.F(rep.FinalSpread), trace.B(rep.OK()))
 	}
 	return tbl, nil
 }

@@ -1,7 +1,14 @@
 // Package harness assembles protocols, schedulers, fault plans, and input
 // generators into runnable experiments, checks the agreement/validity
-// invariants after every run, and implements the experiment drivers (E1–E9
-// in DESIGN.md) behind cmd/aabench and the root benchmark suite.
+// invariants after every run, and implements the experiment drivers
+// (E1–E11 in DESIGN.md) behind cmd/aabench and the root benchmark suite.
+//
+// Experiments run on the parallel engine in pool.go: drivers enumerate
+// their independent simulation runs as []Spec and submit them via RunAll
+// (or mapOrdered for non-Spec work), which fans them across
+// Parallelism() worker goroutines and returns results in spec order.
+// Aggregation happens strictly after the barrier, in index order, so the
+// rendered tables are byte-identical at any worker count.
 package harness
 
 import (

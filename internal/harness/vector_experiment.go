@@ -13,18 +13,30 @@ import (
 
 // E10Vector measures the multidimensional extension: message and byte cost
 // must scale linearly in the dimension d (d independent coordinate
-// instances), with per-coordinate ε-agreement and box validity intact.
+// instances), with per-coordinate ε-agreement and box validity intact. The
+// vector runs are not Spec-based (they drive the simulator directly), so
+// they fan out through the engine's ordered map rather than RunAll.
 func E10Vector() (*trace.Table, error) {
 	tbl := trace.NewTable("E10: coordinate-wise agreement in R^d (crash-aa base, n=7 t=3, eps=1e-3)",
 		"d", "msgs", "bytes", "msgs/d", "max-spread", "ok")
 	base := core.Params{Protocol: core.ProtoCrash, N: 7, T: 3, Eps: 1e-3, Lo: -1, Hi: 1}
-	for _, dim := range []int{1, 2, 4, 8} {
-		msgs, bytes, spread, ok, err := runVectorOnce(base, dim, 21)
-		if err != nil {
-			return nil, err
-		}
-		tbl.AddRow(trace.I(dim), trace.I(msgs), trace.I(bytes),
-			trace.F(float64(msgs)/float64(dim)), trace.F(spread), trace.B(ok))
+	dims := []int{1, 2, 4, 8}
+	type vecResult struct {
+		msgs, bytes int
+		spread      float64
+		ok          bool
+	}
+	results, err := mapOrdered(len(dims), func(i int) (vecResult, error) {
+		msgs, bytes, spread, ok, err := runVectorOnce(base, dims[i], 21)
+		return vecResult{msgs: msgs, bytes: bytes, spread: spread, ok: ok}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, dim := range dims {
+		r := results[i]
+		tbl.AddRow(trace.I(dim), trace.I(r.msgs), trace.I(r.bytes),
+			trace.F(float64(r.msgs)/float64(dim)), trace.F(r.spread), trace.B(r.ok))
 	}
 	return tbl, nil
 }
@@ -70,6 +82,7 @@ func runVectorOnce(base core.Params, dim int, seed int64) (msgs, bytes int, spre
 		return res.Stats.MessagesSent, res.Stats.BytesSent, 0, false,
 			fmt.Errorf("vector run: %w", runErr)
 	}
+	countStats(res.Stats)
 	ok = true
 	for d := 0; d < dim; d++ {
 		lo, hi := math.Inf(1), math.Inf(-1)

@@ -1,0 +1,102 @@
+// Package microbench holds the substrate micro-benchmark bodies shared by
+// the root benchmark suite (bench_test.go) and cmd/aabench's -json
+// snapshot, so `go test -bench` and the BENCH_*.json trajectory can never
+// silently measure different code or parameters.
+package microbench
+
+import (
+	"testing"
+
+	"repro/internal/multiset"
+	"repro/internal/wire"
+)
+
+// Case is one named micro-benchmark, keyed by its snapshot identifier
+// (micro[*].name in BENCH_*.json).
+type Case struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// SortedInput returns the canonical quorum-sized sorted multiset the
+// approximation-function benchmarks run on.
+func SortedInput() []float64 {
+	sorted := make([]float64, 64)
+	for i := range sorted {
+		sorted[i] = float64(i)
+	}
+	return sorted
+}
+
+// Cases returns the snapshot micro-benchmark inventory, in snapshot order.
+func Cases() []Case {
+	return []Case{
+		{"multiset/apply-sorted/midextremes", func(b *testing.B) {
+			ApplySorted(b, multiset.MidExtremes{Trim: 8})
+		}},
+		{"multiset/apply-sorted/selectdouble", func(b *testing.B) {
+			ApplySorted(b, multiset.SelectDouble{Trim: 8, K: 4})
+		}},
+		{"multiset/contraction-search", ContractionSearch},
+		{"wire/value-roundtrip", WireRoundtrip},
+		{"wire/value-append-reuse", WireAppendReuse},
+	}
+}
+
+// ApplySorted measures f's trusted-sorted fast path — the path every
+// protocol round takes (multiset.ApplyInPlace → ApplySorted). f is boxed
+// once, as the protocols hold it, so no per-call interface allocation is
+// charged to the measurement.
+func ApplySorted(b *testing.B, f multiset.Func) {
+	sorted := SortedInput()
+	for i := 0; i < b.N; i++ {
+		if _, err := multiset.ApplySorted(f, sorted); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ApplyValidated measures f's validating Apply path (with its O(n)
+// sortedness re-scan), the comparison point for ApplySorted.
+func ApplyValidated(b *testing.B, f multiset.Func) {
+	sorted := SortedInput()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Apply(sorted); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ContractionSearch measures the adversarial one-round contraction search
+// used by experiments E2 and E7.
+func ContractionSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := multiset.WorstContraction(multiset.MidExtremes{},
+			multiset.ViewModel{N: 9, T: 4}, 500, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// WireRoundtrip measures allocate-per-message encode plus decode of the
+// core round message.
+func WireRoundtrip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := wire.MarshalValue(wire.Value{Round: 7, Horizon: 30, Value: 3.25})
+		if _, err := wire.UnmarshalValue(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// WireAppendReuse measures the buffer-reusing encoder on a scratch buffer,
+// the zero-allocation form of the wire hot path.
+func WireAppendReuse(b *testing.B) {
+	buf := make([]byte, 0, wire.ValueSize)
+	for i := 0; i < b.N; i++ {
+		buf = wire.AppendValue(buf[:0], wire.Value{Round: 7, Horizon: 30, Value: 3.25})
+		if _, err := wire.UnmarshalValue(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

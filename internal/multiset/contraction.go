@@ -42,6 +42,24 @@ type ContractionReport struct {
 	Trials int
 }
 
+// contractionSearch holds the scratch state of one WorstContraction call.
+// Every buffer is allocated once up front and reused across all structured
+// and randomized trials, so the per-trial cost is free of allocations: the
+// pool, the two views, the sorted-pool staging area, and the index table
+// for the in-place partial Fisher–Yates subset draw.
+type contractionSearch struct {
+	f   Func
+	vm  ViewModel
+	m   int // reception set size
+	rng *rand.Rand
+	rep ContractionReport
+
+	pool       []float64 // genuine values, len poolSize
+	sortedPool []float64 // sorted staging copy of pool
+	u, w       []float64 // the two reception views, cap m
+	idx        []int     // Fisher–Yates index table, len poolSize
+}
+
 // WorstContraction searches adversarially for the configuration of values
 // and reception sets that makes two parties' next-round values as far apart
 // as possible, relative to the current diameter. The search combines the
@@ -59,35 +77,6 @@ func WorstContraction(f Func, vm ViewModel, trials int, seed int64) (Contraction
 		return ContractionReport{}, fmt.Errorf(
 			"multiset: view size %d below %s minimum %d", m, f.Name(), f.MinInputs())
 	}
-	rng := rand.New(rand.NewSource(seed))
-	rep := ContractionReport{}
-
-	consider := func(pool []float64, u, w []float64) error {
-		spread := Spread(pool)
-		if spread == 0 {
-			return nil
-		}
-		su, sw := Sorted(u), Sorted(w)
-		fu, err := f.Apply(su)
-		if err != nil {
-			return err
-		}
-		fw, err := f.Apply(sw)
-		if err != nil {
-			return err
-		}
-		lo, hi := minMax(pool)
-		if fu < lo-1e-12 || fu > hi+1e-12 || fw < lo-1e-12 || fw > hi+1e-12 {
-			rep.ValidityViolated = true
-		}
-		g := math.Abs(fu-fw) / spread
-		if g > rep.Gamma {
-			rep.Gamma = g
-		}
-		rep.Trials++
-		return nil
-	}
-
 	// The pool holds the genuine values a view can draw from: all n current
 	// values in the crash model, the n−t honest values under Byzantine
 	// faults (fabricated values are added per view, not pooled).
@@ -95,111 +84,155 @@ func WorstContraction(f Func, vm ViewModel, trials int, seed int64) (Contraction
 	if vm.Byzantine {
 		poolSize = vm.N - vm.T
 	}
+	s := &contractionSearch{
+		f:          f,
+		vm:         vm,
+		m:          m,
+		rng:        rand.New(rand.NewSource(seed)),
+		pool:       make([]float64, poolSize),
+		sortedPool: make([]float64, poolSize),
+		u:          make([]float64, 0, m),
+		w:          make([]float64, 0, m),
+		idx:        make([]int, poolSize),
+	}
 
 	// Structured worst case: pool split between the extremes, one view takes
 	// the low end, the other the high end.
 	for split := 1; split < poolSize; split++ {
-		pool := make([]float64, poolSize)
-		for i := split; i < poolSize; i++ {
-			pool[i] = 1
+		for i := range s.pool {
+			if i < split {
+				s.pool[i] = 0
+			} else {
+				s.pool[i] = 1
+			}
 		}
-		u, w, err := vm.extremeViews(pool, m)
-		if err != nil {
-			return rep, err
+		if err := s.extremeViews(); err != nil {
+			return s.rep, err
 		}
-		if err := consider(pool, u, w); err != nil {
-			return rep, err
+		if err := s.consider(); err != nil {
+			return s.rep, err
 		}
 	}
 
 	// Randomized search.
 	for i := 0; i < trials; i++ {
-		pool := make([]float64, poolSize)
-		for j := range pool {
-			switch rng.Intn(3) {
+		for j := range s.pool {
+			switch s.rng.Intn(3) {
 			case 0:
-				pool[j] = 0
+				s.pool[j] = 0
 			case 1:
-				pool[j] = 1
+				s.pool[j] = 1
 			default:
-				pool[j] = rng.Float64()
+				s.pool[j] = s.rng.Float64()
 			}
 		}
-		u, err := vm.randomView(pool, m, rng)
-		if err != nil {
-			return rep, err
-		}
-		w, err := vm.randomView(pool, m, rng)
-		if err != nil {
-			return rep, err
-		}
-		if err := consider(pool, u, w); err != nil {
-			return rep, err
+		s.u = s.randomView(s.u)
+		s.w = s.randomView(s.w)
+		if err := s.consider(); err != nil {
+			return s.rep, err
 		}
 	}
-	return rep, nil
+	return s.rep, nil
 }
 
-// extremeViews builds the canonical adversarial view pair: view u prefers
-// the smallest pool values, view w the largest. In the Byzantine model the
-// pool holds the N−T honest values, each view takes N−2T of them plus T
-// fabricated extremes (far below for u, far above for w) — the exact shape
-// of a reception set under maximal equivocation.
-func (vm ViewModel) extremeViews(pool []float64, m int) (u, w []float64, err error) {
-	sorted := Sorted(pool)
-	if !vm.Byzantine {
-		if len(sorted) < m {
-			return nil, nil, fmt.Errorf("multiset: pool smaller than view")
-		}
-		u = append([]float64(nil), sorted[:m]...)
-		w = append([]float64(nil), sorted[len(sorted)-m:]...)
-		return u, w, nil
+// consider scores the current (pool, u, w) configuration. The views are
+// scratch owned by the search, so they are sorted in place and applied
+// through the trusted fast path — no copies, no re-validation.
+func (s *contractionSearch) consider() error {
+	spread := Spread(s.pool)
+	if spread == 0 {
+		return nil
 	}
-	honest := m - vm.T
+	sort.Float64s(s.u)
+	sort.Float64s(s.w)
+	fu, err := ApplySorted(s.f, s.u)
+	if err != nil {
+		return err
+	}
+	fw, err := ApplySorted(s.f, s.w)
+	if err != nil {
+		return err
+	}
+	lo, hi := minMax(s.pool)
+	if fu < lo-1e-12 || fu > hi+1e-12 || fw < lo-1e-12 || fw > hi+1e-12 {
+		s.rep.ValidityViolated = true
+	}
+	g := math.Abs(fu-fw) / spread
+	if g > s.rep.Gamma {
+		s.rep.Gamma = g
+	}
+	s.rep.Trials++
+	return nil
+}
+
+// extremeViews builds the canonical adversarial view pair into the u/w
+// scratch: view u prefers the smallest pool values, view w the largest. In
+// the Byzantine model the pool holds the N−T honest values, each view takes
+// N−2T of them plus T fabricated extremes (far below for u, far above for
+// w) — the exact shape of a reception set under maximal equivocation.
+func (s *contractionSearch) extremeViews() error {
+	sorted := s.sortedPool
+	copy(sorted, s.pool)
+	sort.Float64s(sorted)
+	if !s.vm.Byzantine {
+		if len(sorted) < s.m {
+			return fmt.Errorf("multiset: pool smaller than view")
+		}
+		s.u = append(s.u[:0], sorted[:s.m]...)
+		s.w = append(s.w[:0], sorted[len(sorted)-s.m:]...)
+		return nil
+	}
+	honest := s.m - s.vm.T
 	if len(sorted) < honest {
-		return nil, nil, fmt.Errorf("multiset: pool smaller than honest view part")
+		return fmt.Errorf("multiset: pool smaller than honest view part")
 	}
 	const out = 1e6
-	u = append([]float64(nil), sorted[:honest]...)
-	w = append([]float64(nil), sorted[len(sorted)-honest:]...)
-	for i := 0; i < vm.T; i++ {
-		u = append(u, -out)
-		w = append(w, out)
+	s.u = append(s.u[:0], sorted[:honest]...)
+	s.w = append(s.w[:0], sorted[len(sorted)-honest:]...)
+	for i := 0; i < s.vm.T; i++ {
+		s.u = append(s.u, -out)
+		s.w = append(s.w, out)
 	}
-	return u, w, nil
+	return nil
 }
 
-// randomView draws a view. In the crash model it is a random m-subset of
-// the n-value pool. In the Byzantine model the pool holds the N−T honest
-// values and the view takes m−b of them plus b <= T fabricated values.
-func (vm ViewModel) randomView(pool []float64, m int, rng *rand.Rand) ([]float64, error) {
+// randomView draws a view into dst (reusing its capacity) and returns it.
+// In the crash model it is a random m-subset of the n-value pool, drawn by
+// an in-place partial Fisher–Yates shuffle of the index table — no rng.Perm
+// allocation. In the Byzantine model the pool holds the N−T honest values
+// and the view takes m−b of them plus b <= T fabricated values.
+func (s *contractionSearch) randomView(dst []float64) []float64 {
 	b := 0
-	if vm.Byzantine {
-		b = rng.Intn(vm.T + 1)
+	if s.vm.Byzantine {
+		b = s.rng.Intn(s.vm.T + 1)
 	}
-	honest := m - b
-	if honest > len(pool) {
-		honest = len(pool)
+	honest := s.m - b
+	if honest > len(s.pool) {
+		honest = len(s.pool)
 	}
-	idx := rng.Perm(len(pool))[:honest]
-	sort.Ints(idx)
-	view := make([]float64, 0, m)
-	for _, j := range idx {
-		view = append(view, pool[j])
+	n := len(s.pool)
+	for i := range s.idx {
+		s.idx[i] = i
+	}
+	dst = dst[:0]
+	for i := 0; i < honest; i++ {
+		j := i + s.rng.Intn(n-i)
+		s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+		dst = append(dst, s.pool[s.idx[i]])
 	}
 	for i := 0; i < b; i++ {
-		switch rng.Intn(4) {
+		switch s.rng.Intn(4) {
 		case 0:
-			view = append(view, -1e6)
+			dst = append(dst, -1e6)
 		case 1:
-			view = append(view, 1e6)
+			dst = append(dst, 1e6)
 		case 2:
-			view = append(view, 0.5)
+			dst = append(dst, 0.5)
 		default:
-			view = append(view, rng.Float64())
+			dst = append(dst, s.rng.Float64())
 		}
 	}
-	return view, nil
+	return dst
 }
 
 func minMax(values []float64) (lo, hi float64) {

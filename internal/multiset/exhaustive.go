@@ -70,7 +70,7 @@ func ExhaustiveContraction(f Func, vm ViewModel) (ContractionReport, error) {
 					honest = append(honest, 1)
 				}
 				if b == 0 {
-					out, err := f.Apply(Sorted(honest))
+					out, err := ApplySorted(f, Sorted(honest))
 					if err != nil {
 						return rep, err
 					}
@@ -86,7 +86,7 @@ func ExhaustiveContraction(f Func, vm ViewModel) (ContractionReport, error) {
 				combos := gridCombos(grid, b)
 				for _, fab := range combos {
 					view := append(append([]float64{}, honest...), fab...)
-					out, err := f.Apply(Sorted(view))
+					out, err := ApplySorted(f, Sorted(view))
 					if err != nil {
 						return rep, err
 					}

@@ -43,13 +43,26 @@ func checkSorted(values []float64) error {
 
 // Reduce returns the multiset with the c smallest and c largest elements
 // removed (the classical reduce^c operator). The input must be sorted
-// ascending. The returned slice aliases the input.
+// ascending.
+//
+// The returned slice is a subslice of the input, not a copy: it shares the
+// input's backing array, so writes through either alias the other and the
+// result is only valid while the caller keeps the input intact. Callers
+// that need an independent copy must copy explicitly; callers that only
+// read (every Func in this package) can use the alias allocation-free.
 func Reduce(sorted []float64, c int) ([]float64, error) {
-	if c < 0 {
-		return nil, fmt.Errorf("multiset: negative trim %d", c)
-	}
 	if err := checkSorted(sorted); err != nil {
 		return nil, err
+	}
+	return reduceTrusted(sorted, c)
+}
+
+// reduceTrusted is Reduce for input the caller guarantees is sorted: it
+// skips the O(n) checkSorted re-scan. Every per-round protocol apply goes
+// through here via ApplySorted.
+func reduceTrusted(sorted []float64, c int) ([]float64, error) {
+	if c < 0 {
+		return nil, fmt.Errorf("multiset: negative trim %d", c)
 	}
 	if len(sorted) <= 2*c {
 		return nil, fmt.Errorf("%w: len %d, trim %d per side", ErrTooSmall, len(sorted), c)
@@ -60,20 +73,39 @@ func Reduce(sorted []float64, c int) ([]float64, error) {
 // Select returns every k-th element of the sorted multiset starting from the
 // first (the classical select_k operator): indices 0, k, 2k, ...
 func Select(sorted []float64, k int) ([]float64, error) {
+	if len(sorted) > 0 && k >= 1 {
+		if err := checkSorted(sorted); err != nil {
+			return nil, err
+		}
+	}
+	return SelectInto(make([]float64, 0, selectLen(len(sorted), k)), sorted, k)
+}
+
+// SelectInto is Select writing into dst's backing array (the result is
+// appended to dst[:0]), so a caller with a scratch buffer of sufficient
+// capacity selects without allocating. The input must be sorted ascending;
+// sortedness is trusted, not re-checked. Like append, it returns the
+// (possibly grown) slice.
+func SelectInto(dst, sorted []float64, k int) ([]float64, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("multiset: select step %d, need >= 1", k)
 	}
 	if len(sorted) == 0 {
 		return nil, ErrEmpty
 	}
-	if err := checkSorted(sorted); err != nil {
-		return nil, err
-	}
-	out := make([]float64, 0, (len(sorted)+k-1)/k)
+	dst = dst[:0]
 	for i := 0; i < len(sorted); i += k {
-		out = append(out, sorted[i])
+		dst = append(dst, sorted[i])
 	}
-	return out, nil
+	return dst, nil
+}
+
+// selectLen returns the exact output length of select_k on n elements.
+func selectLen(n, k int) int {
+	if k < 1 {
+		return 0
+	}
+	return (n + k - 1) / k
 }
 
 // Mean returns the arithmetic mean.
@@ -118,6 +150,36 @@ type Func interface {
 	MinInputs() int
 }
 
+// sortedFunc is the trusted fast path implemented by every Func in this
+// package: applySorted assumes (and does not re-check) that its input is
+// sorted ascending, eliminating the O(n) validation scan that Apply pays on
+// every call. External Func implementations that cannot provide it still
+// work — ApplySorted falls back to Apply.
+type sortedFunc interface {
+	applySorted(sorted []float64) (float64, error)
+}
+
+// ApplySorted applies f to a multiset the caller guarantees is sorted
+// ascending, using f's trusted fast path when it has one. Passing unsorted
+// input is a caller bug: the result is unspecified (no error is
+// guaranteed). Protocol hot loops use this via ApplyInPlace; code handling
+// untrusted input should use f.Apply, which validates.
+func ApplySorted(f Func, sorted []float64) (float64, error) {
+	if sf, ok := f.(sortedFunc); ok {
+		return sf.applySorted(sorted)
+	}
+	return f.Apply(sorted)
+}
+
+// ApplyInPlace sorts values in place and applies f through its trusted fast
+// path. It is the zero-allocation protocol hot path: no defensive copy
+// (compare Sorted) and no sortedness re-scan. The caller must own values;
+// on return the slice is sorted.
+func ApplyInPlace(f Func, values []float64) (float64, error) {
+	sort.Float64s(values)
+	return ApplySorted(f, values)
+}
+
 // MidExtremes is f(V) = (min(reduce^Trim(V)) + max(reduce^Trim(V))) / 2:
 // the midpoint of the trimmed range.
 //
@@ -145,7 +207,14 @@ func (f MidExtremes) MinInputs() int { return 2*f.Trim + 1 }
 
 // Apply implements Func.
 func (f MidExtremes) Apply(sorted []float64) (float64, error) {
-	core, err := Reduce(sorted, f.Trim)
+	if err := checkSorted(sorted); err != nil {
+		return 0, err
+	}
+	return f.applySorted(sorted)
+}
+
+func (f MidExtremes) applySorted(sorted []float64) (float64, error) {
+	core, err := reduceTrusted(sorted, f.Trim)
 	if err != nil {
 		return 0, err
 	}
@@ -170,7 +239,14 @@ func (f TrimmedMean) MinInputs() int { return 2*f.Trim + 1 }
 
 // Apply implements Func.
 func (f TrimmedMean) Apply(sorted []float64) (float64, error) {
-	core, err := Reduce(sorted, f.Trim)
+	if err := checkSorted(sorted); err != nil {
+		return 0, err
+	}
+	return f.applySorted(sorted)
+}
+
+func (f TrimmedMean) applySorted(sorted []float64) (float64, error) {
+	core, err := reduceTrusted(sorted, f.Trim)
 	if err != nil {
 		return 0, err
 	}
@@ -191,12 +267,19 @@ func (Median) Name() string { return "median" }
 func (Median) MinInputs() int { return 1 }
 
 // Apply implements Func.
-func (Median) Apply(sorted []float64) (float64, error) {
+func (m Median) Apply(sorted []float64) (float64, error) {
 	if len(sorted) == 0 {
 		return 0, ErrEmpty
 	}
 	if err := checkSorted(sorted); err != nil {
 		return 0, err
+	}
+	return m.applySorted(sorted)
+}
+
+func (Median) applySorted(sorted []float64) (float64, error) {
+	if len(sorted) == 0 {
+		return 0, ErrEmpty
 	}
 	return sorted[(len(sorted)-1)/2], nil
 }
@@ -219,15 +302,31 @@ func (f SelectDouble) MinInputs() int { return 2*f.Trim + 1 }
 
 // Apply implements Func.
 func (f SelectDouble) Apply(sorted []float64) (float64, error) {
-	core, err := Reduce(sorted, f.Trim)
+	if err := checkSorted(sorted); err != nil {
+		return 0, err
+	}
+	return f.applySorted(sorted)
+}
+
+// applySorted computes mean(select_k(reduce^c(V))) by striding the reduced
+// subslice directly, without materializing the selection: zero allocations.
+func (f SelectDouble) applySorted(sorted []float64) (float64, error) {
+	core, err := reduceTrusted(sorted, f.Trim)
 	if err != nil {
 		return 0, err
 	}
-	sel, err := Select(core, f.K)
-	if err != nil {
-		return 0, err
+	if f.K < 1 {
+		return 0, fmt.Errorf("multiset: select step %d, need >= 1", f.K)
 	}
-	return Mean(sel)
+	if len(core) == 0 {
+		return 0, ErrEmpty
+	}
+	sum, count := 0.0, 0
+	for i := 0; i < len(core); i += f.K {
+		sum += core[i]
+		count++
+	}
+	return sum / float64(count), nil
 }
 
 // RoundBudget returns the number of rounds needed to bring an initial

@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAppendMatchesMarshal pins the appenders to the canonical encodings
+// and checks scratch-buffer reuse leaves the bytes identical.
+func TestAppendMatchesMarshal(t *testing.T) {
+	scratch := make([]byte, 0, 64)
+	cases := []struct {
+		name    string
+		marshal func() []byte
+		app     func(dst []byte) []byte
+	}{
+		{"init",
+			func() []byte { return MarshalInit(Init{Value: 3.5}) },
+			func(dst []byte) []byte { return AppendInit(dst, Init{Value: 3.5}) }},
+		{"value",
+			func() []byte { return MarshalValue(Value{Round: 9, Horizon: 40, Value: -1.25}) },
+			func(dst []byte) []byte { return AppendValue(dst, Value{Round: 9, Horizon: 40, Value: -1.25}) }},
+		{"decided",
+			func() []byte { return MarshalDecided(Decided{Value: 0.125}) },
+			func(dst []byte) []byte { return AppendDecided(dst, Decided{Value: 0.125}) }},
+		{"rbc",
+			func() []byte { return MarshalRBC(RBC{Phase: RBCEcho, Origin: 7, Round: 3, Value: 2}) },
+			func(dst []byte) []byte { return AppendRBC(dst, RBC{Phase: RBCEcho, Origin: 7, Round: 3, Value: 2}) }},
+		{"report",
+			func() []byte { return MarshalReport(Report{Round: 5, Senders: []uint16{1, 2, 9}}) },
+			func(dst []byte) []byte { return AppendReport(dst, Report{Round: 5, Senders: []uint16{1, 2, 9}}) }},
+		{"wrapped",
+			func() []byte { return MarshalWrapped(4, []byte{1, 2, 3}) },
+			func(dst []byte) []byte { return AppendWrapped(dst, 4, []byte{1, 2, 3}) }},
+	}
+	for _, c := range cases {
+		want := c.marshal()
+		got := c.app(scratch[:0])
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: append %x, marshal %x", c.name, got, want)
+		}
+		if cap(scratch) >= len(got) && &got[0] != &scratch[:1][0] {
+			t.Errorf("%s: appender did not reuse scratch capacity", c.name)
+		}
+	}
+}
+
+// TestAppendSizesMatchConstants keeps the exported size constants honest.
+func TestAppendSizesMatchConstants(t *testing.T) {
+	if n := len(MarshalInit(Init{})); n != InitSize {
+		t.Errorf("init size %d, const %d", n, InitSize)
+	}
+	if n := len(MarshalValue(Value{})); n != ValueSize {
+		t.Errorf("value size %d, const %d", n, ValueSize)
+	}
+	if n := len(MarshalDecided(Decided{})); n != DecidedSize {
+		t.Errorf("decided size %d, const %d", n, DecidedSize)
+	}
+	if n := len(MarshalRBC(RBC{Phase: RBCSend})); n != RBCSize {
+		t.Errorf("rbc size %d, const %d", n, RBCSize)
+	}
+	if n := len(MarshalReport(Report{Senders: []uint16{1, 2}})); n != ReportHeader+4 {
+		t.Errorf("report size %d, want %d", n, ReportHeader+4)
+	}
+	if n := len(MarshalWrapped(1, []byte{9})); n != WrappedHeader+1 {
+		t.Errorf("wrapped size %d, want %d", n, WrappedHeader+1)
+	}
+}
+
+// TestAppendValueZeroAllocs pins the zero-allocation reuse path.
+func TestAppendValueZeroAllocs(t *testing.T) {
+	buf := make([]byte, 0, ValueSize)
+	m := Value{Round: 7, Horizon: 30, Value: 3.25}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendValue(buf[:0], m)
+		if _, err := UnmarshalValue(buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendValue reuse path allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -80,53 +80,90 @@ type Report struct {
 	Senders []uint16
 }
 
+// Encoded message sizes (fixed-size kinds) and prefix lengths.
+const (
+	InitSize    = 9
+	ValueSize   = 17
+	DecidedSize = 9
+	RBCSize     = 16
+	// ReportHeader is the fixed prefix of a Report; each sender adds 2.
+	ReportHeader = 7
+	// WrappedHeader is the coordinate-tag prefix of a Wrapped message.
+	WrappedHeader = 3
+)
+
+// The Append* functions are the buffer-reusing encoders: each appends the
+// encoding of its message to dst and returns the extended slice, exactly
+// like the standard library's binary.Append* family. A caller that owns a
+// scratch buffer (and whose runtime copies or fully consumes the bytes
+// before the next encode — note the simulator retains message slices in
+// flight, so per-message ownership still requires a fresh slice there)
+// encodes without allocating: AppendValue(buf[:0], m). The Marshal*
+// functions remain the allocate-per-message convenience form and delegate
+// to the appenders, so there is a single encoding definition per kind.
+
+// AppendInit appends the encoding of an Init message to dst.
+func AppendInit(dst []byte, m Init) []byte {
+	dst = append(dst, byte(KindInit))
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.Value))
+}
+
 // MarshalInit encodes an Init message.
 func MarshalInit(m Init) []byte {
-	b := make([]byte, 9)
-	b[0] = byte(KindInit)
-	binary.LittleEndian.PutUint64(b[1:], math.Float64bits(m.Value))
-	return b
+	return AppendInit(make([]byte, 0, InitSize), m)
+}
+
+// AppendValue appends the encoding of a Value message to dst.
+func AppendValue(dst []byte, m Value) []byte {
+	dst = append(dst, byte(KindValue))
+	dst = binary.LittleEndian.AppendUint32(dst, m.Round)
+	dst = binary.LittleEndian.AppendUint32(dst, m.Horizon)
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.Value))
 }
 
 // MarshalValue encodes a Value message.
 func MarshalValue(m Value) []byte {
-	b := make([]byte, 17)
-	b[0] = byte(KindValue)
-	binary.LittleEndian.PutUint32(b[1:], m.Round)
-	binary.LittleEndian.PutUint32(b[5:], m.Horizon)
-	binary.LittleEndian.PutUint64(b[9:], math.Float64bits(m.Value))
-	return b
+	return AppendValue(make([]byte, 0, ValueSize), m)
+}
+
+// AppendDecided appends the encoding of a Decided message to dst.
+func AppendDecided(dst []byte, m Decided) []byte {
+	dst = append(dst, byte(KindDecided))
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.Value))
 }
 
 // MarshalDecided encodes a Decided message.
 func MarshalDecided(m Decided) []byte {
-	b := make([]byte, 9)
-	b[0] = byte(KindDecided)
-	binary.LittleEndian.PutUint64(b[1:], math.Float64bits(m.Value))
-	return b
+	return AppendDecided(make([]byte, 0, DecidedSize), m)
+}
+
+// AppendRBC appends the encoding of an RBC phase message to dst.
+func AppendRBC(dst []byte, m RBC) []byte {
+	dst = append(dst, byte(KindRBC), m.Phase)
+	dst = binary.LittleEndian.AppendUint16(dst, m.Origin)
+	dst = binary.LittleEndian.AppendUint32(dst, m.Round)
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(m.Value))
 }
 
 // MarshalRBC encodes an RBC phase message.
 func MarshalRBC(m RBC) []byte {
-	b := make([]byte, 16)
-	b[0] = byte(KindRBC)
-	b[1] = m.Phase
-	binary.LittleEndian.PutUint16(b[2:], m.Origin)
-	binary.LittleEndian.PutUint32(b[4:], m.Round)
-	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(m.Value))
-	return b
+	return AppendRBC(make([]byte, 0, RBCSize), m)
+}
+
+// AppendReport appends the encoding of a witness report to dst.
+func AppendReport(dst []byte, m Report) []byte {
+	dst = append(dst, byte(KindReport))
+	dst = binary.LittleEndian.AppendUint32(dst, m.Round)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(m.Senders)))
+	for _, s := range m.Senders {
+		dst = binary.LittleEndian.AppendUint16(dst, s)
+	}
+	return dst
 }
 
 // MarshalReport encodes a witness report.
 func MarshalReport(m Report) []byte {
-	b := make([]byte, 7+2*len(m.Senders))
-	b[0] = byte(KindReport)
-	binary.LittleEndian.PutUint32(b[1:], m.Round)
-	binary.LittleEndian.PutUint16(b[5:], uint16(len(m.Senders)))
-	for i, s := range m.Senders {
-		binary.LittleEndian.PutUint16(b[7+2*i:], s)
-	}
-	return b
+	return AppendReport(make([]byte, 0, ReportHeader+2*len(m.Senders)), m)
 }
 
 // Peek returns the kind of an encoded message without decoding it.
@@ -141,13 +178,16 @@ func Peek(b []byte) (Kind, error) {
 	return k, nil
 }
 
+// AppendWrapped appends a coordinate-tagged copy of an inner message to dst.
+func AppendWrapped(dst []byte, dim uint16, inner []byte) []byte {
+	dst = append(dst, byte(KindWrapped))
+	dst = binary.LittleEndian.AppendUint16(dst, dim)
+	return append(dst, inner...)
+}
+
 // MarshalWrapped prefixes an inner message with a coordinate tag.
 func MarshalWrapped(dim uint16, inner []byte) []byte {
-	b := make([]byte, 3+len(inner))
-	b[0] = byte(KindWrapped)
-	binary.LittleEndian.PutUint16(b[1:], dim)
-	copy(b[3:], inner)
-	return b
+	return AppendWrapped(make([]byte, 0, WrappedHeader+len(inner)), dim, inner)
 }
 
 // UnmarshalWrapped splits a wrapped message into its coordinate tag and
