@@ -1,11 +1,14 @@
 # Developer entry points. `make check` is the tier-1 gate (build + vet +
-# tests); `make bench` refreshes the BENCH_1.json performance snapshot at
-# the repo root; `make race` exercises the parallel experiment engine under
+# tests); `make bench` refreshes the current BENCH_*.json performance
+# snapshot at the repo root and `make bench-compare` diffs it against the
+# previous one; `make race` exercises the parallel experiment engine under
 # the race detector.
 
 GO ?= go
+BENCH_OLD ?= BENCH_1.json
+BENCH_NEW ?= BENCH_2.json
 
-.PHONY: check vet race bench benchmem
+.PHONY: check vet race bench bench-compare benchmem
 
 check:
 	$(GO) build ./...
@@ -19,7 +22,12 @@ race:
 # so the refresh stays in the tens of seconds; the snapshot records the
 # seed count so trajectories compare like with like.
 bench:
-	$(GO) run ./cmd/aabench -seeds 2 -json BENCH_1.json
+	$(GO) run ./cmd/aabench -seeds 2 -json $(BENCH_NEW)
+
+# bench-compare prints the per-experiment and per-micro delta table between
+# the previous snapshot and the current one, regressions highlighted.
+bench-compare:
+	$(GO) run ./cmd/aabench -compare $(BENCH_OLD) $(BENCH_NEW)
 
 # benchmem runs the substrate micro-benchmarks with allocation accounting,
 # the numbers PERF.md tracks.

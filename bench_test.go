@@ -13,7 +13,6 @@ import (
 	"repro/internal/harness"
 	"repro/internal/microbench"
 	"repro/internal/multiset"
-	"repro/internal/rbc"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -161,39 +160,10 @@ func BenchmarkRunWitnessAA(b *testing.B) {
 }
 
 // BenchmarkRBCRound measures n concurrent reliable broadcasts among n=16
-// parties delivered to completion.
+// parties delivered to completion. The body lives in internal/microbench
+// (shared with cmd/aabench's -json snapshot as "rbc/round").
 func BenchmarkRBCRound(b *testing.B) {
-	const n, tf = 16, 5
-	for i := 0; i < b.N; i++ {
-		queue := make([][]byte, 0, 1024)
-		senders := make([]uint16, 0, 1024)
-		bcs := make([]*rbc.Broadcaster, n)
-		for p := 0; p < n; p++ {
-			p := p
-			bc, err := rbc.New(n, tf, uint16(p), func(data []byte) {
-				queue = append(queue, data)
-				senders = append(senders, uint16(p))
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			bcs[p] = bc
-		}
-		for p := 0; p < n; p++ {
-			bcs[p].Broadcast(1, float64(p))
-		}
-		delivered := 0
-		for len(queue) > 0 {
-			data, from := queue[0], senders[0]
-			queue, senders = queue[1:], senders[1:]
-			for p := 0; p < n; p++ {
-				delivered += len(bcs[p].Handle(from, data))
-			}
-		}
-		if delivered != n*n {
-			b.Fatalf("delivered %d, want %d", delivered, n*n)
-		}
-	}
+	microbench.RBCRound(b)
 }
 
 // benchFuncs is the approximation-function inventory the micro-benchmarks

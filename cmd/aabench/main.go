@@ -8,22 +8,31 @@
 // Usage:
 //
 //	aabench [-seeds N] [-only E4] [-csv DIR] [-parallel N] [-json FILE]
+//	aabench -compare OLD.json NEW.json
 //
 // Experiments run on the parallel engine (internal/harness worker pool) by
 // default, fanning independent simulation runs across GOMAXPROCS cores;
 // -parallel 1 forces the sequential path (the rendered tables are identical
 // by construction — the determinism tests pin this).
+//
+// -compare diffs two BENCH_*.json snapshots: a per-experiment delta table
+// (ns/run, msgs/run, bytes/run) and a per-micro delta table (ns/op,
+// allocs/op), with regressions highlighted. `make bench-compare` wraps it
+// for the committed BENCH_1 → BENCH_2 trajectory.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
+	"text/tabwriter"
 	"time"
 
 	"repro/internal/harness"
@@ -78,8 +87,15 @@ func run(args []string) error {
 	csvDir := fs.String("csv", "", "directory to also write CSV tables into")
 	parallel := fs.Int("parallel", 0, "engine worker count (0 = GOMAXPROCS, 1 = sequential)")
 	jsonPath := fs.String("json", "", "file to write a BENCH_*.json benchmark snapshot into")
+	compareMode := fs.Bool("compare", false, "compare two BENCH_*.json snapshots (args: OLD.json NEW.json) instead of running")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compareMode {
+		if fs.NArg() != 2 {
+			return errors.New("-compare needs exactly two snapshot files: OLD.json NEW.json")
+		}
+		return compare(os.Stdout, fs.Arg(0), fs.Arg(1))
 	}
 	harness.SetParallelism(*parallel)
 	defer harness.SetParallelism(0)
@@ -158,6 +174,118 @@ func perRun(total float64, runs int64) float64 {
 		return 0
 	}
 	return total / float64(runs)
+}
+
+// regressionThreshold is the relative slowdown past which a compare row is
+// flagged: wall-clock deltas under 5% are noise on shared hardware.
+const regressionThreshold = 0.05
+
+// compare renders the per-experiment and per-micro delta tables between
+// two snapshot files, flagging regressions.
+func compare(w io.Writer, oldPath, newPath string) error {
+	oldSnap, err := readSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := readSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "snapshot compare: %s (%s, %d seeds, par %d) -> %s (%s, %d seeds, par %d)\n",
+		oldPath, oldSnap.GoVersion, oldSnap.Seeds, oldSnap.Parallelism,
+		newPath, newSnap.GoVersion, newSnap.Seeds, newSnap.Parallelism)
+	if oldSnap.Seeds != newSnap.Seeds || oldSnap.Parallelism != newSnap.Parallelism ||
+		oldSnap.GOMAXPROCS != newSnap.GOMAXPROCS {
+		fmt.Fprintln(w, "warning: seeds/parallelism/gomaxprocs differ; per-run ratios may not be comparable")
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "experiment\tns/run old\tns/run new\tdelta\tmsgs/run delta\tbytes/run delta\t")
+	oldExp := make(map[string]expBench, len(oldSnap.Experiments))
+	for _, e := range oldSnap.Experiments {
+		oldExp[e.ID] = e
+	}
+	newExp := make(map[string]bool, len(newSnap.Experiments))
+	for _, n := range newSnap.Experiments {
+		newExp[n.ID] = true
+		o, ok := oldExp[n.ID]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t-\t%.0f\tnew\tnew\tnew\t\n", n.ID, n.NsPerRun)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%s\t%s\t\n",
+			n.ID, o.NsPerRun, n.NsPerRun, delta(o.NsPerRun, n.NsPerRun),
+			delta(o.MsgsPerRun, n.MsgsPerRun), delta(o.BytesPerRun, n.BytesPerRun))
+	}
+	// Coverage losses are as important as slowdowns: surface rows the new
+	// snapshot no longer measures instead of silently dropping them.
+	for _, o := range oldSnap.Experiments {
+		if !newExp[o.ID] {
+			fmt.Fprintf(tw, "%s\t%.0f\t-\tremoved\t-\t-\t\n", o.ID, o.NsPerRun)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w)
+	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "micro\tns/op old\tns/op new\tdelta\tallocs old\tallocs new\tallocs delta\t")
+	oldMicro := make(map[string]microBench, len(oldSnap.Micro))
+	for _, m := range oldSnap.Micro {
+		oldMicro[m.Name] = m
+	}
+	newMicro := make(map[string]bool, len(newSnap.Micro))
+	for _, n := range newSnap.Micro {
+		newMicro[n.Name] = true
+		o, ok := oldMicro[n.Name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t-\t%.1f\tnew\t-\t%d\tnew\t\n", n.Name, n.NsOp, n.AllocsOp)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%s\t%d\t%d\t%s\t\n",
+			n.Name, o.NsOp, n.NsOp, delta(o.NsOp, n.NsOp),
+			o.AllocsOp, n.AllocsOp, delta(float64(o.AllocsOp), float64(n.AllocsOp)))
+	}
+	for _, o := range oldSnap.Micro {
+		if !newMicro[o.Name] {
+			fmt.Fprintf(tw, "%s\t%.1f\t-\tremoved\t%d\t-\tremoved\t\n", o.Name, o.NsOp, o.AllocsOp)
+		}
+	}
+	return tw.Flush()
+}
+
+func readSnapshot(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != "aabench/v1" {
+		return nil, fmt.Errorf("%s: unknown snapshot schema %q", path, s.Schema)
+	}
+	return &s, nil
+}
+
+// delta formats a relative change, flagging regressions past the noise
+// threshold. Growth from a zero baseline (e.g. allocations reappearing on
+// a pinned zero-alloc path) is always a regression.
+func delta(oldV, newV float64) string {
+	if oldV == 0 {
+		if newV == 0 {
+			return "0%"
+		}
+		return fmt.Sprintf("0->%.3g REGRESSION", newV)
+	}
+	rel := (newV - oldV) / oldV
+	s := fmt.Sprintf("%+.1f%%", 100*rel)
+	if rel > regressionThreshold {
+		s += " REGRESSION"
+	}
+	return s
 }
 
 // microBenchRunner measures the snapshot micro-benchmarks. It is a

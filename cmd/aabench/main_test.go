@@ -27,6 +27,61 @@ func TestRunSingleExperimentWithCSV(t *testing.T) {
 	}
 }
 
+func TestCompareSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	oldSnap := `{"schema":"aabench/v1","go":"go1.24.0","gomaxprocs":1,"parallelism":1,"seeds":2,
+		"experiments":[{"id":"E4","title":"t","wall_ns":10,"runs":2,"ns_per_run":1000,"msgs_per_run":50,"bytes_per_run":800},
+		               {"id":"E5","title":"t","wall_ns":10,"runs":2,"ns_per_run":1000,"msgs_per_run":50,"bytes_per_run":800}],
+		"micro":[{"name":"rbc/handle","ns_op":100,"allocs_op":20,"bytes_op":0},
+		         {"name":"wire/zeroalloc","ns_op":2,"allocs_op":0,"bytes_op":0}]}`
+	newSnap := `{"schema":"aabench/v1","go":"go1.24.0","gomaxprocs":1,"parallelism":1,"seeds":2,
+		"experiments":[{"id":"E4","title":"t","wall_ns":10,"runs":2,"ns_per_run":2000,"msgs_per_run":50,"bytes_per_run":800}],
+		"micro":[{"name":"rbc/handle","ns_op":40,"allocs_op":2,"bytes_op":0},
+		         {"name":"rbc/fresh","ns_op":1,"allocs_op":0,"bytes_op":0},
+		         {"name":"wire/zeroalloc","ns_op":2,"allocs_op":3,"bytes_op":0}]}`
+	for path, body := range map[string]string{oldPath: oldSnap, newPath: newSnap} {
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := compare(&sb, oldPath, newPath); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"E4", "+100.0% REGRESSION", // experiment slowdown flagged
+		"E5", "removed", // dropped experiment surfaced
+		"rbc/handle", "-60.0%", "-90.0%", // micro improvement, no flag
+		"rbc/fresh", "new", // added micro
+		"0->3 REGRESSION", // allocations reappearing on a zero-alloc path
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "-60.0% REGRESSION") {
+		t.Error("improvement flagged as regression")
+	}
+	// The CLI entry point accepts the flag form.
+	if err := run([]string{"-compare", oldPath, newPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-compare", oldPath}); err == nil {
+		t.Error("missing second snapshot accepted")
+	}
+	// Unknown schema is rejected.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-compare", oldPath, bad}); err == nil {
+		t.Error("unknown schema accepted")
+	}
+}
+
 func TestRunJSONSnapshot(t *testing.T) {
 	// Stub the micro-benchmark runner: testing.Benchmark calibrates for
 	// about a second per case, which this shape check does not need.

@@ -38,6 +38,7 @@ type AsyncAA struct {
 	api     sim.API
 	fn      multiset.Func
 	viewBuf []float64 // per-round reception scratch, reused across rounds
+	wireBuf []byte    // wire-encoding scratch; runtimes snapshot on send
 	input   float64
 	v       float64
 	round   uint32 // round currently being collected (1-based)
@@ -84,7 +85,8 @@ func NewAsyncAA(p Params, input float64) (*AsyncAA, error) {
 func (a *AsyncAA) Init(api sim.API) {
 	a.api = api
 	if a.p.Adaptive {
-		api.Multicast(wire.MarshalInit(wire.Init{Value: a.input}))
+		a.wireBuf = wire.AppendInit(a.wireBuf[:0], wire.Init{Value: a.input})
+		api.Multicast(a.wireBuf)
 		return
 	}
 	r, err := a.p.FixedRounds()
@@ -113,11 +115,12 @@ func (a *AsyncAA) begin(horizon uint32) {
 
 // sendRound multicasts the current value tagged with the current round.
 func (a *AsyncAA) sendRound() {
-	a.api.Multicast(wire.MarshalValue(wire.Value{
+	a.wireBuf = wire.AppendValue(a.wireBuf[:0], wire.Value{
 		Round:   a.round,
 		Horizon: a.horizon,
 		Value:   a.v,
-	}))
+	})
+	a.api.Multicast(a.wireBuf)
 }
 
 // Deliver implements sim.Process.
@@ -261,7 +264,8 @@ func (a *AsyncAA) decide() {
 	a.decided = true
 	a.api.Decide(a.v)
 	if a.p.Adaptive {
-		a.api.Multicast(wire.MarshalDecided(wire.Decided{Value: a.v}))
+		a.wireBuf = wire.AppendDecided(a.wireBuf[:0], wire.Decided{Value: a.v})
+		a.api.Multicast(a.wireBuf)
 	}
 }
 

@@ -26,6 +26,7 @@ type SyncAA struct {
 	fn      multiset.Func
 	rounds  map[uint32]map[sim.PartyID]float64
 	viewBuf []float64 // per-round reception scratch, reused across rounds
+	wireBuf []byte    // wire-encoding scratch; runtimes snapshot on send
 	v       float64
 	round   uint32
 	horizon uint32
@@ -81,7 +82,8 @@ func (s *SyncAA) Init(api sim.API) {
 }
 
 func (s *SyncAA) beginRound() {
-	s.api.Multicast(wire.MarshalValue(wire.Value{Round: s.round, Value: s.v}))
+	s.wireBuf = wire.AppendValue(s.wireBuf[:0], wire.Value{Round: s.round, Value: s.v})
+	s.api.Multicast(s.wireBuf)
 	s.api.SetTimer(s.p.RoundDuration, uint64(s.round))
 }
 

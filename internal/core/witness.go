@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/multiset"
 	"repro/internal/rbc"
@@ -30,21 +31,51 @@ import (
 // witness technique the optimal-resilience literature built on the 1987
 // foundations; it costs Θ(n³) messages per round (n reliable broadcasts of
 // Θ(n²) each), which experiment E4 measures against the Θ(n²) protocols.
+//
+// Bookkeeping is dense: per-round state lives in index-addressed arrays
+// (value slots by origin, delivered/satisfied bitsets, pending reports as
+// origin bitmasks), so report coverage checks are word-wide subset tests
+// instead of map probes, and completed rounds recycle their arrays through
+// a free ring and release the RBC arena slab (rbc.ReleaseRound).
 type WitnessAA struct {
-	p         Params
-	api       sim.API
-	bcast     *rbc.Broadcaster
-	fn        multiset.Func
-	vals      map[uint32]map[uint16]float64
-	pending   map[uint32]map[sim.PartyID][]uint16
-	satisfied map[uint32]map[sim.PartyID]bool
-	sentRep   map[uint32]bool
-	viewBuf   []float64 // per-round reception scratch, reused across rounds
-	v         float64
-	round     uint32
-	horizon   uint32
-	decided   bool
-	err       error
+	p       Params
+	api     sim.API
+	bcast   *rbc.Broadcaster
+	fn      multiset.Func
+	words   int        // bitset words per party set
+	rounds  []witRound // indexed by round, 1..horizon
+	freeArr []*witArrays
+	// Scratch buffers reused across rounds; none survive a Deliver call.
+	viewBuf    []float64 // reception view handed to the approximation fn
+	maskBuf    []uint64  // origin bitmask of the report being filed
+	sendersBuf []uint16  // origins listed in this party's own report
+	repScratch []uint16  // decode-into scratch for incoming reports
+	wireBuf    []byte    // wire-encoding scratch for report multicasts
+	v          float64
+	round      uint32
+	horizon    uint32
+	decided    bool
+	err        error
+}
+
+// witRound is one round's bookkeeping slot; arr is nil until the round
+// sees traffic and is recycled through the free ring after cleanup.
+type witRound struct {
+	arr     *witArrays
+	sentRep bool
+}
+
+// witArrays is the dense per-round state: one value slot per origin, a
+// delivered-origin bitset, a satisfied-reporter bitset, and the pending
+// reports as per-reporter origin bitmasks.
+type witArrays struct {
+	vals       []float64 // RBC-delivered value per origin
+	have       []uint64  // origins delivered locally
+	sat        []uint64  // reporters whose report is satisfied
+	pendActive []uint64  // reporters with a pending (uncovered) report
+	pendMask   []uint64  // words-wide origin mask per reporter
+	haveCnt    int
+	satCnt     int
 }
 
 var (
@@ -73,13 +104,10 @@ func NewWitnessAA(p Params, input float64) (*WitnessAA, error) {
 			ErrBadParams, input, p.Lo, p.Hi)
 	}
 	return &WitnessAA{
-		p:         p,
-		fn:        p.fn(),
-		v:         input,
-		vals:      make(map[uint32]map[uint16]float64),
-		pending:   make(map[uint32]map[sim.PartyID][]uint16),
-		satisfied: make(map[uint32]map[sim.PartyID]bool),
-		sentRep:   make(map[uint32]bool),
+		p:     p,
+		fn:    p.fn(),
+		v:     input,
+		words: (p.N + 63) / 64,
 	}, nil
 }
 
@@ -104,6 +132,10 @@ func (w *WitnessAA) Init(api sim.API) {
 		return
 	}
 	b.SetMaxRound(w.horizon)
+	w.rounds = make([]witRound, w.horizon+1)
+	w.maskBuf = make([]uint64, w.words)
+	w.viewBuf = make([]float64, 0, w.p.N)
+	w.sendersBuf = make([]uint16, 0, w.p.N)
 	w.round = 1
 	w.bcast.Broadcast(w.round, w.v)
 }
@@ -119,18 +151,44 @@ func (w *WitnessAA) Deliver(from sim.PartyID, data []byte) {
 	}
 	switch kind {
 	case wire.KindRBC:
-		for _, d := range w.bcast.Handle(uint16(from), data) {
+		if d, ok := w.bcast.Handle(uint16(from), data); ok {
 			w.onDelivered(d)
 		}
 	case wire.KindReport:
-		m, err := wire.UnmarshalReport(data)
+		m, err := wire.UnmarshalReportInto(data, w.repScratch)
 		if err != nil {
 			return
 		}
+		w.repScratch = m.Senders[:0]
 		w.onReport(from, m)
 	default:
 		// Other kinds belong to other protocols; ignore.
 	}
+}
+
+// arrays returns round's dense state, pulling recycled arrays from the
+// free ring (or allocating) on first touch.
+func (w *WitnessAA) arrays(round uint32) *witArrays {
+	rr := &w.rounds[round]
+	if rr.arr != nil {
+		return rr.arr
+	}
+	var a *witArrays
+	if k := len(w.freeArr); k > 0 {
+		a = w.freeArr[k-1]
+		w.freeArr = w.freeArr[:k-1]
+	} else {
+		sets := make([]uint64, 3*w.words)
+		a = &witArrays{
+			vals:       make([]float64, w.p.N),
+			have:       sets[:w.words:w.words],
+			sat:        sets[w.words : 2*w.words : 2*w.words],
+			pendActive: sets[2*w.words:],
+			pendMask:   make([]uint64, w.p.N*w.words),
+		}
+	}
+	rr.arr = a
+	return a
 }
 
 // onDelivered records an RBC delivery and re-evaluates reports and quorums.
@@ -138,31 +196,35 @@ func (w *WitnessAA) onDelivered(d rbc.Delivery) {
 	if !isUsable(d.Value) || d.Round < w.round || d.Round > w.horizon {
 		return
 	}
-	bucket, ok := w.vals[d.Round]
-	if !ok {
-		bucket = make(map[uint16]float64, w.p.N)
-		w.vals[d.Round] = bucket
-	}
-	if _, dup := bucket[d.Origin]; dup {
+	a := w.arrays(d.Round)
+	wd, bit := int(d.Origin)>>6, uint64(1)<<(d.Origin&63)
+	if a.have[wd]&bit != 0 {
 		return
 	}
-	bucket[d.Origin] = d.Value
-	w.maybeReport(d.Round)
-	w.recheckPending(d.Round)
+	a.have[wd] |= bit
+	a.vals[d.Origin] = d.Value
+	a.haveCnt++
+	w.maybeReport(d.Round, a)
+	w.recheckPending(a)
 	w.maybeAdvance()
 }
 
 // maybeReport sends this party's report once it holds n−t round values.
-func (w *WitnessAA) maybeReport(round uint32) {
-	if w.sentRep[round] || len(w.vals[round]) < w.p.Quorum() {
+func (w *WitnessAA) maybeReport(round uint32, a *witArrays) {
+	if w.rounds[round].sentRep || a.haveCnt < w.p.Quorum() {
 		return
 	}
-	w.sentRep[round] = true
-	senders := make([]uint16, 0, len(w.vals[round]))
-	for origin := range w.vals[round] {
-		senders = append(senders, origin)
+	w.rounds[round].sentRep = true
+	senders := w.sendersBuf[:0]
+	for wi, word := range a.have {
+		for word != 0 {
+			senders = append(senders, uint16(wi*64+bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
 	}
-	w.api.Multicast(wire.MarshalReport(wire.Report{Round: round, Senders: senders}))
+	w.sendersBuf = senders[:0]
+	w.wireBuf = wire.AppendReport(w.wireBuf[:0], wire.Report{Round: round, Senders: senders})
+	w.api.Multicast(w.wireBuf)
 }
 
 // onReport files a report as satisfied or pending. Only a party's first
@@ -179,55 +241,55 @@ func (w *WitnessAA) onReport(from sim.PartyID, m wire.Report) {
 			return
 		}
 	}
-	if w.satisfied[m.Round][from] {
+	if from < 0 || int(from) >= w.p.N {
 		return
 	}
-	if pend, ok := w.pending[m.Round]; ok {
-		if _, dup := pend[from]; dup {
-			return
-		}
+	a := w.arrays(m.Round)
+	wd, bit := int(from)>>6, uint64(1)<<(uint(from)&63)
+	if a.sat[wd]&bit != 0 || a.pendActive[wd]&bit != 0 {
+		return
 	}
-	if w.reportCovered(m.Round, m.Senders) {
-		w.markSatisfied(m.Round, from)
+	mask := w.maskBuf
+	for i := range mask {
+		mask[i] = 0
+	}
+	for _, s := range m.Senders {
+		mask[s>>6] |= 1 << (s & 63)
+	}
+	if subset(mask, a.have) {
+		a.sat[wd] |= bit
+		a.satCnt++
 		w.maybeAdvance()
 		return
 	}
-	pend, ok := w.pending[m.Round]
-	if !ok {
-		pend = make(map[sim.PartyID][]uint16)
-		w.pending[m.Round] = pend
-	}
-	pend[from] = m.Senders
+	copy(a.pendMask[int(from)*w.words:(int(from)+1)*w.words], mask)
+	a.pendActive[wd] |= bit
 }
 
-// reportCovered checks whether every origin in the report has been
-// RBC-delivered locally for the round.
-func (w *WitnessAA) reportCovered(round uint32, senders []uint16) bool {
-	bucket := w.vals[round]
-	for _, s := range senders {
-		if _, ok := bucket[s]; !ok {
+// subset reports whether every bit of mask is set in have.
+func subset(mask, have []uint64) bool {
+	for i, m := range mask {
+		if m&^have[i] != 0 {
 			return false
 		}
 	}
 	return true
 }
 
-func (w *WitnessAA) markSatisfied(round uint32, from sim.PartyID) {
-	sat, ok := w.satisfied[round]
-	if !ok {
-		sat = make(map[sim.PartyID]bool)
-		w.satisfied[round] = sat
-	}
-	sat[from] = true
-}
-
-// recheckPending re-tests pending reports after a new delivery.
-func (w *WitnessAA) recheckPending(round uint32) {
-	pend := w.pending[round]
-	for from, senders := range pend {
-		if w.reportCovered(round, senders) {
-			delete(pend, from)
-			w.markSatisfied(round, from)
+// recheckPending re-tests pending reports after a new delivery: a pending
+// report is satisfied once its origin mask is a subset of the delivered
+// set — a word-wide bitset test per reporter.
+func (w *WitnessAA) recheckPending(a *witArrays) {
+	for wi, word := range a.pendActive {
+		for word != 0 {
+			bit := word & -word
+			word &^= bit
+			f := wi*64 + bits.TrailingZeros64(bit)
+			if subset(a.pendMask[f*w.words:(f+1)*w.words], a.have) {
+				a.pendActive[wi] &^= bit
+				a.sat[wi] |= bit
+				a.satCnt++
+			}
 		}
 	}
 }
@@ -236,12 +298,16 @@ func (w *WitnessAA) recheckPending(round uint32) {
 // witnesses, then either starts the next round or decides.
 func (w *WitnessAA) maybeAdvance() {
 	for !w.decided && w.err == nil {
-		if len(w.satisfied[w.round]) < w.p.Quorum() {
+		a := w.rounds[w.round].arr
+		if a == nil || a.satCnt < w.p.Quorum() {
 			return
 		}
 		view := w.viewBuf[:0]
-		for _, v := range w.vals[w.round] {
-			view = append(view, v)
+		for wi, word := range a.have {
+			for word != 0 {
+				view = append(view, a.vals[wi*64+bits.TrailingZeros64(word)])
+				word &= word - 1
+			}
 		}
 		w.viewBuf = view
 		next, err := multiset.ApplyInPlace(w.fn, view)
@@ -261,11 +327,21 @@ func (w *WitnessAA) maybeAdvance() {
 	}
 }
 
+// cleanup recycles the round's arrays into the free ring and releases the
+// RBC arena slab for the round.
 func (w *WitnessAA) cleanup(round uint32) {
-	delete(w.vals, round)
-	delete(w.pending, round)
-	delete(w.satisfied, round)
-	delete(w.sentRep, round)
+	if a := w.rounds[round].arr; a != nil {
+		for i := range a.have {
+			a.have[i] = 0
+			a.sat[i] = 0
+			a.pendActive[i] = 0
+		}
+		a.haveCnt = 0
+		a.satCnt = 0
+		w.rounds[round].arr = nil
+		w.freeArr = append(w.freeArr, a)
+	}
+	w.bcast.ReleaseRound(round)
 }
 
 // Err reports an internal invariant failure, if any.

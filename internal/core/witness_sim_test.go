@@ -115,6 +115,34 @@ func TestWitnessSurvivesRBCForgery(t *testing.T) {
 	assertWitnessOutcome(t, res, procs, inputs, byz, 1e-3)
 }
 
+// TestWitnessReleasesRBCState pins the end-of-run memory fix: cleanup
+// releases each completed round's RBC arena (rbc.ReleaseRound), so a
+// party's broadcaster no longer holds one instance per (origin, round)
+// for the whole run. Without the release the fault-free run below would
+// end holding n·horizon instances; with it only the last round or two can
+// still be in flight.
+func TestWitnessReleasesRBCState(t *testing.T) {
+	n, tf := 7, 2
+	inputs := []float64{0.1, 0.9, 0.4, 0.6, 0.5, 0.2, 0.8}
+	net, procs := witnessNet(t, n, tf, nil, inputs)
+	res, err := net.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	assertWitnessOutcome(t, res, procs, inputs, nil, 1e-3)
+	for i, w := range procs {
+		if w.horizon < 5 {
+			t.Fatalf("horizon %d too small for the leak check to mean anything", w.horizon)
+		}
+		leakCeiling := n * int(w.horizon)
+		held := w.bcast.Instances()
+		if held > 2*n {
+			t.Errorf("party %d broadcaster holds %d instances after the run, want <= %d (pre-release ceiling %d)",
+				i, held, 2*n, leakCeiling)
+		}
+	}
+}
+
 func assertWitnessOutcome(t *testing.T, res *sim.Result, procs []*WitnessAA,
 	inputs []float64, byz map[sim.PartyID]sim.Process, eps float64) {
 	t.Helper()

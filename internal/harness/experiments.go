@@ -430,27 +430,35 @@ func E3Rounds() (*trace.Table, error) {
 
 // --- E4: message and bit complexity ---
 
+// E4Case is one protocol's size sweep in the message-complexity table.
+type E4Case struct {
+	Proto core.Protocol
+	Sizes []int
+}
+
 // E4Messages measures total and per-round message/byte counts, and
 // normalizes by n² to expose the quadratic (crash, trim) versus cubic
 // (witness) scaling.
 func E4Messages() (*trace.Table, error) {
-	tbl := trace.NewTable("E4: message and bit complexity (bimodal inputs over [0,1], eps=1e-3, splitviews scheduler)",
-		"protocol", "n", "t", "R", "msgs", "msgs/round", "msgs/round/n^2", "bytes", "ok")
-	type cfg struct {
-		proto core.Protocol
-		ns    []int
-	}
-	cases := []cfg{
+	return E4MessagesFor([]E4Case{
 		{core.ProtoCrash, []int{5, 9, 17, 33}},
 		{core.ProtoByzTrim, []int{8, 15, 29, 43}},
 		{core.ProtoWitness, []int{4, 7, 13, 25}},
-	}
+	})
+}
+
+// E4MessagesFor is E4Messages restricted to the given protocol sweeps; the
+// witness determinism test uses it to pin the cubic-message protocol's
+// table at several engine parallelism levels.
+func E4MessagesFor(cases []E4Case) (*trace.Table, error) {
+	tbl := trace.NewTable("E4: message and bit complexity (bimodal inputs over [0,1], eps=1e-3, splitviews scheduler)",
+		"protocol", "n", "t", "R", "msgs", "msgs/round", "msgs/round/n^2", "bytes", "ok")
 	var specs []Spec
 	var rounds []int
 	for _, c := range cases {
-		for _, n := range c.ns {
-			t := maxT(c.proto, n)
-			p := core.Params{Protocol: c.proto, N: n, T: t, Eps: 1e-3, Lo: 0, Hi: 1}
+		for _, n := range c.Sizes {
+			t := maxT(c.Proto, n)
+			p := core.Params{Protocol: c.Proto, N: n, T: t, Eps: 1e-3, Lo: 0, Hi: 1}
 			r, err := p.FixedRounds()
 			if err != nil {
 				return nil, err
@@ -585,10 +593,16 @@ func E6Scaling() (*trace.Table, error) {
 // E6ScalingSizes is E6Scaling with a custom size sweep (the benchmark suite
 // uses smaller sizes to keep iteration time sane).
 func E6ScalingSizes(sizes []int) (*trace.Table, error) {
+	return E6ScalingFor([]core.Protocol{core.ProtoCrash, core.ProtoByzTrim, core.ProtoWitness}, sizes)
+}
+
+// E6ScalingFor is the scaling sweep restricted to the given protocols and
+// sizes; the witness determinism test pins the witness rows on their own.
+func E6ScalingFor(protos []core.Protocol, sizes []int) (*trace.Table, error) {
 	tbl := trace.NewTable("E6: scaling with n (eps=1e-3, inputs linear over [0,1], random scheduler)",
 		"protocol", "n", "t", "virt-rounds", "msgs", "bytes", "deliveries", "ok")
 	var specs []Spec
-	for _, proto := range []core.Protocol{core.ProtoCrash, core.ProtoByzTrim, core.ProtoWitness} {
+	for _, proto := range protos {
 		for _, n := range sizes {
 			t := maxT(proto, n)
 			p := core.Params{Protocol: proto, N: n, T: t, Eps: 1e-3, Lo: 0, Hi: 1}

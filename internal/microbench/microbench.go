@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/multiset"
+	"repro/internal/rbc"
 	"repro/internal/wire"
 )
 
@@ -40,6 +41,49 @@ func Cases() []Case {
 		{"multiset/contraction-search", ContractionSearch},
 		{"wire/value-roundtrip", WireRoundtrip},
 		{"wire/value-append-reuse", WireAppendReuse},
+		{"rbc/round", RBCRound},
+	}
+}
+
+// RBCRound measures n concurrent reliable broadcasts among n=16 parties
+// delivered to completion — the witness protocol's per-round substrate
+// and the target of the dense-state arena refactor.
+func RBCRound(b *testing.B) {
+	const n, tf = 16, 5
+	for i := 0; i < b.N; i++ {
+		queue := make([][]byte, 0, 1024)
+		senders := make([]uint16, 0, 1024)
+		bcs := make([]*rbc.Broadcaster, n)
+		for p := 0; p < n; p++ {
+			p := p
+			// The broadcaster encodes into a reused scratch buffer, so the
+			// multicast function must snapshot the payload (as the simulator
+			// and livenet runtimes do) before queueing it.
+			bc, err := rbc.New(n, tf, uint16(p), func(data []byte) {
+				queue = append(queue, append([]byte(nil), data...))
+				senders = append(senders, uint16(p))
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bcs[p] = bc
+		}
+		for p := 0; p < n; p++ {
+			bcs[p].Broadcast(1, float64(p))
+		}
+		delivered := 0
+		for len(queue) > 0 {
+			data, from := queue[0], senders[0]
+			queue, senders = queue[1:], senders[1:]
+			for p := 0; p < n; p++ {
+				if _, ok := bcs[p].Handle(from, data); ok {
+					delivered++
+				}
+			}
+		}
+		if delivered != n*n {
+			b.Fatalf("delivered %d, want %d", delivered, n*n)
+		}
 	}
 }
 

@@ -16,6 +16,12 @@
 // The n−t echo threshold is a quorum: two quorums intersect in ≥ n−2t ≥ t+1
 // parties, hence in an honest party, so two honest parties can never become
 // ready for different values; the t+1 ready amplification gives totality.
+//
+// State is dense and index-addressed: one arena slab per round holds all n
+// instances (indexed by origin), per-sender vote bookkeeping is a
+// seen-bitset instead of a map, and vote tallies are small value/count
+// slices (real vote-value cardinality is tiny even under Byzantine input).
+// This is the Θ(n³)-message hot path of the witness protocol; see PERF.md.
 package rbc
 
 import (
@@ -39,35 +45,110 @@ type Delivery struct {
 	Value  float64
 }
 
+// voteCap is the arena-backed capacity of a vote tally. Honest executions
+// see exactly one distinct value per instance; a tally only spills to a
+// heap-allocated slice when Byzantine senders vote for a fifth value.
+const voteCap = 4
+
+// maxDenseRounds bounds the round-indexed slab table; a horizon above it
+// (never hit by the protocols, whose round counts are logarithmic in the
+// promised range) falls back to the map container.
+const maxDenseRounds = 1 << 12
+
 // Broadcaster multiplexes all RBC instances for a single party. It is a
 // pure state machine: the owner feeds it incoming wire messages via Handle
 // and gives it a multicast function for its own traffic.
 type Broadcaster struct {
-	n, t      int
-	self      uint16
+	n, t  int
+	words int // bitset words per sender set
+	self  uint16
+	// multicast must not retain the slice past the call: the Broadcaster
+	// encodes into an internal scratch buffer it reuses for the next
+	// message. The simulator and livenet both copy on send.
 	multicast func(data []byte)
 	// maxRound discards instances tagged beyond the protocol horizon so a
 	// Byzantine party cannot grow state without bound. Zero means no cap.
 	maxRound uint32
-	inst     map[Instance]*instanceState
+	// byRound is the dense round table, allocated when SetMaxRound declares
+	// a horizon before any traffic; rounds is the uncapped fallback.
+	byRound []*roundState
+	rounds  map[uint32]*roundState
+	buf     []byte // wire-encoding scratch
+}
+
+// roundState is the per-round arena: all n instances of a round, indexed
+// by origin, with their vote storage carved from four shared backing
+// allocations (instead of one struct plus four maps per instance).
+type roundState struct {
+	inst   []instanceState
+	active int // instances touched, for the Instances() memory hook
+	// complete counts inert instances — echoed, readied, and delivered.
+	// Such an instance can never emit anything again: a late SEND finds
+	// echoed already set, further votes find readied and delivered set. So
+	// when complete reaches n the round is quiescent and its slab can be
+	// freed (and later messages dropped) without changing any observable
+	// behavior. An instance of a faulty sender that never completes keeps
+	// its round's slab alive — that retention is inherent to exactness,
+	// because a suppressed ECHO/READY could starve a slower party.
+	complete int
+	// doomed marks a ReleaseRound request; freed marks the slab released
+	// (further messages for the round are dropped).
+	doomed bool
+	freed  bool
 }
 
 type instanceState struct {
-	echoed    bool
-	readied   bool
-	delivered bool
-	// echoes and readies record each sender's first (and only counted)
-	// message, per Bracha's one-vote-per-party rule.
-	echoes      map[uint16]float64
-	readies     map[uint16]float64
-	echoVotes   map[float64]int
-	readyVotes  map[float64]int
+	touched     bool
 	sendSeen    bool
+	echoed      bool
+	readied     bool
+	delivered   bool
 	deliveredAs float64
+	echo        tally
+	ready       tally
+}
+
+// inert reports that the instance can never emit another message or
+// delivery, whatever arrives.
+func (st *instanceState) inert() bool {
+	return st.echoed && st.readied && st.delivered
+}
+
+// tally records one vote per sender (Bracha's rule) in dense form: a
+// seen-bitset for duplicate suppression and a small value/count slice for
+// threshold tests. Which value a particular sender voted for is never
+// consulted afterwards, so no per-sender value array is kept.
+type tally struct {
+	seen  []uint64 // duplicate-suppression bitset over senders
+	votes []vote   // distinct values with counts; cardinality is tiny
+}
+
+type vote struct {
+	val   float64
+	count int32
+}
+
+// record counts sender's vote for v. It returns the updated count for v,
+// or dup=true if the sender already voted in this tally.
+func (t *tally) record(from uint16, v float64) (count int, dup bool) {
+	w, bit := int(from)>>6, uint64(1)<<(from&63)
+	if t.seen[w]&bit != 0 {
+		return 0, true
+	}
+	t.seen[w] |= bit
+	for i := range t.votes {
+		if t.votes[i].val == v {
+			t.votes[i].count++
+			return int(t.votes[i].count), false
+		}
+	}
+	t.votes = append(t.votes, vote{val: v, count: 1})
+	return 1, false
 }
 
 // New creates a Broadcaster. The multicast function must deliver to all n
-// parties (self included); n must satisfy n >= 3t+1.
+// parties (self included) and must not retain the slice after returning
+// (copy if needed); n must satisfy n >= 3t+1.
 func New(n, t int, self uint16, multicast func(data []byte)) (*Broadcaster, error) {
 	if n < 3*t+1 || t < 0 {
 		return nil, fmt.Errorf("rbc: need n >= 3t+1, got n=%d t=%d", n, t)
@@ -81,112 +162,243 @@ func New(n, t int, self uint16, multicast func(data []byte)) (*Broadcaster, erro
 	return &Broadcaster{
 		n:         n,
 		t:         t,
+		words:     (n + 63) / 64,
 		self:      self,
 		multicast: multicast,
-		inst:      make(map[Instance]*instanceState),
+		rounds:    make(map[uint32]*roundState),
+		buf:       make([]byte, 0, wire.RBCSize),
 	}, nil
 }
 
-// SetMaxRound caps the instance rounds the broadcaster will track.
-func (b *Broadcaster) SetMaxRound(r uint32) { b.maxRound = r }
+// SetMaxRound caps the instance rounds the broadcaster will track. Called
+// before any traffic it also switches the round table to its dense
+// round-indexed form; raising the cap later grows the table, and removing
+// it (or exceeding the dense bound) migrates back to the map container.
+func (b *Broadcaster) SetMaxRound(r uint32) {
+	b.maxRound = r
+	if b.byRound != nil {
+		if r == 0 || r > maxDenseRounds {
+			m := make(map[uint32]*roundState)
+			for i, rs := range b.byRound {
+				if rs != nil {
+					m[uint32(i)] = rs
+				}
+			}
+			b.rounds, b.byRound = m, nil
+		} else if int(r)+1 > len(b.byRound) {
+			grown := make([]*roundState, r+1)
+			copy(grown, b.byRound)
+			b.byRound = grown
+		}
+		return
+	}
+	if r > 0 && r <= maxDenseRounds && len(b.rounds) == 0 {
+		b.byRound = make([]*roundState, r+1)
+		b.rounds = nil
+	}
+}
 
 // Broadcast starts this party's own broadcast for a round.
 func (b *Broadcaster) Broadcast(round uint32, v float64) {
-	b.multicast(wire.MarshalRBC(wire.RBC{
-		Phase:  wire.RBCSend,
-		Origin: b.self,
-		Round:  round,
-		Value:  v,
-	}))
+	b.cast(wire.RBCSend, b.self, round, v)
 }
 
-func (b *Broadcaster) state(key Instance) *instanceState {
-	st, ok := b.inst[key]
-	if !ok {
-		st = &instanceState{
-			echoes:     make(map[uint16]float64),
-			readies:    make(map[uint16]float64),
-			echoVotes:  make(map[float64]int),
-			readyVotes: make(map[float64]int),
+// cast encodes into the scratch buffer and multicasts.
+func (b *Broadcaster) cast(phase byte, origin uint16, round uint32, v float64) {
+	b.buf = wire.AppendRBC(b.buf[:0], wire.RBC{
+		Phase: phase, Origin: origin, Round: round, Value: v,
+	})
+	b.multicast(b.buf)
+}
+
+// round returns the (possibly empty) state record for a round, creating it
+// if absent. Callers have already validated r against maxRound.
+func (b *Broadcaster) round(r uint32) *roundState {
+	if b.byRound != nil {
+		if rs := b.byRound[r]; rs != nil {
+			return rs
 		}
-		b.inst[key] = st
+		rs := &roundState{}
+		b.byRound[r] = rs
+		return rs
 	}
-	return st
+	rs, ok := b.rounds[r]
+	if !ok {
+		rs = &roundState{}
+		b.rounds[r] = rs
+	}
+	return rs
+}
+
+// materialize allocates the round's arena slab: three backing arrays
+// shared by all n instances, instead of per-instance maps.
+func (b *Broadcaster) materialize(rs *roundState) {
+	n, w := b.n, b.words
+	rs.inst = make([]instanceState, n)
+	seen := make([]uint64, 2*n*w)
+	votes := make([]vote, 2*n*voteCap)
+	for i := range rs.inst {
+		st := &rs.inst[i]
+		st.echo = tally{
+			seen:  seen[(2*i)*w : (2*i+1)*w],
+			votes: votes[(2*i)*voteCap : (2*i)*voteCap : (2*i+1)*voteCap],
+		}
+		st.ready = tally{
+			seen:  seen[(2*i+1)*w : (2*i+2)*w],
+			votes: votes[(2*i+1)*voteCap : (2*i+1)*voteCap : (2*i+2)*voteCap],
+		}
+	}
+}
+
+// ReleaseRound asks the broadcaster to free round r's arena slab. The slab
+// is released as soon as the round is quiescent — every instance echoed,
+// readied, and delivered — at which point no message can trigger another
+// send or delivery, so dropping the state (and all further messages for
+// the round) is observably identical to keeping it. Until quiescence the
+// round keeps answering messages normally, so protocol traffic (and the
+// experiment tables measuring it) is byte-for-byte unchanged; a round
+// whose faulty senders leave instances forever incomplete is retained,
+// the price of exactness. After release, Delivered reports false for the
+// round.
+func (b *Broadcaster) ReleaseRound(r uint32) {
+	if r == 0 || (b.maxRound > 0 && r > b.maxRound) {
+		return
+	}
+	rs := b.round(r)
+	rs.doomed = true
+	b.maybeFree(rs)
+}
+
+func (b *Broadcaster) maybeFree(rs *roundState) {
+	if !rs.doomed || rs.freed || rs.inst == nil || rs.complete < b.n {
+		return
+	}
+	rs.inst = nil
+	rs.active = 0
+	rs.freed = true
 }
 
 // Handle processes one incoming RBC wire message from a party and returns
-// the deliveries it triggers (zero or one). Malformed or out-of-cap
-// messages are silently dropped, as Byzantine input must be.
-func (b *Broadcaster) Handle(from uint16, data []byte) []Delivery {
+// the delivery it triggers, if any. Malformed or out-of-cap messages are
+// silently dropped, as Byzantine input must be.
+func (b *Broadcaster) Handle(from uint16, data []byte) (Delivery, bool) {
 	m, err := wire.UnmarshalRBC(data)
 	if err != nil {
-		return nil
+		return Delivery{}, false
 	}
 	if int(from) >= b.n || int(m.Origin) >= b.n {
-		return nil
+		return Delivery{}, false
 	}
 	if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
-		return nil
+		return Delivery{}, false
 	}
 	if m.Round == 0 || (b.maxRound > 0 && m.Round > b.maxRound) {
-		return nil
+		return Delivery{}, false
 	}
-	key := Instance{Origin: m.Origin, Round: m.Round}
-	st := b.state(key)
+	rs := b.round(m.Round)
+	if rs.freed {
+		return Delivery{}, false
+	}
+	if rs.inst == nil {
+		b.materialize(rs)
+	}
+	st := &rs.inst[m.Origin]
+	if !st.touched {
+		st.touched = true
+		rs.active++
+	}
+	var del Delivery
+	var delivered bool
 	switch m.Phase {
 	case wire.RBCSend:
 		// Only the origin's first SEND counts.
 		if from != m.Origin || st.sendSeen {
-			return nil
+			return Delivery{}, false
 		}
 		st.sendSeen = true
 		if !st.echoed {
 			st.echoed = true
-			b.multicast(wire.MarshalRBC(wire.RBC{
-				Phase: wire.RBCEcho, Origin: m.Origin, Round: m.Round, Value: m.Value,
-			}))
+			b.cast(wire.RBCEcho, m.Origin, m.Round, m.Value)
+			if st.inert() {
+				rs.complete++
+			}
 		}
 	case wire.RBCEcho:
-		if _, dup := st.echoes[from]; dup {
-			return nil
+		count, dup := st.echo.record(from, m.Value)
+		if dup {
+			return Delivery{}, false
 		}
-		st.echoes[from] = m.Value
-		st.echoVotes[m.Value]++
-		if st.echoVotes[m.Value] >= b.n-b.t && !st.readied {
+		if count >= b.n-b.t && !st.readied {
 			st.readied = true
-			b.multicast(wire.MarshalRBC(wire.RBC{
-				Phase: wire.RBCReady, Origin: m.Origin, Round: m.Round, Value: m.Value,
-			}))
+			b.cast(wire.RBCReady, m.Origin, m.Round, m.Value)
+			if st.inert() {
+				rs.complete++
+			}
 		}
 	case wire.RBCReady:
-		if _, dup := st.readies[from]; dup {
-			return nil
+		count, dup := st.ready.record(from, m.Value)
+		if dup {
+			return Delivery{}, false
 		}
-		st.readies[from] = m.Value
-		st.readyVotes[m.Value]++
-		if st.readyVotes[m.Value] >= b.t+1 && !st.readied {
+		if count >= b.t+1 && !st.readied {
 			st.readied = true
-			b.multicast(wire.MarshalRBC(wire.RBC{
-				Phase: wire.RBCReady, Origin: m.Origin, Round: m.Round, Value: m.Value,
-			}))
+			b.cast(wire.RBCReady, m.Origin, m.Round, m.Value)
+			if st.inert() {
+				rs.complete++
+			}
 		}
-		if st.readyVotes[m.Value] >= 2*b.t+1 && !st.delivered {
+		if count >= 2*b.t+1 && !st.delivered {
 			st.delivered = true
 			st.deliveredAs = m.Value
-			return []Delivery{{Origin: m.Origin, Round: m.Round, Value: m.Value}}
+			if st.inert() {
+				rs.complete++
+			}
+			del = Delivery{Origin: m.Origin, Round: m.Round, Value: m.Value}
+			delivered = true
 		}
 	}
-	return nil
+	if rs.doomed {
+		b.maybeFree(rs)
+	}
+	return del, delivered
 }
 
-// Delivered reports whether an instance has delivered, and its value.
+// Delivered reports whether an instance has delivered, and its value. A
+// round freed by ReleaseRound reports false.
 func (b *Broadcaster) Delivered(key Instance) (float64, bool) {
-	st, ok := b.inst[key]
-	if !ok || !st.delivered {
+	if key.Round == 0 || (b.maxRound > 0 && key.Round > b.maxRound) {
+		return 0, false
+	}
+	var rs *roundState
+	if b.byRound != nil {
+		rs = b.byRound[key.Round]
+	} else {
+		rs = b.rounds[key.Round]
+	}
+	if rs == nil || rs.inst == nil || int(key.Origin) >= b.n {
+		return 0, false
+	}
+	st := &rs.inst[key.Origin]
+	if !st.delivered {
 		return 0, false
 	}
 	return st.deliveredAs, true
 }
 
-// Instances reports how many instances hold state (for memory tests).
-func (b *Broadcaster) Instances() int { return len(b.inst) }
+// Instances reports how many instances hold live state (for memory tests).
+// Released rounds contribute zero.
+func (b *Broadcaster) Instances() int {
+	total := 0
+	if b.byRound != nil {
+		for _, rs := range b.byRound {
+			if rs != nil {
+				total += rs.active
+			}
+		}
+		return total
+	}
+	for _, rs := range b.rounds {
+		total += rs.active
+	}
+	return total
+}

@@ -53,6 +53,13 @@ func newBus(t *testing.T, n, f int) *bus {
 	return b
 }
 
+// handle feeds one message to party p, collecting any delivery.
+func (b *bus) handle(p int, from uint16, data []byte) {
+	if d, ok := b.bcs[p].Handle(from, data); ok {
+		b.delivered[p] = append(b.delivered[p], d)
+	}
+}
+
 // drain processes queued multicasts until quiescence.
 func (b *bus) drain() {
 	for len(b.queue) > 0 {
@@ -64,8 +71,9 @@ func (b *bus) drain() {
 			if b.drop[uint16(p)] {
 				continue
 			}
-			ds := b.bcs[p].Handle(from, data)
-			b.delivered[p] = append(b.delivered[p], ds...)
+			if d, ok := b.bcs[p].Handle(from, data); ok {
+				b.delivered[p] = append(b.delivered[p], d)
+			}
 		}
 	}
 }
@@ -76,8 +84,9 @@ func (b *bus) inject(from uint16, m wire.RBC) {
 		if b.drop[uint16(p)] {
 			continue
 		}
-		ds := b.bcs[p].Handle(from, wire.MarshalRBC(m))
-		b.delivered[p] = append(b.delivered[p], ds...)
+		if d, ok := b.bcs[p].Handle(from, wire.MarshalRBC(m)); ok {
+			b.delivered[p] = append(b.delivered[p], d)
+		}
 	}
 	b.drain()
 }
@@ -136,9 +145,9 @@ func TestNoEquivocationDelivery(t *testing.T) {
 	// Byzantine party 3 sends SEND(v=1) to parties 0,1 and SEND(v=2) to 2.
 	m1 := wire.MarshalRBC(wire.RBC{Phase: wire.RBCSend, Origin: 3, Round: 1, Value: 1})
 	m2 := wire.MarshalRBC(wire.RBC{Phase: wire.RBCSend, Origin: 3, Round: 1, Value: 2})
-	b.delivered[0] = append(b.delivered[0], b.bcs[0].Handle(3, m1)...)
-	b.delivered[1] = append(b.delivered[1], b.bcs[1].Handle(3, m1)...)
-	b.delivered[2] = append(b.delivered[2], b.bcs[2].Handle(3, m2)...)
+	b.handle(0, 3, m1)
+	b.handle(1, 3, m1)
+	b.handle(2, 3, m2)
 	b.drain()
 	values := map[float64]bool{}
 	for p := 0; p < 3; p++ {
@@ -157,8 +166,8 @@ func TestTotalityViaReadyAmplification(t *testing.T) {
 	b := newBus(t, 4, 1)
 	// Origin 0 is byzantine: it sends SEND only to 1 and 2, never to 3.
 	m := wire.MarshalRBC(wire.RBC{Phase: wire.RBCSend, Origin: 0, Round: 1, Value: 7})
-	b.delivered[1] = append(b.delivered[1], b.bcs[1].Handle(0, m)...)
-	b.delivered[2] = append(b.delivered[2], b.bcs[2].Handle(0, m)...)
+	b.handle(1, 0, m)
+	b.handle(2, 0, m)
 	b.mute[0] = true // origin contributes nothing further
 	b.drain()
 	// With echoes from 1, 2 plus... only 2 echoes < n-t = 3: no one can
@@ -176,7 +185,7 @@ func TestTotalityViaReadyAmplification(t *testing.T) {
 	// Now let the origin's send reach party 3 as well: 3 echoes = quorum,
 	// everyone (including the never-sent-to party 0... which is the origin
 	// itself here) delivers.
-	b.delivered[3] = append(b.delivered[3], b.bcs[3].Handle(0, m)...)
+	b.handle(3, 0, m)
 	b.drain()
 	for p := 1; p < 4; p++ {
 		if len(b.delivered[p]) != 1 || b.delivered[p][0].Value != 7 {
@@ -229,13 +238,13 @@ func TestMalformedAndOutOfRangeDropped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ds := bc.Handle(1, []byte{1, 2}); ds != nil {
+	if _, ok := bc.Handle(1, []byte{1, 2}); ok {
 		t.Error("malformed message produced deliveries")
 	}
-	if ds := bc.Handle(9, wire.MarshalRBC(wire.RBC{Phase: wire.RBCEcho, Origin: 1, Round: 1})); ds != nil {
+	if _, ok := bc.Handle(9, wire.MarshalRBC(wire.RBC{Phase: wire.RBCEcho, Origin: 1, Round: 1})); ok {
 		t.Error("out-of-range sender accepted")
 	}
-	if ds := bc.Handle(1, wire.MarshalRBC(wire.RBC{Phase: wire.RBCEcho, Origin: 9, Round: 1})); ds != nil {
+	if _, ok := bc.Handle(1, wire.MarshalRBC(wire.RBC{Phase: wire.RBCEcho, Origin: 9, Round: 1})); ok {
 		t.Error("out-of-range origin accepted")
 	}
 	nan := wire.MarshalRBC(wire.RBC{Phase: wire.RBCEcho, Origin: 1, Round: 1})
@@ -243,11 +252,99 @@ func TestMalformedAndOutOfRangeDropped(t *testing.T) {
 	for i := 8; i < 16; i++ {
 		nan[i] = 0xFF
 	}
-	if ds := bc.Handle(1, nan); ds != nil {
+	if _, ok := bc.Handle(1, nan); ok {
 		t.Error("NaN value accepted")
 	}
-	if ds := bc.Handle(1, wire.MarshalRBC(wire.RBC{Phase: wire.RBCEcho, Origin: 1, Round: 0})); ds != nil {
+	if _, ok := bc.Handle(1, wire.MarshalRBC(wire.RBC{Phase: wire.RBCEcho, Origin: 1, Round: 0})); ok {
 		t.Error("round 0 accepted")
+	}
+}
+
+// TestReleaseRoundFreesQuiescentState pins the arena-release contract: a
+// doomed round's slab is freed exactly when every instance is quiescent
+// (SEND seen and delivered), and further traffic for it is dropped.
+func TestReleaseRoundFreesQuiescentState(t *testing.T) {
+	b := newBus(t, 4, 1)
+	for p := 0; p < 4; p++ {
+		b.bcs[p].Broadcast(1, float64(p))
+	}
+	b.drain()
+	for p := 0; p < 4; p++ {
+		if got := b.bcs[p].Instances(); got != 4 {
+			t.Fatalf("party %d holds %d instances before release, want 4", p, got)
+		}
+		b.bcs[p].ReleaseRound(1)
+		if got := b.bcs[p].Instances(); got != 0 {
+			t.Errorf("party %d holds %d instances after release, want 0", p, got)
+		}
+		if _, ok := b.bcs[p].Delivered(Instance{Origin: 0, Round: 1}); ok {
+			t.Errorf("party %d still reports deliveries for a released round", p)
+		}
+	}
+	// Straggler traffic for the released round is dropped without
+	// resurrecting state.
+	b.inject(2, wire.RBC{Phase: wire.RBCEcho, Origin: 0, Round: 1, Value: 9})
+	for p := 0; p < 4; p++ {
+		if got := b.bcs[p].Instances(); got != 0 {
+			t.Errorf("party %d resurrected %d instances", p, got)
+		}
+	}
+}
+
+// TestReleaseRoundDefersUntilQuiescent checks that a round released while
+// still in flight keeps behaving exactly like an unreleased one — the
+// pending echoes and the delivery still happen — and is freed only once
+// every instance is inert (echoed, readied, and delivered).
+func TestReleaseRoundDefersUntilQuiescent(t *testing.T) {
+	b := newBus(t, 4, 1)
+	b.bcs[0].Broadcast(1, 2.5)
+	// Release before any traffic is processed: the round must still run
+	// its full SEND/ECHO/READY cascade for every origin that shows up.
+	for p := 0; p < 4; p++ {
+		b.bcs[p].ReleaseRound(1)
+	}
+	b.drain()
+	for p := 0; p < 4; p++ {
+		if len(b.delivered[p]) != 1 || b.delivered[p][0].Value != 2.5 {
+			t.Fatalf("party %d delivered %+v, want the released-but-live round to deliver", p, b.delivered[p])
+		}
+		// Only origin 0 broadcast, so the other three instances never saw a
+		// SEND: the round is not quiescent and its slab must still be live.
+		if got := b.bcs[p].Instances(); got == 0 {
+			t.Errorf("party %d freed a non-quiescent round", p)
+		}
+	}
+}
+
+// TestHandleEchoReadySteadyStateAllocs pins the dense hot path: once a
+// round's arena slab exists, ECHO and READY handling — including the
+// threshold-crossing READY multicast and the delivery — allocates nothing.
+func TestHandleEchoReadySteadyStateAllocs(t *testing.T) {
+	const n, tf = 64, 21
+	bc, err := New(n, tf, 0, func([]byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc.SetMaxRound(2)
+	// Pre-marshal one ECHO and one READY per sender so the loop under
+	// measurement does no encoding of its own.
+	echoes := make([][]byte, n)
+	readies := make([][]byte, n)
+	for i := range echoes {
+		echoes[i] = wire.MarshalRBC(wire.RBC{Phase: wire.RBCEcho, Origin: 3, Round: 1, Value: 1.5})
+		readies[i] = wire.MarshalRBC(wire.RBC{Phase: wire.RBCReady, Origin: 3, Round: 1, Value: 1.5})
+	}
+	// Materialize the slab and the encoding scratch outside the window.
+	bc.Handle(0, echoes[0])
+	k := 1
+	allocs := testing.AllocsPerRun(200, func() {
+		from := uint16(k % n)
+		bc.Handle(from, echoes[from])
+		bc.Handle(from, readies[from])
+		k++
+	})
+	if allocs != 0 {
+		t.Errorf("ECHO/READY steady state allocates %.1f/op, want 0", allocs)
 	}
 }
 
@@ -262,5 +359,31 @@ func TestMaxRoundCapBoundsState(t *testing.T) {
 	}
 	if got := bc.Instances(); got != 8 {
 		t.Errorf("instances = %d, want 8 (cap)", got)
+	}
+}
+
+// TestSetMaxRoundRaisedAndRemoved pins the cap transitions: raising the
+// cap grows the dense round table (no out-of-range panic on the newly
+// legal rounds) and removing it migrates existing state to the uncapped
+// container.
+func TestSetMaxRoundRaisedAndRemoved(t *testing.T) {
+	bc, err := New(4, 1, 0, func([]byte) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc.SetMaxRound(4)
+	echo := func(r uint32) {
+		bc.Handle(1, wire.MarshalRBC(wire.RBC{Phase: wire.RBCEcho, Origin: 1, Round: r, Value: 1}))
+	}
+	echo(3)
+	bc.SetMaxRound(12)
+	echo(9) // beyond the original table: must track, not panic
+	if got := bc.Instances(); got != 2 {
+		t.Errorf("instances = %d, want 2 after raising the cap", got)
+	}
+	bc.SetMaxRound(0) // cap removed: state must survive the migration
+	echo(100)
+	if got := bc.Instances(); got != 3 {
+		t.Errorf("instances = %d, want 3 after removing the cap", got)
 	}
 }

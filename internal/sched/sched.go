@@ -61,8 +61,11 @@ func (s *UniformRandom) Delay(_ sim.Envelope, _ sim.Time, rng *rand.Rand) sim.Ti
 // the rest of the network runs at FastDelay. This starves victims of
 // timeliness without ever dropping their messages — the canonical way an
 // asynchronous adversary biases which n−t values each party collects.
+// Victims is a dense membership table indexed by PartyID (parties beyond
+// its length are non-victims), so the per-delivery test is an array load
+// rather than a map probe on the scheduler hot path.
 type Skew struct {
-	Victims   map[sim.PartyID]bool
+	Victims   []bool
 	FastDelay sim.Time
 	SlowDelay sim.Time
 }
@@ -71,19 +74,31 @@ var _ sim.Scheduler = (*Skew)(nil)
 
 // NewSkew builds a Skew scheduler over the given victims.
 func NewSkew(victims []sim.PartyID, fast, slow sim.Time) *Skew {
-	set := make(map[sim.PartyID]bool, len(victims))
+	size := 0
 	for _, v := range victims {
-		set[v] = true
+		if int(v) >= size {
+			size = int(v) + 1
+		}
+	}
+	set := make([]bool, size)
+	for _, v := range victims {
+		if v >= 0 {
+			set[v] = true
+		}
 	}
 	return &Skew{Victims: set, FastDelay: fast, SlowDelay: slow}
 }
 
 // Delay implements sim.Scheduler.
 func (s *Skew) Delay(env sim.Envelope, _ sim.Time, _ *rand.Rand) sim.Time {
-	if s.Victims[env.From] || s.Victims[env.To] {
+	if s.victim(env.From) || s.victim(env.To) {
 		return max1(s.SlowDelay)
 	}
 	return max1(s.FastDelay)
+}
+
+func (s *Skew) victim(p sim.PartyID) bool {
+	return p >= 0 && int(p) < len(s.Victims) && s.Victims[p]
 }
 
 // Partition splits the parties into two blocks: messages within a block are

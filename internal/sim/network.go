@@ -91,6 +91,38 @@ type Network struct {
 	observer func(now Time, env Envelope)
 
 	defaultMaxEvents int
+
+	// arena is the block allocator for in-flight message payloads: Send and
+	// Multicast snapshot the caller's bytes into it, so protocols encode
+	// into reusable scratch buffers and a multicast's n envelopes share one
+	// copy. Exhausted blocks are dropped (not recycled) and are reclaimed
+	// by the GC once their last envelope is delivered.
+	arena    []byte
+	arenaOff int
+}
+
+// arenaBlock is the payload arena's allocation granularity.
+const arenaBlock = 1 << 16
+
+// snapshot copies data into the payload arena and returns the full-slice
+// copy. The copy is capacity-clipped so appends can never bleed into a
+// neighboring payload.
+func (n *Network) snapshot(data []byte) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	if n.arenaOff+len(data) > len(n.arena) {
+		size := arenaBlock
+		if len(data) > size {
+			size = len(data)
+		}
+		n.arena = make([]byte, size)
+		n.arenaOff = 0
+	}
+	buf := n.arena[n.arenaOff : n.arenaOff+len(data) : n.arenaOff+len(data)]
+	n.arenaOff += len(data)
+	copy(buf, data)
+	return buf
 }
 
 type partyState struct {
@@ -116,12 +148,15 @@ func (p *partyState) N() int           { return p.net.cfg.N }
 func (p *partyState) Rand() *rand.Rand { return p.rng }
 
 func (p *partyState) Send(to PartyID, data []byte) {
-	p.net.send(p, to, data)
+	p.net.send(p, to, p.net.snapshot(data))
 }
 
 func (p *partyState) Multicast(data []byte) {
+	// One snapshot shared by all n envelopes: the sender may reuse its
+	// buffer immediately, and the n recipients alias a single copy.
+	buf := p.net.snapshot(data)
 	for to := 0; to < p.net.cfg.N; to++ {
-		p.net.send(p, PartyID(to), data)
+		p.net.send(p, PartyID(to), buf)
 	}
 }
 

@@ -67,6 +67,49 @@ func TestAppendSizesMatchConstants(t *testing.T) {
 	}
 }
 
+// TestUnmarshalReportInto pins the decode-into-scratch semantics: the
+// decoded senders alias the scratch when it has capacity, and the result
+// matches the allocating decoder.
+func TestUnmarshalReportInto(t *testing.T) {
+	in := Report{Round: 9, Senders: []uint16{3, 0, 7, 65535}}
+	b := MarshalReport(in)
+	scratch := make([]uint16, 0, 8)
+	out, err := UnmarshalReportInto(b, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Round != in.Round || !bytes.Equal(MarshalReport(out), b) {
+		t.Errorf("decode-into roundtrip: %+v", out)
+	}
+	if &out.Senders[0] != &scratch[:1][0] {
+		t.Error("decoder did not reuse scratch capacity")
+	}
+	// Undersized scratch grows instead of failing.
+	out, err = UnmarshalReportInto(b, make([]uint16, 0, 1))
+	if err != nil || len(out.Senders) != len(in.Senders) {
+		t.Errorf("undersized scratch: %+v, %v", out, err)
+	}
+}
+
+// TestReportScratchZeroAllocs pins the zero-allocation report fan-in path:
+// append-encode into a reused buffer, decode into a reused scratch.
+func TestReportScratchZeroAllocs(t *testing.T) {
+	m := Report{Round: 4, Senders: []uint16{1, 2, 5, 9}}
+	buf := make([]byte, 0, ReportHeader+2*len(m.Senders))
+	scratch := make([]uint16, 0, len(m.Senders))
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendReport(buf[:0], m)
+		out, err := UnmarshalReportInto(buf, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch = out.Senders[:0]
+	})
+	if allocs != 0 {
+		t.Errorf("report scratch path allocates %.1f/op, want 0", allocs)
+	}
+}
+
 // TestAppendValueZeroAllocs pins the zero-allocation reuse path.
 func TestAppendValueZeroAllocs(t *testing.T) {
 	buf := make([]byte, 0, ValueSize)

@@ -95,12 +95,12 @@ const (
 // The Append* functions are the buffer-reusing encoders: each appends the
 // encoding of its message to dst and returns the extended slice, exactly
 // like the standard library's binary.Append* family. A caller that owns a
-// scratch buffer (and whose runtime copies or fully consumes the bytes
-// before the next encode — note the simulator retains message slices in
-// flight, so per-message ownership still requires a fresh slice there)
-// encodes without allocating: AppendValue(buf[:0], m). The Marshal*
-// functions remain the allocate-per-message convenience form and delegate
-// to the appenders, so there is a single encoding definition per kind.
+// scratch buffer encodes without allocating: AppendValue(buf[:0], m). Both
+// runtimes snapshot payloads on send (the simulator into its arena, the
+// live runtime into a per-message copy), so protocol hot paths multicast
+// straight from scratch buffers. The Marshal* functions remain the
+// allocate-per-message convenience form and delegate to the appenders, so
+// there is a single encoding definition per kind.
 
 // AppendInit appends the encoding of an Init message to dst.
 func AppendInit(dst []byte, m Init) []byte {
@@ -244,19 +244,27 @@ func UnmarshalRBC(b []byte) (RBC, error) {
 	return m, nil
 }
 
-// UnmarshalReport decodes a witness report.
+// UnmarshalReport decodes a witness report into freshly allocated storage.
 func UnmarshalReport(b []byte) (Report, error) {
-	if len(b) < 7 || Kind(b[0]) != KindReport {
+	return UnmarshalReportInto(b, nil)
+}
+
+// UnmarshalReportInto decodes a witness report, appending the sender IDs
+// to scratch (sliced to zero length first) so a caller that owns a reused
+// scratch buffer decodes without allocating. The returned Senders slice
+// aliases scratch when it has sufficient capacity; the caller should keep
+// the returned slice as its next scratch to retain any growth.
+func UnmarshalReportInto(b []byte, scratch []uint16) (Report, error) {
+	if len(b) < ReportHeader || Kind(b[0]) != KindReport {
 		return Report{}, fmt.Errorf("%w: report", ErrShort)
 	}
 	count := int(binary.LittleEndian.Uint16(b[5:]))
-	if len(b) < 7+2*count {
+	if len(b) < ReportHeader+2*count {
 		return Report{}, fmt.Errorf("%w: report senders", ErrShort)
 	}
-	m := Report{Round: binary.LittleEndian.Uint32(b[1:])}
-	m.Senders = make([]uint16, count)
+	senders := scratch[:0]
 	for i := 0; i < count; i++ {
-		m.Senders[i] = binary.LittleEndian.Uint16(b[7+2*i:])
+		senders = append(senders, binary.LittleEndian.Uint16(b[ReportHeader+2*i:]))
 	}
-	return m, nil
+	return Report{Round: binary.LittleEndian.Uint32(b[1:]), Senders: senders}, nil
 }
