@@ -5,8 +5,8 @@
 # the race detector.
 
 GO ?= go
-BENCH_OLD ?= BENCH_1.json
-BENCH_NEW ?= BENCH_2.json
+BENCH_OLD ?= BENCH_2.json
+BENCH_NEW ?= BENCH_3.json
 
 .PHONY: check vet race bench bench-compare benchmem
 
@@ -16,7 +16,7 @@ check:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -run 'TestEngine|TestMapOrdered|TestRunAll|TestSetParallelism|TestSmoke' ./internal/harness/
+	$(GO) test -race -run 'TestEngine|TestMapOrdered|TestRunAll|TestSetParallelism|TestSmoke|TestCoreEquivalenceTraces' ./internal/harness/
 
 # bench regenerates the committed benchmark snapshot. Seeds are kept small
 # so the refresh stays in the tens of seconds; the snapshot records the
@@ -32,4 +32,4 @@ bench-compare:
 # benchmem runs the substrate micro-benchmarks with allocation accounting,
 # the numbers PERF.md tracks.
 benchmem:
-	$(GO) test -run '^$$' -bench 'BenchmarkApproxFuncs|BenchmarkContractionSearch|BenchmarkWire' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkApproxFuncs|BenchmarkContractionSearch|BenchmarkWire|BenchmarkSimLoop|BenchmarkScenarioE12' -benchmem .

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/harness"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -68,6 +69,7 @@ type simSettings struct {
 	crashes   []sim.CrashPlan
 	byz       map[sim.PartyID]fault.Behavior
 	maxEvents int
+	scenario  *scenario.Spec
 }
 
 // SimOption customizes Simulate.
@@ -131,6 +133,35 @@ func WithMaxEvents(n int) SimOption {
 	}
 }
 
+// WithScenario configures the adversary from a declarative scenario spec
+// string — scheduler, crash plans, and Byzantine assignments in one value,
+// e.g. "skew+equivocate/n=64,t=9" (see internal/scenario for the registry
+// and grammar). The spec's n must match the config's N; a spec that omits
+// t inherits the protocol's fault bound. It overrides WithScheduler,
+// WithCrash, and WithByzantine.
+func WithScenario(raw string) SimOption {
+	return func(s *simSettings) error {
+		spec, err := scenario.Parse(raw)
+		if err != nil {
+			return err
+		}
+		s.scenario = &spec
+		return nil
+	}
+}
+
+// ScenarioShape parses a scenario spec string and reports the run shape it
+// demands: the party count, and the fault-slot count or -1 when the spec
+// leaves t to the protocol. cmd/aarun uses it to derive its -n/-t defaults
+// before building the Config.
+func ScenarioShape(raw string) (n, t int, err error) {
+	spec, err := scenario.Parse(raw)
+	if err != nil {
+		return 0, 0, err
+	}
+	return spec.N, spec.T, nil
+}
+
 func behaviorByName(name string) (fault.Behavior, error) {
 	switch name {
 	case ByzSilent:
@@ -184,15 +215,30 @@ func Simulate(c Config, inputs []float64, opts ...SimOption) (*Outcome, error) {
 			return nil, err
 		}
 	}
-	rep, err := harness.Run(harness.Spec{
-		Params:    p,
-		Inputs:    inputs,
-		Scheduler: schedulerByName(settings.scheduler, c.N, c.T),
-		Crashes:   settings.crashes,
-		Byz:       settings.byz,
-		Seed:      settings.seed,
-		MaxEvents: settings.maxEvents,
-	})
+	// A scenario fully replaces the flag-style scheduler/crash/byz wiring;
+	// only one of the two specs is ever built.
+	var spec harness.Spec
+	if settings.scenario != nil {
+		if settings.scenario.N != c.N {
+			return nil, fmt.Errorf("aa: scenario is for n=%d but config has N=%d", settings.scenario.N, c.N)
+		}
+		spec, err = harness.SpecFrom(p, inputs, *settings.scenario, settings.seed)
+		if err != nil {
+			return nil, err
+		}
+		spec.MaxEvents = settings.maxEvents
+	} else {
+		spec = harness.Spec{
+			Params:    p,
+			Inputs:    inputs,
+			Scheduler: schedulerByName(settings.scheduler, c.N, c.T),
+			Crashes:   settings.crashes,
+			Byz:       settings.byz,
+			Seed:      settings.seed,
+			MaxEvents: settings.maxEvents,
+		}
+	}
+	rep, err := harness.Run(spec)
 	if err != nil {
 		return nil, err
 	}

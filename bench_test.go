@@ -1,5 +1,5 @@
 // Benchmark harness: one benchmark per evaluation artifact (experiments
-// E1–E11 in DESIGN.md — every table and figure), plus micro-benchmarks of
+// E1–E12 in DESIGN.md — every table and figure), plus micro-benchmarks of
 // the substrates. Each experiment benchmark regenerates its table per
 // iteration; run with -v to see a rendered table. cmd/aabench prints all
 // tables with more seeds.
@@ -14,6 +14,7 @@ import (
 	"repro/internal/microbench"
 	"repro/internal/multiset"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -115,6 +116,15 @@ func BenchmarkE11FIFO(b *testing.B) {
 	runExperiment(b, harness.E11FIFO)
 }
 
+// BenchmarkE12LargeN regenerates Table E12 (large-n scenario sweep),
+// capped at n=64 to keep the iteration in the hundreds of milliseconds;
+// aabench runs the full sweep up to n=256.
+func BenchmarkE12LargeN(b *testing.B) {
+	runExperiment(b, func() (*trace.Table, error) {
+		return harness.E12LargeNSizes([]int{32, 64})
+	})
+}
+
 // --- micro-benchmarks of the substrates and a single protocol run ---
 
 func benchOneRun(b *testing.B, p core.Params) {
@@ -213,4 +223,20 @@ func BenchmarkWireAppendReuse(b *testing.B) {
 // search used by E2/E7.
 func BenchmarkContractionSearch(b *testing.B) {
 	microbench.ContractionSearch(b)
+}
+
+// BenchmarkSimLoop measures the raw simulator event loop on each event
+// core — the calendar-queue-vs-heap comparison the large-n sweeps ride on.
+// The bodies live in internal/microbench (shared with cmd/aabench's -json
+// snapshot as "simloop/calendar" and "simloop/heap").
+func BenchmarkSimLoop(b *testing.B) {
+	b.Run("calendar", func(b *testing.B) { microbench.SimLoop(b, sim.CoreCalendar) })
+	b.Run("heap", func(b *testing.B) { microbench.SimLoop(b, sim.CoreHeap) })
+}
+
+// BenchmarkScenarioE12 measures one representative E12 unit: a full
+// crash-protocol run at n=64 under the "splitviews+crash" scenario
+// (shared with the snapshot as "scenario/e12").
+func BenchmarkScenarioE12(b *testing.B) {
+	microbench.ScenarioE12(b)
 }

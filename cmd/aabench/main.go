@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	aabench [-seeds N] [-only E4] [-csv DIR] [-parallel N] [-json FILE]
+//	aabench [-seeds N] [-only E4] [-csv DIR] [-parallel N] [-core calendar|heap] [-json FILE]
 //	aabench -compare OLD.json NEW.json
 //
 // Experiments run on the parallel engine (internal/harness worker pool) by
@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/microbench"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -55,6 +56,7 @@ type snapshot struct {
 	GoVersion   string       `json:"go"`
 	GOMAXPROCS  int          `json:"gomaxprocs"`
 	Parallelism int          `json:"parallelism"`
+	Core        string       `json:"core,omitempty"`
 	Seeds       int          `json:"seeds"`
 	Generated   string       `json:"generated"`
 	Experiments []expBench   `json:"experiments"`
@@ -86,6 +88,7 @@ func run(args []string) error {
 	only := fs.String("only", "", "comma-separated experiment IDs to run (default: all)")
 	csvDir := fs.String("csv", "", "directory to also write CSV tables into")
 	parallel := fs.Int("parallel", 0, "engine worker count (0 = GOMAXPROCS, 1 = sequential)")
+	coreName := fs.String("core", "", "simulator event core: calendar | heap (default: the build's default core)")
 	jsonPath := fs.String("json", "", "file to write a BENCH_*.json benchmark snapshot into")
 	compareMode := fs.Bool("compare", false, "compare two BENCH_*.json snapshots (args: OLD.json NEW.json) instead of running")
 	if err := fs.Parse(args); err != nil {
@@ -99,6 +102,16 @@ func run(args []string) error {
 	}
 	harness.SetParallelism(*parallel)
 	defer harness.SetParallelism(0)
+	switch *coreName {
+	case "":
+	case "calendar":
+		harness.SetEventCore(sim.CoreCalendar)
+	case "heap":
+		harness.SetEventCore(sim.CoreHeap)
+	default:
+		return fmt.Errorf("unknown event core %q (want calendar or heap)", *coreName)
+	}
+	defer harness.SetEventCore(sim.CoreDefault)
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
 		if id = strings.TrimSpace(id); id != "" {
@@ -115,6 +128,7 @@ func run(args []string) error {
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Parallelism: harness.Parallelism(),
+		Core:        harness.EventCore().Resolve().String(),
 		Seeds:       *seeds,
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 	}

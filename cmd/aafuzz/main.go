@@ -5,6 +5,14 @@
 // non-zero. A healthy tree survives any budget:
 //
 //	aafuzz -trials 5000 -seed 42
+//
+// It also fuzzes the scenario registry (internal/scenario): random spec
+// compositions — many deliberately invalid — are driven through the
+// Parse → String → re-parse round trip and Resolve, and random valid
+// compositions are run end-to-end under the invariant checks. The
+// contract under test: a bad scenario fails at spec time, never mid-run,
+// and a good one never drifts through the string form. -scenario-trials
+// sets that budget separately.
 package main
 
 import (
@@ -26,9 +34,25 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("aafuzz", flag.ContinueOnError)
 	trials := fs.Int("trials", 1000, "number of randomized executions")
+	scenarioTrials := fs.Int("scenario-trials", 400, "number of randomized scenario-registry compositions")
 	seed := fs.Int64("seed", time.Now().UnixNano(), "search seed (printed for reproduction)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *scenarioTrials > 0 {
+		fmt.Printf("fuzzing scenario registry: %d compositions with seed %d\n", *scenarioTrials, *seed)
+		sres, err := harness.FuzzScenarios(*scenarioTrials, *seed)
+		if err != nil {
+			return fmt.Errorf("scenario registry contract: %w", err)
+		}
+		fmt.Printf("scenario specs: %d valid, %d rejected at spec time; %d run end-to-end\n",
+			sres.Registry.Valid, sres.Registry.Invalid, sres.Runs)
+		if len(sres.Violations) > 0 {
+			for _, v := range sres.Violations {
+				fmt.Println("VIOLATION:", v)
+			}
+			return fmt.Errorf("%d scenario invariant violations", len(sres.Violations))
+		}
 	}
 	fmt.Printf("fuzzing %d trials with seed %d\n", *trials, *seed)
 	start := time.Now()

@@ -3,7 +3,13 @@ package main
 import "testing"
 
 func TestRunSmallBudget(t *testing.T) {
-	if err := run([]string{"-trials", "20", "-seed", "1"}); err != nil {
+	if err := run([]string{"-trials", "20", "-scenario-trials", "40", "-seed", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScenarioTrialsOnly(t *testing.T) {
+	if err := run([]string{"-trials", "0", "-scenario-trials", "60", "-seed", "3"}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -5,6 +5,14 @@
 //	aarun -model crash -n 7 -t 3 -inputs 1,2,3,4,5,6,7 -eps 0.01
 //	aarun -model witness -n 10 -t 3 -sched splitviews -byz 0:equivocate,1:extreme
 //	aarun -model crash -n 5 -t 2 -live
+//
+// -scenario runs a declarative scenario spec (internal/scenario): one
+// string names the scheduler, the fault composition, and the run shape,
+// and replaces -n/-t/-sched/-crash/-byz in one go. The strings are the
+// same ones the E12 table prints, so any row reproduces from the shell:
+//
+//	aarun -model crash -scenario "splitviews+crash/n=64,t=31"
+//	aarun -model trim -scenario "skew+equivocate/n=64,t=9"
 package main
 
 import (
@@ -37,6 +45,7 @@ func run(args []string) error {
 	hi := fs.Float64("hi", 100, "promised input range high end")
 	inputsFlag := fs.String("inputs", "", "comma-separated inputs (default: evenly spaced over the range)")
 	schedName := fs.String("sched", aa.SchedRandom, "scheduler: sync|random|skew|partition|splitviews|staggered")
+	scenarioFlag := fs.String("scenario", "", `scenario spec, e.g. "skew+equivocate/n=64,t=9"; overrides -n/-t/-sched/-crash/-byz`)
 	seed := fs.Int64("seed", 1, "random seed")
 	crashFlag := fs.String("crash", "", "crash plans id:afterSends,id:afterSends,...")
 	byzFlag := fs.String("byz", "", "byzantine assignments id:behavior,... (silent|extreme|equivocate|spam|amplifier)")
@@ -47,6 +56,16 @@ func run(args []string) error {
 		return err
 	}
 
+	if *scenarioFlag != "" {
+		sn, st, err := aa.ScenarioShape(*scenarioFlag)
+		if err != nil {
+			return err
+		}
+		*n = sn
+		if st >= 0 {
+			*t = st
+		}
+	}
 	cfg := aa.Config{
 		N: *n, T: *t, Epsilon: *eps, Lo: *lo, Hi: *hi, Adaptive: *adaptive,
 	}
@@ -80,17 +99,22 @@ func run(args []string) error {
 		return nil
 	}
 
-	opts := []aa.SimOption{aa.WithSeed(*seed), aa.WithScheduler(*schedName)}
-	crashOpts, err := parseCrashes(*crashFlag)
-	if err != nil {
-		return err
+	opts := []aa.SimOption{aa.WithSeed(*seed)}
+	if *scenarioFlag != "" {
+		opts = append(opts, aa.WithScenario(*scenarioFlag))
+	} else {
+		opts = append(opts, aa.WithScheduler(*schedName))
+		crashOpts, err := parseCrashes(*crashFlag)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, crashOpts...)
+		byzOpts, err := parseByz(*byzFlag)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, byzOpts...)
 	}
-	opts = append(opts, crashOpts...)
-	byzOpts, err := parseByz(*byzFlag)
-	if err != nil {
-		return err
-	}
-	opts = append(opts, byzOpts...)
 
 	out, err := aa.Simulate(cfg, inputs, opts...)
 	if err != nil {

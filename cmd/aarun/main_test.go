@@ -78,6 +78,26 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+func TestRunScenario(t *testing.T) {
+	if err := run([]string{"-model", "trim", "-scenario", "skew+equivocate/n=15,t=2"}); err != nil {
+		t.Fatalf("scenario run: %v", err)
+	}
+	// A spec without t inherits the -t flag's fault bound.
+	if err := run([]string{"-model", "crash", "-t", "3", "-scenario", "splitviews/n=9"}); err != nil {
+		t.Fatalf("scenario without t: %v", err)
+	}
+	if err := run([]string{"-model", "crash", "-scenario", "warp/n=9,t=2"}); err == nil {
+		t.Error("unknown scenario scheduler accepted")
+	}
+	if err := run([]string{"-model", "crash", "-scenario", "sync+gremlin/n=9,t=2"}); err == nil {
+		t.Error("unknown scenario fault accepted")
+	}
+	// More fault slots than the protocol tolerates must die at spec time.
+	if err := run([]string{"-model", "crash", "-scenario", "sync+equivocate/n=9,t=5"}); err == nil {
+		t.Error("overfaulted scenario accepted")
+	}
+}
+
 func TestRunRejects(t *testing.T) {
 	if err := run([]string{"-model", "warp"}); err == nil {
 		t.Error("unknown model accepted")

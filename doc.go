@@ -19,6 +19,25 @@
 // rendered tables are byte-identical to a sequential execution at any
 // worker count (cmd/aabench -parallel 1 forces the sequential path).
 //
+// The simulator's event queue is a bucketed calendar queue (internal/sim):
+// a timing wheel of one-tick FIFO buckets over the near future, an
+// overflow heap for far-future events, and a flat event arena recycled
+// through a free list, so enqueue and dequeue are amortized O(1) per
+// event instead of the binary heap's O(log M) — the difference that makes
+// the E12 large-n sweeps (n up to 256, ~650k messages per run) practical.
+// The Run loop drains one virtual-time tick per batch, so same-tick
+// deliveries never touch queue structure in between. The heap remains as
+// the reference core behind sim.Config.Core (build default switchable
+// with `-tags simheap`); the core-equivalence tests pin event-for-event
+// identical delivery traces and byte-identical experiment tables across
+// the two, and cmd/aabench -core benchmarks one against the other.
+//
+// Adversary wiring is declarative: internal/scenario turns a scheduler, a
+// fault composition, and a run shape into one registry-validated
+// Spec ("skew+equivocate/n=64,t=9") that every experiment driver
+// enumerates, aarun -scenario executes, and cmd/aafuzz round-trips —
+// invalid combinations fail at spec time, never mid-run.
+//
 // The per-round protocol hot paths are allocation-free: reception views are
 // assembled into per-party scratch buffers, sorted in place, and applied
 // through the multiset package's trusted-sorted fast paths

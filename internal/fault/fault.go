@@ -8,6 +8,13 @@
 // Byzantine strategies deliberately do not follow the honest state machine;
 // an asynchronous one-shot adversary loses no power by emitting all its
 // traffic eagerly, because the scheduler already controls interleaving.
+//
+// This package holds the behaviors; the entry point for assigning them to
+// parties is internal/scenario, whose registry couples each behavior (and
+// the crash schedules) to fault-slot assignment in one declarative,
+// parseable spec ("skew+equivocate/n=64,t=9"). New experiment code should
+// compose scenario.Spec values rather than building Byzantine maps by
+// hand.
 package fault
 
 import (
@@ -75,6 +82,25 @@ func (b Extreme) New(env Env) sim.Process {
 		api.Multicast(wire.MarshalInit(wire.Init{Value: b.Value}))
 		api.Multicast(wire.MarshalDecided(wire.Decided{Value: b.Value}))
 	}}
+}
+
+// ExtremeRel is Extreme with a range-relative push target: the value is
+// computed per run as Hi + Scale·(Hi−Lo) from the promised range the
+// behavior learns through Env, so the attack stays far outside the honest
+// hull whatever range an experiment (or a scenario spec) runs on.
+type ExtremeRel struct {
+	// Scale is how many range-widths past the high end the lie goes.
+	Scale float64
+}
+
+var _ Behavior = ExtremeRel{}
+
+// Name implements Behavior.
+func (ExtremeRel) Name() string { return "extreme" }
+
+// New implements Behavior.
+func (b ExtremeRel) New(env Env) sim.Process {
+	return Extreme{Value: env.Hi + b.Scale*(env.Hi-env.Lo)}.New(env)
 }
 
 // Equivocate tells the low half of the parties the low extreme and the high
@@ -253,12 +279,14 @@ func (a *amplifierProc) blast() {
 }
 
 // Suite returns the standard Byzantine behavior suite for the experiment
-// harness, parameterized by the promised range.
+// harness. The behaviors are range-relative (they read the promised range
+// from Env at instantiation), so the suite needs no parameters; the
+// historical (lo, hi) arguments are retained for callers that pin the
+// suite's identity against the scenario registry.
 func Suite(lo, hi float64) []Behavior {
-	width := hi - lo
 	return []Behavior{
 		Silent{},
-		Extreme{Value: hi + 100*width},
+		ExtremeRel{Scale: 100},
 		Equivocate{Stretch: 2},
 		Spam{},
 		Amplifier{Push: 1},

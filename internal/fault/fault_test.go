@@ -50,6 +50,43 @@ func TestSilent(t *testing.T) {
 	}
 }
 
+// TestExtremeRelScalesWithRange pins the range-relative extreme behavior:
+// the pushed value must sit Scale range-widths past the high end of the
+// promised range the behavior learns from Env — on any range.
+func TestExtremeRelScalesWithRange(t *testing.T) {
+	for _, env := range []Env{
+		{N: 6, Rounds: 2, Lo: 0, Hi: 1},
+		{N: 6, Rounds: 2, Lo: -50, Hi: 50},
+		{N: 6, Rounds: 2, Lo: 1000, Hi: 3000},
+	} {
+		rec := newRecorder(2, env.N)
+		ExtremeRel{Scale: 100}.New(env).Init(rec)
+		want := env.Hi + 100*(env.Hi-env.Lo)
+		seen := false
+		for _, msgs := range rec.sent {
+			for _, m := range msgs {
+				if k, _ := wire.Peek(m); k != wire.KindValue {
+					continue
+				}
+				v, err := wire.UnmarshalValue(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seen = true
+				if v.Value != want {
+					t.Fatalf("range [%v,%v]: pushed %v, want %v", env.Lo, env.Hi, v.Value, want)
+				}
+			}
+		}
+		if !seen {
+			t.Fatalf("range [%v,%v]: no value messages sent", env.Lo, env.Hi)
+		}
+	}
+	if (ExtremeRel{}).Name() != "extreme" {
+		t.Error("name mismatch")
+	}
+}
+
 func TestExtremeSendsEveryDialect(t *testing.T) {
 	rec := newRecorder(2, 6)
 	Extreme{Value: 999}.New(stdEnv()).Init(rec)

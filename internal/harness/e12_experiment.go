@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// E12LargeN is the large-n scenario sweep: the full six-scheduler suite ×
+// {fault-free, crash-storm} cross-product at n ∈ {64, 128, 256} on the
+// crash protocol, plus a block of composite scenarios (mixed fault kinds,
+// skewed delivery against the equivocators' victims) on the trim protocol.
+// The sweep is the first workload that is only practical on the calendar-
+// queue event core: at n = 256 a single run pushes ~650k messages through
+// the queue, where the binary heap's log M pops dominated the wall clock.
+//
+// Every row is one scenario.Spec, printed in its canonical string form —
+// the same strings aarun -scenario accepts, so any row can be re-run (or
+// varied) from the command line verbatim.
+func E12LargeN() (*trace.Table, error) {
+	return E12LargeNSizes([]int{64, 128, 256})
+}
+
+// E12LargeNSizes is E12LargeN with a custom size sweep (the benchmark
+// suite and the core-equivalence tests use smaller sizes to keep iteration
+// time sane). One seed per scenario: the point is scale and composition
+// coverage, not seed statistics — E1–E9 own those.
+func E12LargeNSizes(sizes []int) (*trace.Table, error) {
+	tbl := trace.NewTable("E12: large-n scenario sweep (crash-aa at (n-1)/2 + composite scenarios on byztrim-aa, eps=1e-3, bimodal inputs over [0,1])",
+		"scenario", "protocol", "virt-rounds", "msgs", "deliveries", "final-spread", "ok")
+
+	crashT := func(n int) int { return (n - 1) / 2 }
+	scale := scenario.Cross(scenario.SuiteSchedulers(), [][]string{nil, {"crash"}}, sizes, crashT)
+
+	// Composite scenarios: mixed fault kinds in one spec, and schedulers
+	// aimed at the faulty slots. One line each — this enumeration is the
+	// whole point of the scenario layer.
+	composites := []scenario.Spec{
+		scenario.MustParse("splitviews+equivocate/n=64,t=9"),
+		scenario.MustParse("skew+equivocate/n=64,t=9"),
+		scenario.MustParse("splitviews+crash+equivocate/n=64,t=9"),
+		scenario.MustParse("random+silent+extreme+spam/n=64,t=9"),
+	}
+
+	type row struct {
+		scen  scenario.Spec
+		proto core.Protocol
+	}
+	rows := make([]row, 0, len(scale)+len(composites))
+	specs := make([]Spec, 0, cap(rows))
+	for _, scen := range scale {
+		p := core.Params{Protocol: core.ProtoCrash, N: scen.N, T: scen.T, Eps: 1e-3, Lo: 0, Hi: 1}
+		spec, err := SpecFrom(p, BimodalInputs(scen.N, 0, 1), scen, 17)
+		if err != nil {
+			return nil, err
+		}
+		spec.MaxEvents = 20_000_000
+		rows = append(rows, row{scen: scen, proto: p.Protocol})
+		specs = append(specs, spec)
+	}
+	for _, scen := range composites {
+		p := core.Params{Protocol: core.ProtoByzTrim, N: scen.N, T: scen.T, Eps: 1e-3, Lo: 0, Hi: 1}
+		spec, err := SpecFrom(p, BimodalInputs(scen.N, 0, 1), scen, 17)
+		if err != nil {
+			return nil, err
+		}
+		spec.MaxEvents = 20_000_000
+		rows = append(rows, row{scen: scen, proto: p.Protocol})
+		specs = append(specs, spec)
+	}
+
+	reps, err := RunAllLabeled(specs, func(i int) string { return "E12 " + rows[i].scen.String() })
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		rep := reps[i]
+		tbl.AddRow(r.scen.String(), r.proto.String(),
+			trace.F(rep.Result.Rounds()), trace.I(rep.Result.Stats.MessagesSent),
+			trace.I(rep.Result.Stats.MessagesDelivered), trace.F(rep.FinalSpread),
+			trace.B(rep.OK()))
+	}
+	return tbl, nil
+}

@@ -5,8 +5,8 @@ import (
 	"math"
 
 	"repro/internal/core"
-	"repro/internal/fault"
 	"repro/internal/multiset"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -35,6 +35,7 @@ func Experiments(seeds int) []Experiment {
 		{ID: "E9", Title: "Byzantine strategy effectiveness", Run: func() (*trace.Table, error) { return E9Attacks(seeds) }},
 		{ID: "E10", Title: "Coordinate-wise agreement in R^d", Run: E10Vector},
 		{ID: "E11", Title: "FIFO vs unordered channels", Run: E11FIFO},
+		{ID: "E12", Title: "Large-n scenario sweep", Run: func() (*trace.Table, error) { return E12LargeN() }},
 	}
 }
 
@@ -58,28 +59,26 @@ type sweepJob struct {
 	labels []string // "<scheduler>/seed<k>", for failure attribution
 }
 
-// newSweepJob enumerates the (scheduler, seed) grid for one configuration.
-func newSweepJob(p core.Params, inputs []float64, crashes []sim.CrashPlan,
-	byz map[sim.PartyID]fault.Behavior, seeds int) (*sweepJob, error) {
+// newSweepJob enumerates the (scenario, seed) grid for one configuration:
+// the standard six-scheduler suite, each carrying the given fault
+// composition (scenario registry keys; empty means fault-free).
+func newSweepJob(p core.Params, inputs []float64, seeds int, faultKeys ...string) (*sweepJob, error) {
 	rounds, err := p.FixedRounds()
 	if err != nil {
 		return nil, err
 	}
 	j := &sweepJob{rounds: rounds}
-	for _, sc := range sched.Suite(p.N, p.T) {
-		if p.Protocol == core.ProtoSync && sc.Name != "sync" {
+	for _, scen := range scenario.Suite(p.N, p.T, faultKeys...) {
+		if p.Protocol == core.ProtoSync && scen.Sched != "sync" {
 			continue // the baseline is only defined under synchrony
 		}
 		for seed := int64(0); seed < int64(seeds); seed++ {
-			j.specs = append(j.specs, Spec{
-				Params:    p,
-				Inputs:    inputs,
-				Scheduler: sc,
-				Crashes:   crashes,
-				Byz:       byz,
-				Seed:      seed*7919 + 1,
-			})
-			j.labels = append(j.labels, fmt.Sprintf("%s/seed%d", sc.Name, seed))
+			spec, err := SpecFrom(p, inputs, scen, seed*7919+1)
+			if err != nil {
+				return nil, err
+			}
+			j.specs = append(j.specs, spec)
+			j.labels = append(j.labels, fmt.Sprintf("%s/seed%d", scen.Sched, seed))
 		}
 	}
 	return j, nil
@@ -129,9 +128,8 @@ func runSweeps(jobs []*sweepJob) ([]sweepOutcome, error) {
 }
 
 // sweep runs a single configuration's sweep through the engine.
-func sweep(p core.Params, inputs []float64, crashes []sim.CrashPlan,
-	byz map[sim.PartyID]fault.Behavior, seeds int) (sweepOutcome, error) {
-	job, err := newSweepJob(p, inputs, crashes, byz, seeds)
+func sweep(p core.Params, inputs []float64, seeds int, faultKeys ...string) (sweepOutcome, error) {
+	job, err := newSweepJob(p, inputs, seeds, faultKeys...)
 	if err != nil {
 		return sweepOutcome{}, err
 	}
@@ -150,35 +148,20 @@ func gammaEff(rep *Report, rounds int) float64 {
 	return math.Pow(rep.FinalSpread/rep.InitialSpread, 1/float64(rounds))
 }
 
-// stdSchedule returns the scheduler used when an experiment needs a single
-// deterministic adversarial schedule.
+// stdScenario returns the scenario used when an experiment needs a single
+// deterministic adversarial schedule, optionally with faults.
+func stdScenario(n, t int, faultKeys ...string) scenario.Spec {
+	return scenario.Spec{Sched: "splitviews", Faults: faultKeys, N: n, T: t}
+}
+
+// stdSchedule is stdScenario's resolved scheduler, for tests and non-Spec
+// drivers that assemble sim configurations directly.
 func stdSchedule(n int) sched.Named {
-	return sched.Named{
-		Name:      "splitviews",
-		Scheduler: &sched.SplitViews{Boundary: sim.PartyID(n / 2), Fast: 1, Slow: 10},
+	res, err := stdScenario(n, 0).Resolve()
+	if err != nil {
+		panic(err)
 	}
-}
-
-// maxCrashes builds t crash plans with staggered mid-multicast budgets, so
-// some crashes truncate multicasts part-way.
-func maxCrashes(n, t int) []sim.CrashPlan {
-	plans := make([]sim.CrashPlan, 0, t)
-	for i := 0; i < t; i++ {
-		plans = append(plans, sim.CrashPlan{
-			Party:      sim.PartyID(i),
-			AfterSends: n/2 + i*n*2, // first victims die mid-INIT-multicast, later ones survive longer
-		})
-	}
-	return plans
-}
-
-// byzAssign gives the behavior to the first t parties.
-func byzAssign(t int, b fault.Behavior) map[sim.PartyID]fault.Behavior {
-	m := make(map[sim.PartyID]fault.Behavior, t)
-	for i := 0; i < t; i++ {
-		m[sim.PartyID(i)] = b
-	}
-	return m
+	return res.Scheduler
 }
 
 // --- E1: resilience thresholds ---
@@ -209,19 +192,20 @@ func E1Resilience(seeds int) (*trace.Table, error) {
 		p := core.Params{Protocol: c.proto, N: c.n, T: c.t, Eps: 1e-3, Lo: 0, Hi: 100}
 		params[i] = p
 		inputs := BimodalInputs(c.n, 0, 100)
-		var crashes []sim.CrashPlan
-		var byz map[sim.PartyID]fault.Behavior
+		faultKey := "equivocate"
 		if c.isCash {
-			crashes = maxCrashes(c.n, c.t)
-		} else {
-			byz = byzAssign(c.t, fault.Equivocate{Stretch: 2})
+			faultKey = "crash"
 		}
-		job, err := newSweepJob(p, inputs, crashes, byz, seeds)
+		job, err := newSweepJob(p, inputs, seeds, faultKey)
 		if err != nil {
 			return nil, err
 		}
 		jobs[i] = job
-		overloads = append(overloads, overloadSpec(p, inputs, c.isCash))
+		over, err := overloadSpec(p, inputs, c.isCash)
+		if err != nil {
+			return nil, err
+		}
+		overloads = append(overloads, over)
 	}
 	// The trim protocol at the classical n = 5t+1 resilience: the
 	// equivocation attack parks the two halves of the network on different
@@ -229,8 +213,12 @@ func E1Resilience(seeds int) (*trace.Table, error) {
 	// ProtoByzTrim claims n >= 7t+1 and why the witness technique exists.
 	p5 := core.Params{Protocol: core.ProtoByzTrim, N: 11, T: 2, Eps: 1e-3, Lo: 0, Hi: 100,
 		AllowBelowBound: true}
-	overloads = append(overloads, uncheckedSpec(p5, BimodalInputs(11, 0, 100), nil,
-		byzAssign(2, fault.Equivocate{Stretch: 2}), stdSchedule(11), 99))
+	under, err := uncheckedSpec(p5, BimodalInputs(11, 0, 100),
+		stdScenario(11, 2, "equivocate"), 99)
+	if err != nil {
+		return nil, err
+	}
+	overloads = append(overloads, under)
 
 	outs, err := runSweeps(jobs)
 	if err != nil {
@@ -271,21 +259,13 @@ func faultDivisor(p core.Protocol) int {
 }
 
 // overloadSpec builds the spec that injects t+1 faults against a protocol
-// configured for t.
-func overloadSpec(p core.Params, inputs []float64, crash bool) Spec {
-	var crashes []sim.CrashPlan
-	byz := map[sim.PartyID]fault.Behavior{}
+// configured for t: the standard scenario with one extra fault slot.
+func overloadSpec(p core.Params, inputs []float64, crash bool) (Spec, error) {
+	faultKey := "equivocate"
 	if crash {
-		for i := 0; i <= p.T; i++ {
-			crashes = append(crashes, sim.CrashPlan{Party: sim.PartyID(i), AfterSends: p.N + i})
-		}
-		byz = nil
-	} else {
-		for i := 0; i <= p.T; i++ {
-			byz[sim.PartyID(i)] = fault.Equivocate{Stretch: 2}
-		}
+		faultKey = "crashinit"
 	}
-	return uncheckedSpec(p, inputs, crashes, byz, stdSchedule(p.N), 99)
+	return uncheckedSpec(p, inputs, stdScenario(p.N, p.T+1, faultKey), 99)
 }
 
 // overloadVerdict reports which property an overload run broke.
@@ -311,11 +291,16 @@ func overloadVerdict(o runOutcome) (live, valid, agreed bool, note string) {
 }
 
 // uncheckedSpec builds a spec bypassing the fault-count guard (used only by
-// the overload demonstrations of E1).
-func uncheckedSpec(p core.Params, inputs []float64, crashes []sim.CrashPlan,
-	byz map[sim.PartyID]fault.Behavior, sc sched.Named, seed int64) Spec {
-	return Spec{Params: p, Inputs: inputs, Scheduler: sc, Crashes: crashes, Byz: byz,
-		Seed: seed, MaxEvents: 2_000_000, allowOverfault: true}
+// the overload demonstrations of E1, whose scenarios deliberately assign
+// more fault slots than the protocol's bound).
+func uncheckedSpec(p core.Params, inputs []float64, scen scenario.Spec, seed int64) (Spec, error) {
+	spec, err := SpecFrom(p, inputs, scen, seed)
+	if err != nil {
+		return Spec{}, err
+	}
+	spec.MaxEvents = 2_000_000
+	spec.allowOverfault = true
+	return spec, nil
 }
 
 // --- E2: convergence rate ---
@@ -349,14 +334,11 @@ func E2Convergence(seeds int) (*trace.Table, error) {
 		p := core.Params{Protocol: c.proto, N: c.n, T: c.t, Eps: 1e-4, Lo: 0, Hi: 1}
 		params[i] = p
 		inputs := BimodalInputs(c.n, 0, 1)
-		var crashes []sim.CrashPlan
-		var byz map[sim.PartyID]fault.Behavior
+		faultKey := "equivocate"
 		if c.proto == core.ProtoCrash {
-			crashes = maxCrashes(c.n, c.t)
-		} else {
-			byz = byzAssign(c.t, fault.Equivocate{Stretch: 2})
+			faultKey = "crash"
 		}
-		job, err := newSweepJob(p, inputs, crashes, byz, seeds)
+		job, err := newSweepJob(p, inputs, seeds, faultKey)
 		if err != nil {
 			return nil, err
 		}
@@ -401,6 +383,9 @@ func E3Rounds() (*trace.Table, error) {
 	spreads := []float64{1e1, 1e2, 1e3, 1e4, 1e5, 1e6}
 	specs := make([]Spec, 0, len(spreads))
 	budgets := make([]int, 0, len(spreads))
+	// Lock-step delay 5 with the standard staggered crash schedule, as a
+	// scenario: the scheduler argument carries the one non-suite knob.
+	scen := scenario.MustParse("sync:5+crash/n=10,t=4")
 	for _, s := range spreads {
 		p := core.Params{Protocol: core.ProtoCrash, N: 10, T: 4, Eps: 1e-3, Lo: 0, Hi: s}
 		budget, err := p.FixedRounds()
@@ -408,13 +393,11 @@ func E3Rounds() (*trace.Table, error) {
 			return nil, err
 		}
 		budgets = append(budgets, budget)
-		specs = append(specs, Spec{
-			Params:    p,
-			Inputs:    BimodalInputs(10, 0, s),
-			Scheduler: sched.Named{Name: "sync", Scheduler: sched.NewSynchronous(5)},
-			Crashes:   maxCrashes(10, 4),
-			Seed:      3,
-		})
+		spec, err := SpecFrom(p, BimodalInputs(10, 0, s), scen, 3)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
 	}
 	reps, err := RunAll(specs)
 	if err != nil {
@@ -464,12 +447,11 @@ func E4MessagesFor(cases []E4Case) (*trace.Table, error) {
 				return nil, err
 			}
 			rounds = append(rounds, r)
-			specs = append(specs, Spec{
-				Params:    p,
-				Inputs:    BimodalInputs(n, 0, 1),
-				Scheduler: stdSchedule(n),
-				Seed:      5,
-			})
+			spec, err := SpecFrom(p, BimodalInputs(n, 0, 1), stdScenario(n, t), 5)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, spec)
 		}
 	}
 	reps, err := RunAll(specs)
@@ -514,31 +496,27 @@ func E5Trajectories() (*trace.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	behaviors := fault.Suite(0, 1)
+	behaviors := scenario.ByzSuite()
 	cols := []string{"round"}
-	for _, b := range behaviors {
-		cols = append(cols, b.Name())
-	}
+	cols = append(cols, behaviors...)
 	tbl := trace.NewTable("E5: honest diameter by round under each Byzantine behavior (byztrim-aa, n=15 t=2, splitviews scheduler)", cols...)
 	specs := make([]Spec, len(behaviors))
 	for i, b := range behaviors {
-		specs[i] = Spec{
-			Params:           p,
-			Inputs:           BimodalInputs(n, 0, 1),
-			Scheduler:        stdSchedule(n),
-			Byz:              byzAssign(t, b),
-			Seed:             9,
-			RecordTrajectory: true,
+		spec, err := SpecFrom(p, BimodalInputs(n, 0, 1), stdScenario(n, t, b), 9)
+		if err != nil {
+			return nil, err
 		}
+		spec.RecordTrajectory = true
+		specs[i] = spec
 	}
-	reps, err := RunAllLabeled(specs, func(i int) string { return "E5 " + behaviors[i].Name() })
+	reps, err := RunAllLabeled(specs, func(i int) string { return "E5 " + behaviors[i] })
 	if err != nil {
 		return nil, err
 	}
 	series := make([][]float64, len(behaviors))
 	for i, b := range behaviors {
 		if !reps[i].OK() {
-			return nil, fmt.Errorf("E5 %s: %s", b.Name(), reps[i].Failure())
+			return nil, fmt.Errorf("E5 %s: %s", b, reps[i].Failure())
 		}
 		series[i] = sampleTrajectory(reps[i], rounds)
 	}
@@ -606,13 +584,12 @@ func E6ScalingFor(protos []core.Protocol, sizes []int) (*trace.Table, error) {
 		for _, n := range sizes {
 			t := maxT(proto, n)
 			p := core.Params{Protocol: proto, N: n, T: t, Eps: 1e-3, Lo: 0, Hi: 1}
-			specs = append(specs, Spec{
-				Params:    p,
-				Inputs:    LinearInputs(n, 0, 1),
-				Scheduler: sched.Named{Name: "random", Scheduler: &sched.UniformRandom{Min: 1, Max: 10}},
-				Seed:      13,
-				MaxEvents: 20_000_000,
-			})
+			spec, err := SpecFrom(p, LinearInputs(n, 0, 1), scenario.Spec{Sched: "random", N: n, T: t}, 13)
+			if err != nil {
+				return nil, err
+			}
+			spec.MaxEvents = 20_000_000
+			specs = append(specs, spec)
 		}
 	}
 	reps, err := RunAll(specs)
@@ -653,7 +630,7 @@ func E7Functions(seeds int) (*trace.Table, error) {
 	for i, fc := range funcs {
 		p := core.Params{Protocol: core.ProtoCrash, N: n, T: t, Eps: 1e-3, Lo: 0, Hi: 1,
 			Func: fc.fn, Gamma: 0.5}
-		job, err := newSweepJob(p, BimodalInputs(n, 0, 1), maxCrashes(n, t), nil, seeds)
+		job, err := newSweepJob(p, BimodalInputs(n, 0, 1), seeds, "crash")
 		if err != nil {
 			return nil, err
 		}
@@ -698,22 +675,20 @@ func E8Adaptive(seeds int) (*trace.Table, error) {
 	var specs []Spec
 	var groups []group
 	for _, adaptive := range []bool{false, true} {
-		for _, sc := range sched.Suite(n, t) {
+		for _, scen := range scenario.Suite(n, t, "crash") {
 			mode := "fixed"
 			if adaptive {
 				mode = "adaptive"
 			}
-			groups = append(groups, group{mode: mode, sc: sc.Name})
+			groups = append(groups, group{mode: mode, sc: scen.Sched})
 			for seed := int64(0); seed < int64(seeds); seed++ {
 				p := core.Params{Protocol: core.ProtoCrash, N: n, T: t, Eps: 1e-3,
 					Lo: 0, Hi: 1e6, Adaptive: adaptive}
-				specs = append(specs, Spec{
-					Params:    p,
-					Inputs:    inputs,
-					Scheduler: sc,
-					Crashes:   maxCrashes(n, t),
-					Seed:      seed*104729 + 7,
-				})
+				spec, err := SpecFrom(p, inputs, scen, seed*104729+7)
+				if err != nil {
+					return nil, err
+				}
+				specs = append(specs, spec)
 			}
 		}
 	}
@@ -759,15 +734,15 @@ func E9Attacks(seeds int) (*trace.Table, error) {
 	}
 	var jobs []*sweepJob
 	var metas []rowMeta
-	for _, b := range fault.Suite(0, 1) {
+	for _, b := range scenario.ByzSuite() {
 		for _, c := range cases {
 			p := core.Params{Protocol: c.proto, N: c.n, T: c.t, Eps: 1e-3, Lo: 0, Hi: 1}
-			job, err := newSweepJob(p, BimodalInputs(c.n, 0, 1), nil, byzAssign(c.t, b), seeds)
+			job, err := newSweepJob(p, BimodalInputs(c.n, 0, 1), seeds, b)
 			if err != nil {
 				return nil, err
 			}
 			jobs = append(jobs, job)
-			metas = append(metas, rowMeta{behavior: b.Name(), proto: c.proto, n: c.n, t: c.t})
+			metas = append(metas, rowMeta{behavior: b, proto: c.proto, n: c.n, t: c.t})
 		}
 	}
 	outs, err := runSweeps(jobs)

@@ -2,16 +2,17 @@ package harness
 
 import (
 	"repro/internal/core"
-	"repro/internal/sched"
-	"repro/internal/sim"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 )
 
 // E11FIFO checks a model assumption: some classical presentations assume
 // FIFO channels, but the round-tagged protocols here must be agnostic to
 // per-link ordering. The experiment runs each protocol under maximally
-// reordered delivery and under the same scheduler wrapped with per-link
-// FIFO, and compares invariants and costs.
+// reordered delivery ("unordered") and under the same scheduler wrapped
+// with per-link FIFO ("fifo"), and compares invariants and costs. The
+// scenario layer resolves a fresh scheduler per spec, which is what makes
+// the stateful FIFO wrapper safe to fan across engine workers.
 func E11FIFO() (*trace.Table, error) {
 	tbl := trace.NewTable("E11: FIFO vs unordered channels (linear inputs over [0,1], eps=1e-3)",
 		"protocol", "n", "t", "channels", "rounds", "msgs", "final-spread", "ok")
@@ -23,24 +24,16 @@ func E11FIFO() (*trace.Table, error) {
 		{core.ProtoByzTrim, 15, 2},
 		{core.ProtoWitness, 7, 2},
 	}
-	// Each spec gets its own scheduler instance: FIFO is stateful (per-link
-	// ordering memory) and must never be shared across concurrent runs.
 	var specs []Spec
 	for _, c := range cases {
-		for _, fifo := range []bool{false, true} {
-			var scheduler sim.Scheduler = &sched.UniformRandom{Min: 1, Max: 25}
-			name := "unordered"
-			if fifo {
-				scheduler = sched.NewFIFO(&sched.UniformRandom{Min: 1, Max: 25})
-				name = "fifo"
-			}
+		for _, channels := range []string{"unordered", "fifo"} {
 			p := core.Params{Protocol: c.proto, N: c.n, T: c.t, Eps: 1e-3, Lo: 0, Hi: 1}
-			specs = append(specs, Spec{
-				Params:    p,
-				Inputs:    LinearInputs(c.n, 0, 1),
-				Scheduler: sched.Named{Name: name, Scheduler: scheduler},
-				Seed:      31,
-			})
+			spec, err := SpecFrom(p, LinearInputs(c.n, 0, 1),
+				scenario.Spec{Sched: channels, N: c.n, T: c.t}, 31)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, spec)
 		}
 	}
 	reps, err := RunAll(specs)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -144,4 +145,84 @@ func randomSpec(rng *rand.Rand) (Spec, bool, string) {
 	desc := fmt.Sprintf("%s n=%d t=%d eps=%g adaptive=%v sched=%s inputs=%d faults=[%s] seed=%d",
 		p.Protocol, n, t, p.Eps, adaptive, sc.Name, inputKind, strings.Join(faults, ","), spec.Seed)
 	return spec, adaptive, desc
+}
+
+// ScenarioFuzzResult summarizes a scenario-layer fuzz campaign: the
+// registry contracts (parse → re-parse round-trips, invalid compositions
+// rejected at spec time) plus end-to-end runs of randomly composed valid
+// scenarios.
+type ScenarioFuzzResult struct {
+	// Registry carries the pure spec-lifecycle statistics.
+	Registry scenario.FuzzStats
+	// Runs counts scenarios executed end-to-end; Violations lists every
+	// invariant violation (empty on a healthy tree).
+	Runs       int
+	Violations []string
+}
+
+// FuzzScenarios fuzzes the scenario layer. Phase one drives random (often
+// invalid) compositions through Parse/String/Validate/Resolve and fails on
+// any contract break — this is what guarantees a bad scenario dies at spec
+// time, never mid-run. Phase two composes random valid scenarios over the
+// full registry, pairs each with a protocol that tolerates its fault mix
+// at the fault bound, runs it, and asserts liveness, validity, and
+// ε-agreement, exactly like the protocol fuzzer.
+func FuzzScenarios(trials int, seed int64) (*ScenarioFuzzResult, error) {
+	stats, err := scenario.Fuzz(trials, seed)
+	res := &ScenarioFuzzResult{Registry: *stats}
+	if err != nil {
+		return res, err
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5CE9A410))
+	for i := 0; i < trials/4; i++ {
+		p, scen := randomRunnableScenario(rng)
+		spec, err := SpecFrom(p, LinearInputs(p.N, p.Lo, p.Hi), scen, rng.Int63())
+		if err != nil {
+			// A composition that passed scenario.Validate must lower
+			// cleanly; anything else is a registry/harness contract break.
+			return res, fmt.Errorf("scenario %s failed to lower: %w", scen, err)
+		}
+		rep, err := Run(spec)
+		if err != nil {
+			return res, fmt.Errorf("scenario %s failed to run: %w", scen, err)
+		}
+		res.Runs++
+		if !rep.OK() {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("scenario %s seed=%d: %s", scen, spec.Seed, rep.Failure()))
+		}
+	}
+	return res, nil
+}
+
+// randomRunnableScenario composes a random valid scenario and a protocol
+// configured to tolerate its fault mix.
+func randomRunnableScenario(rng *rand.Rand) (core.Params, scenario.Spec) {
+	scheds := scenario.SchedulerNames()
+	byz := scenario.ByzSuite()
+	crashKinds := []string{"crash", "crashinit"}
+
+	var p core.Params
+	var faultPool []string
+	switch rng.Intn(3) {
+	case 0: // crash protocol: crash kinds only
+		t := 1 + rng.Intn(3)
+		p = core.Params{Protocol: core.ProtoCrash, N: 2*t + 1 + rng.Intn(3), T: t}
+		faultPool = crashKinds
+	case 1: // trim protocol: any fault kind
+		p = core.Params{Protocol: core.ProtoByzTrim, N: 8 + rng.Intn(3), T: 1}
+		faultPool = append(append([]string{}, byz...), crashKinds...)
+	default: // witness protocol: any fault kind
+		t := 1 + rng.Intn(2)
+		p = core.Params{Protocol: core.ProtoWitness, N: 3*t + 1 + rng.Intn(3), T: t}
+		faultPool = append(append([]string{}, byz...), crashKinds...)
+	}
+	p.Eps = []float64{1e-1, 1e-2, 1e-3}[rng.Intn(3)]
+	p.Lo, p.Hi = 0, 1
+
+	scen := scenario.Spec{Sched: scheds[rng.Intn(len(scheds))], N: p.N, T: p.T}
+	for k := rng.Intn(p.T + 1); k > 0; k-- {
+		scen.Faults = append(scen.Faults, faultPool[rng.Intn(len(faultPool))])
+	}
+	return p, scen
 }

@@ -24,6 +24,27 @@ func TestFuzzBudget(t *testing.T) {
 	}
 }
 
+// TestFuzzScenarios runs the scenario-layer fuzz: registry contracts plus
+// end-to-end runs of random valid compositions. Any violation means either
+// a registry combination that should have been rejected at spec time, or a
+// genuine protocol bug.
+func TestFuzzScenarios(t *testing.T) {
+	trials := 200
+	if testing.Short() {
+		trials = 60
+	}
+	res, err := FuzzScenarios(trials, 20260728)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Registry.Valid == 0 || res.Registry.Invalid == 0 || res.Runs == 0 {
+		t.Errorf("degenerate scenario fuzz coverage: %+v", res)
+	}
+}
+
 // TestFuzzDeterministic: the same seed explores the same configurations.
 func TestFuzzDeterministic(t *testing.T) {
 	a, err := Fuzz(10, 7)

@@ -1,7 +1,12 @@
-// Package harness assembles protocols, schedulers, fault plans, and input
-// generators into runnable experiments, checks the agreement/validity
-// invariants after every run, and implements the experiment drivers
-// (E1–E11 in DESIGN.md) behind cmd/aabench and the root benchmark suite.
+// Package harness assembles protocols, scenarios, and input generators
+// into runnable experiments, checks the agreement/validity invariants
+// after every run, and implements the experiment drivers (E1–E12 in
+// DESIGN.md) behind cmd/aabench and the root benchmark suite.
+//
+// Adversary wiring is declarative: drivers enumerate scenario.Spec values
+// (internal/scenario) and lower them to executable Specs with SpecFrom;
+// the scenario registry owns every scheduler parameterization, crash
+// schedule, and Byzantine behavior the drivers used to hand-roll.
 //
 // Experiments run on the parallel engine in pool.go: drivers enumerate
 // their independent simulation runs as []Spec and submit them via RunAll
@@ -21,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/multiset"
+	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -42,6 +48,9 @@ type Spec struct {
 	Seed int64
 	// RecordTrajectory enables diameter-over-time sampling.
 	RecordTrajectory bool
+	// Observer, when non-nil, sees every delivery (before the trajectory
+	// sampler). The core-equivalence tests use it to record full traces.
+	Observer func(now sim.Time, env sim.Envelope)
 	// MaxEvents overrides the simulator's default event budget.
 	MaxEvents int
 	// allowOverfault disables the faults<=T guard; only the resilience
@@ -102,6 +111,24 @@ func (r *Report) Failure() string {
 // errTooManyFaults guards the spec.
 var errTooManyFaults = errors.New("harness: fault assignments exceed params.T")
 
+// SpecFrom lowers a declarative scenario to an executable Spec. A scenario
+// with an unset fault bound inherits the protocol's T. Resolution happens
+// here, per spec — stateful schedulers (fifo) are never shared across runs.
+func SpecFrom(p core.Params, inputs []float64, scen scenario.Spec, seed int64) (Spec, error) {
+	res, err := scen.WithT(p.T).Resolve()
+	if err != nil {
+		return Spec{}, err
+	}
+	return Spec{
+		Params:    p,
+		Inputs:    inputs,
+		Scheduler: res.Scheduler,
+		Crashes:   res.Crashes,
+		Byz:       res.Byz,
+		Seed:      seed,
+	}, nil
+}
+
 // Run executes a spec and checks the invariants.
 func Run(spec Spec) (*Report, error) {
 	p := spec.Params
@@ -121,6 +148,7 @@ func Run(spec Spec) (*Report, error) {
 		Seed:      spec.Seed,
 		Crashes:   spec.Crashes,
 		MaxEvents: spec.MaxEvents,
+		Core:      EventCore(),
 	}
 	if len(spec.Byz) > 0 {
 		cfg.Byzantine = make(map[sim.PartyID]sim.Process, len(spec.Byz))
@@ -150,9 +178,16 @@ func Run(spec Spec) (*Report, error) {
 		}
 	}
 	rep := &Report{}
-	if spec.RecordTrajectory {
+	if spec.RecordTrajectory || spec.Observer != nil {
 		last := math.Inf(1)
-		net.SetObserver(func(now sim.Time, _ sim.Envelope) {
+		trace, traj := spec.Observer, spec.RecordTrajectory
+		net.SetObserver(func(now sim.Time, env sim.Envelope) {
+			if trace != nil {
+				trace(now, env)
+			}
+			if !traj {
+				return
+			}
 			d, ok := honestDiameter(estimators)
 			if !ok {
 				return

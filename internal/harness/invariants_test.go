@@ -108,6 +108,30 @@ func immediateCrashes(t int) []sim.CrashPlan {
 	return plans
 }
 
+// maxCrashes builds t crash plans with staggered mid-multicast budgets, so
+// some crashes truncate multicasts part-way. The scenario registry's
+// "crash" kind is the same schedule; the invariant grid keeps a direct
+// copy so it exercises the raw Spec path too.
+func maxCrashes(n, t int) []sim.CrashPlan {
+	plans := make([]sim.CrashPlan, 0, t)
+	for i := 0; i < t; i++ {
+		plans = append(plans, sim.CrashPlan{
+			Party:      sim.PartyID(i),
+			AfterSends: n/2 + i*n*2, // first victims die mid-INIT-multicast, later ones survive longer
+		})
+	}
+	return plans
+}
+
+// byzAssign gives the behavior to the first t parties.
+func byzAssign(t int, b fault.Behavior) map[sim.PartyID]fault.Behavior {
+	m := make(map[sim.PartyID]fault.Behavior, t)
+	for i := 0; i < t; i++ {
+		m[sim.PartyID(i)] = b
+	}
+	return m
+}
+
 // TestMixedCrashAndByzantine checks the witness protocol with the fault
 // budget split between crashes and Byzantine behaviors.
 func TestMixedCrashAndByzantine(t *testing.T) {

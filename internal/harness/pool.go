@@ -44,6 +44,19 @@ func Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// eventCore selects the simulator event queue for every engine run. The
+// cores are trace-equivalent (pinned by the core-equivalence tests); the
+// switch exists for those tests and for cross-core benchmarking
+// (cmd/aabench -core).
+var eventCore atomic.Int32
+
+// SetEventCore selects the simulator event core used by Run (and therefore
+// every experiment). sim.CoreDefault restores the build's default.
+func SetEventCore(c sim.EventCore) { eventCore.Store(int32(c)) }
+
+// EventCore reports the event core currently in effect.
+func EventCore() sim.EventCore { return sim.EventCore(eventCore.Load()) }
+
 // EngineStats aggregates run-level accounting across every engine-executed
 // simulation since the last reset. cmd/aabench snapshots it around each
 // experiment to report msgs/run in the BENCH_*.json trajectory.

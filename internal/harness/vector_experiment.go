@@ -5,7 +5,7 @@ import (
 	"math"
 
 	"repro/internal/core"
-	"repro/internal/sched"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vector"
@@ -58,10 +58,15 @@ func runVectorOnce(base core.Params, dim int, seed int64) (msgs, bytes int, spre
 		}
 		inputs[i] = pt
 	}
+	scen, err := scenario.Spec{Sched: "splitviews", N: base.N, T: base.T}.Resolve()
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
 	net, err := sim.New(sim.Config{
 		N:         base.N,
-		Scheduler: &sched.SplitViews{Boundary: sim.PartyID(base.N / 2), Fast: 1, Slow: 10},
+		Scheduler: scen.Scheduler.Scheduler,
 		Seed:      seed,
+		Core:      EventCore(),
 	})
 	if err != nil {
 		return 0, 0, 0, false, err

@@ -7,8 +7,13 @@ package microbench
 import (
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/multiset"
 	"repro/internal/rbc"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -42,6 +47,89 @@ func Cases() []Case {
 		{"wire/value-roundtrip", WireRoundtrip},
 		{"wire/value-append-reuse", WireAppendReuse},
 		{"rbc/round", RBCRound},
+		{"simloop/calendar", func(b *testing.B) { SimLoop(b, sim.CoreCalendar) }},
+		{"simloop/heap", func(b *testing.B) { SimLoop(b, sim.CoreHeap) }},
+		{"scenario/e12", ScenarioE12},
+	}
+}
+
+// stormProc is a protocol-free message storm: every delivery triggers one
+// send until the party's budget drains, isolating the event core (push,
+// pop, payload snapshot) from protocol arithmetic.
+type stormProc struct {
+	api    sim.API
+	budget int
+	buf    [1]byte
+}
+
+func (p *stormProc) Init(api sim.API) {
+	p.api = api
+	p.send(3)
+}
+
+func (p *stormProc) send(k int) {
+	n := p.api.N()
+	for i := 0; i < k && p.budget > 0; i++ {
+		p.budget--
+		to := (int(p.api.ID())*31 + p.budget*17 + i) % n
+		p.api.Send(sim.PartyID(to), p.buf[:])
+	}
+	if p.budget == 0 {
+		p.budget = -1
+		p.api.Decide(0)
+	}
+}
+
+func (p *stormProc) Deliver(sim.PartyID, []byte) { p.send(1) }
+
+// SimLoop measures the raw simulator event loop on the selected core: 64
+// parties, ~19k messages per iteration, delays spread over two hundred
+// ticks so the calendar queue's wheel (and the heap's depth) both see
+// realistic occupancy. This is the microbenchmark behind the calendar-
+// versus-heap acceptance numbers in PERF.md.
+func SimLoop(b *testing.B, eventCore sim.EventCore) {
+	const n, budget = 64, 300
+	for i := 0; i < b.N; i++ {
+		net, err := sim.New(sim.Config{
+			N:         n,
+			Scheduler: &sched.UniformRandom{Min: 1, Max: 200},
+			Seed:      1,
+			Core:      eventCore,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for id := 0; id < n; id++ {
+			if err := net.SetProcess(sim.PartyID(id), &stormProc{budget: budget}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := net.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ScenarioE12 measures one representative E12 unit: a full crash-protocol
+// run at n=64 under the "splitviews+crash" scenario — the workload the
+// calendar-queue core exists for, resolved through the scenario registry
+// exactly as the E12 driver does it.
+func ScenarioE12(b *testing.B) {
+	scen := scenario.MustParse("splitviews+crash/n=64,t=31")
+	p := core.Params{Protocol: core.ProtoCrash, N: 64, T: 31, Eps: 1e-3, Lo: 0, Hi: 1}
+	inputs := harness.BimodalInputs(64, 0, 1)
+	for i := 0; i < b.N; i++ {
+		spec, err := harness.SpecFrom(p, inputs, scen, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := harness.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.OK() {
+			b.Fatalf("run failed: %s", rep.Failure())
+		}
 	}
 }
 

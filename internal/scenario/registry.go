@@ -1,0 +1,232 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// SchedulerBuilder constructs a fresh scheduler instance for an n-party run
+// with fault bound t. arg is the optional ":<value>" suffix of the spec
+// token ("" when absent); builders that take no argument must reject a
+// non-empty one, so typos fail at spec time.
+type SchedulerBuilder func(n, t int, arg string) (sim.Scheduler, error)
+
+// FaultKind is one registered fault: either a Byzantine behavior (Behavior
+// non-nil) or a crash schedule (Crash non-nil). Exactly one is set.
+type FaultKind struct {
+	// Behavior replaces the party with an adversarial process.
+	Behavior fault.Behavior
+	// Crash builds the crash plan for fault slot `slot` of t in an n-party
+	// run (slots are parties 0..t-1).
+	Crash func(n, t, slot int) sim.CrashPlan
+}
+
+var (
+	schedulers = map[string]SchedulerBuilder{}
+	faults     = map[string]FaultKind{}
+)
+
+// specMetachars are the bytes the spec grammar reserves; a registered name
+// containing one would break the documented String → Parse round trip.
+const specMetachars = "+/:,= \t\n"
+
+// RegisterScheduler adds a scheduler to the registry. It panics on a
+// duplicate, empty, or grammar-breaking name; registration happens at
+// init time.
+func RegisterScheduler(name string, b SchedulerBuilder) {
+	if name == "" || b == nil {
+		panic("scenario: RegisterScheduler: empty name or nil builder")
+	}
+	if strings.ContainsAny(name, specMetachars) {
+		panic(fmt.Sprintf("scenario: scheduler name %q contains spec grammar characters (%q)", name, specMetachars))
+	}
+	if _, dup := schedulers[name]; dup {
+		panic("scenario: duplicate scheduler " + name)
+	}
+	schedulers[name] = b
+}
+
+// RegisterFault adds a fault kind to the registry. Exactly one of Behavior
+// and Crash must be set.
+func RegisterFault(name string, k FaultKind) {
+	if name == "" || (k.Behavior == nil) == (k.Crash == nil) {
+		panic("scenario: RegisterFault: need exactly one of Behavior/Crash for " + name)
+	}
+	if strings.ContainsAny(name, specMetachars) {
+		panic(fmt.Sprintf("scenario: fault name %q contains spec grammar characters (%q)", name, specMetachars))
+	}
+	if _, dup := faults[name]; dup {
+		panic("scenario: duplicate fault " + name)
+	}
+	faults[name] = k
+}
+
+// SchedulerNames returns every registered scheduler key, sorted.
+func SchedulerNames() []string {
+	out := make([]string, 0, len(schedulers))
+	for name := range schedulers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FaultNames returns every registered fault key, sorted.
+func FaultNames() []string {
+	out := make([]string, 0, len(faults))
+	for name := range faults {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SuiteSchedulers lists the standard six-scheduler adversary suite in the
+// canonical experiment-table order (the order sched.Suite has always used).
+func SuiteSchedulers() []string {
+	return []string{"sync", "random", "skew", "partition", "splitviews", "staggered"}
+}
+
+// ByzSuite lists the standard Byzantine behaviors in fault.Suite order.
+func ByzSuite() []string {
+	return []string{"silent", "extreme", "equivocate", "spam", "amplifier"}
+}
+
+// timeArg parses an optional sim.Time argument, returning def when absent.
+func timeArg(arg string, def sim.Time) (sim.Time, error) {
+	if arg == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(arg, 10, 64)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("scenario: bad delay argument %q", arg)
+	}
+	return sim.Time(v), nil
+}
+
+// floatArg parses an optional float argument, returning def when absent.
+func floatArg(arg string, def float64) (float64, error) {
+	if arg == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(arg, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("scenario: bad numeric argument %q", arg)
+	}
+	return v, nil
+}
+
+// noArg rejects a scheduler argument for schedulers that take none.
+func noArg(name, arg string) error {
+	if arg != "" {
+		return fmt.Errorf("scenario: scheduler %s takes no argument, got %q", name, arg)
+	}
+	return nil
+}
+
+// firstT returns party IDs 0..t-1, the conventional victim/fault slots.
+func firstT(t int) []sim.PartyID {
+	out := make([]sim.PartyID, 0, t)
+	for i := 0; i < t; i++ {
+		out = append(out, sim.PartyID(i))
+	}
+	return out
+}
+
+// The built-in registry mirrors — exactly — the parameterizations the
+// experiment drivers have always used (sched.Suite, fault.Suite(0,1),
+// harness.maxCrashes), so converting a driver to scenarios cannot move a
+// table by a byte. Optional ":<arg>" suffixes expose the one knob each
+// scheduler has (e.g. "sync:5" is lock-step with delay 5).
+func init() {
+	RegisterScheduler("sync", func(_, _ int, arg string) (sim.Scheduler, error) {
+		d, err := timeArg(arg, 10)
+		if err != nil {
+			return nil, err
+		}
+		return sched.NewSynchronous(d), nil
+	})
+	RegisterScheduler("random", func(_, _ int, arg string) (sim.Scheduler, error) {
+		max, err := timeArg(arg, 10)
+		if err != nil {
+			return nil, err
+		}
+		return &sched.UniformRandom{Min: 1, Max: max}, nil
+	})
+	RegisterScheduler("skew", func(_, t int, arg string) (sim.Scheduler, error) {
+		slow, err := timeArg(arg, 10)
+		if err != nil {
+			return nil, err
+		}
+		return sched.NewSkew(firstT(t), 1, slow), nil
+	})
+	RegisterScheduler("partition", func(n, _ int, arg string) (sim.Scheduler, error) {
+		across, err := timeArg(arg, 10)
+		if err != nil {
+			return nil, err
+		}
+		return &sched.Partition{Boundary: sim.PartyID(n / 2), Within: 1, Across: across}, nil
+	})
+	RegisterScheduler("splitviews", func(n, _ int, arg string) (sim.Scheduler, error) {
+		slow, err := timeArg(arg, 10)
+		if err != nil {
+			return nil, err
+		}
+		return &sched.SplitViews{Boundary: sim.PartyID(n / 2), Fast: 1, Slow: slow}, nil
+	})
+	RegisterScheduler("staggered", func(_, _ int, arg string) (sim.Scheduler, error) {
+		step, err := timeArg(arg, 2)
+		if err != nil {
+			return nil, err
+		}
+		return &sched.Staggered{Base: 1, Step: step}, nil
+	})
+	RegisterScheduler("heavytail", func(_, _ int, arg string) (sim.Scheduler, error) {
+		alpha, err := floatArg(arg, 1.5)
+		if err != nil {
+			return nil, err
+		}
+		return &sched.HeavyTail{Base: 1, Alpha: alpha, Cap: 400}, nil
+	})
+	// unordered/fifo are the E11 channel-model pair: the same benign
+	// scheduler, bare and wrapped with per-link FIFO ordering. FIFO is
+	// stateful, which is why builders return fresh instances per run.
+	RegisterScheduler("unordered", func(_, _ int, arg string) (sim.Scheduler, error) {
+		if err := noArg("unordered", arg); err != nil {
+			return nil, err
+		}
+		return &sched.UniformRandom{Min: 1, Max: 25}, nil
+	})
+	RegisterScheduler("fifo", func(_, _ int, arg string) (sim.Scheduler, error) {
+		if err := noArg("fifo", arg); err != nil {
+			return nil, err
+		}
+		return sched.NewFIFO(&sched.UniformRandom{Min: 1, Max: 25}), nil
+	})
+
+	// "crash" is the standard staggered mid-multicast schedule (harness
+	// maxCrashes): early slots die mid-INIT-multicast, later ones survive
+	// longer. "crashinit" kills every slot just past its INIT multicast —
+	// the overload demonstration's schedule.
+	RegisterFault("crash", FaultKind{Crash: func(n, _, slot int) sim.CrashPlan {
+		return sim.CrashPlan{Party: sim.PartyID(slot), AfterSends: n/2 + slot*n*2}
+	}})
+	RegisterFault("crashinit", FaultKind{Crash: func(n, _, slot int) sim.CrashPlan {
+		return sim.CrashPlan{Party: sim.PartyID(slot), AfterSends: n + slot}
+	}})
+	// The Byzantine kinds mirror fault.Suite — every behavior is
+	// range-relative, reading the run's true promised range through
+	// fault.Env at instantiation (extreme pushes 100 range-widths past the
+	// high end, whatever the range).
+	RegisterFault("silent", FaultKind{Behavior: fault.Silent{}})
+	RegisterFault("extreme", FaultKind{Behavior: fault.ExtremeRel{Scale: 100}})
+	RegisterFault("equivocate", FaultKind{Behavior: fault.Equivocate{Stretch: 2}})
+	RegisterFault("spam", FaultKind{Behavior: fault.Spam{}})
+	RegisterFault("amplifier", FaultKind{Behavior: fault.Amplifier{Push: 1}})
+}

@@ -1,0 +1,264 @@
+// Package scenario is the declarative adversary layer over the simulator:
+// one composable Spec value names a delivery schedule (topology + timing),
+// a fault composition, and the run shape (n parties, t fault slots), and
+// resolves into everything internal/harness needs to execute it. It
+// replaces the per-driver wiring of sched.Named suites, fault.Behavior
+// assignments, and crash schedules that each experiment used to hand-roll.
+//
+// Specs have a compact string form,
+//
+//	<scheduler>[:<arg>][+<fault>[+<fault>...]][/n=<N>[,t=<T>]]
+//
+// e.g. "splitviews/n=64,t=31", "skew+equivocate/n=64,t=9", or
+// "sync:5+crash/n=10,t=4". Parse and String round-trip exactly; the fuzz
+// harness (cmd/aafuzz) pins this, along with the guarantee that invalid
+// combinations fail at spec time, never mid-run.
+//
+// Fault composition: a spec with T fault slots assigns Faults[i mod
+// len(Faults)] to party i for i < T, so "crash" alone crashes all T slots,
+// and "crash+equivocate" alternates the two kinds across them. Crash kinds
+// become sim.CrashPlans; Byzantine kinds become replacement processes.
+//
+// The registry (registry.go) maps scheduler and fault names to factories
+// and is extensible via RegisterScheduler / RegisterFault; the built-ins
+// reproduce the historical experiment parameterizations exactly, which is
+// how the E1–E11 tables stayed byte-identical across the conversion.
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Spec is one declarative scenario: who delays what, who is faulty and
+// how, at what scale. The zero Spec is invalid; N is required.
+type Spec struct {
+	// Sched is the scheduler registry key, optionally with a ":<arg>"
+	// parameter suffix (e.g. "sync:5").
+	Sched string
+	// Faults are fault registry keys, assigned cyclically to the T fault
+	// slots (parties 0..T-1). Empty means a fault-free run.
+	Faults []string
+	// N is the number of parties.
+	N int
+	// T is the number of fault slots (and what t-parameterized schedulers
+	// like skew target). TUnset (-1) means "derive from the protocol" —
+	// callers must normalize via WithT before Resolve.
+	T int
+}
+
+// TUnset marks a spec whose fault bound is left to the consumer (aarun
+// derives it from the protocol's resilience when the string omits t=).
+const TUnset = -1
+
+// String renders the spec in its canonical parseable form.
+func (s Spec) String() string {
+	var b strings.Builder
+	b.WriteString(s.Sched)
+	for _, f := range s.Faults {
+		b.WriteByte('+')
+		b.WriteString(f)
+	}
+	fmt.Fprintf(&b, "/n=%d", s.N)
+	if s.T != TUnset {
+		fmt.Fprintf(&b, ",t=%d", s.T)
+	}
+	return b.String()
+}
+
+// WithT returns the spec with T filled in if it was TUnset.
+func (s Spec) WithT(t int) Spec {
+	if s.T == TUnset {
+		s.T = t
+	}
+	return s
+}
+
+// Parse reads the canonical string form. The parsed spec is validated.
+func Parse(raw string) (Spec, error) {
+	s := Spec{T: TUnset}
+	head := raw
+	if i := strings.IndexByte(raw, '/'); i >= 0 {
+		head = raw[:i]
+		for _, kv := range strings.Split(raw[i+1:], ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return Spec{}, fmt.Errorf("scenario: %q: bad parameter %q (want k=v)", raw, kv)
+			}
+			x, err := strconv.Atoi(strings.TrimSpace(v))
+			if err != nil {
+				return Spec{}, fmt.Errorf("scenario: %q: parameter %s: %w", raw, k, err)
+			}
+			switch strings.TrimSpace(k) {
+			case "n":
+				s.N = x
+			case "t":
+				// Explicit negatives are rejected here rather than left to
+				// Validate: t=-1 would otherwise collide with the TUnset
+				// sentinel and silently drop from the string form.
+				if x < 0 {
+					return Spec{}, fmt.Errorf("scenario: %q: t = %d, need >= 0", raw, x)
+				}
+				s.T = x
+			default:
+				return Spec{}, fmt.Errorf("scenario: %q: unknown parameter %q", raw, k)
+			}
+		}
+	}
+	parts := strings.Split(head, "+")
+	s.Sched = strings.TrimSpace(parts[0])
+	for _, f := range parts[1:] {
+		s.Faults = append(s.Faults, strings.TrimSpace(f))
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// MustParse is Parse for registered, well-formed literals in driver code.
+func MustParse(raw string) Spec {
+	s, err := Parse(raw)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// schedKey splits the scheduler token into registry key and argument.
+func (s Spec) schedKey() (name, arg string) {
+	name, arg, _ = strings.Cut(s.Sched, ":")
+	return name, arg
+}
+
+// validateShape checks everything except the scheduler argument: registry
+// membership and the run shape.
+func (s Spec) validateShape() error {
+	name, _ := s.schedKey()
+	if _, ok := schedulers[name]; !ok {
+		return fmt.Errorf("scenario: unknown scheduler %q (have %s)",
+			name, strings.Join(SchedulerNames(), ", "))
+	}
+	if s.N < 1 {
+		return fmt.Errorf("scenario: %s: n = %d, need >= 1", s.Sched, s.N)
+	}
+	if s.T != TUnset {
+		if s.T < 0 || s.T >= s.N {
+			return fmt.Errorf("scenario: %s: t = %d out of range [0, n=%d)", s.Sched, s.T, s.N)
+		}
+		if len(s.Faults) > s.T {
+			return fmt.Errorf("scenario: %s: %d fault kinds for %d fault slots", s.Sched, len(s.Faults), s.T)
+		}
+	} else if len(s.Faults) > 0 {
+		return fmt.Errorf("scenario: %s: faults need an explicit t", s.Sched)
+	}
+	for _, f := range s.Faults {
+		if _, ok := faults[f]; !ok {
+			return fmt.Errorf("scenario: unknown fault %q (have %s)",
+				f, strings.Join(FaultNames(), ", "))
+		}
+	}
+	return nil
+}
+
+// buildScheduler instantiates the spec's scheduler with the given fault
+// bound, validating the ":<arg>" suffix in the process.
+func (s Spec) buildScheduler(t int) (sched.Named, error) {
+	name, arg := s.schedKey()
+	scheduler, err := schedulers[name](s.N, t, arg)
+	if err != nil {
+		return sched.Named{}, err
+	}
+	return sched.Named{Name: s.Sched, Scheduler: scheduler}, nil
+}
+
+// Validate checks the spec against the registry and the run shape, so that
+// every invalid combination fails here — at spec time — rather than inside
+// a half-finished simulation.
+func (s Spec) Validate() error {
+	if err := s.validateShape(); err != nil {
+		return err
+	}
+	// Instantiating the scheduler validates the argument too; the probe
+	// uses a safe t so :arg typos surface even on TUnset specs.
+	t := s.T
+	if t == TUnset {
+		t = 0
+	}
+	_, err := s.buildScheduler(t)
+	return err
+}
+
+// Resolved is a spec instantiated for execution: a named scheduler plus the
+// concrete crash plans and Byzantine assignments. Each Resolve call builds
+// fresh scheduler state, so stateful schedulers (fifo) are never shared
+// across concurrent runs.
+type Resolved struct {
+	Scheduler sched.Named
+	Crashes   []sim.CrashPlan
+	Byz       map[sim.PartyID]fault.Behavior
+}
+
+// Resolve instantiates the spec. The spec must be valid and have a
+// concrete T. The scheduler is constructed exactly once, here (Validate's
+// probe is not repeated).
+func (s Spec) Resolve() (*Resolved, error) {
+	if s.T == TUnset {
+		return nil, fmt.Errorf("scenario: %s: t unresolved (use WithT)", s)
+	}
+	if err := s.validateShape(); err != nil {
+		return nil, err
+	}
+	named, err := s.buildScheduler(s.T)
+	if err != nil {
+		return nil, err
+	}
+	res := &Resolved{Scheduler: named}
+	for slot := 0; slot < s.T && len(s.Faults) > 0; slot++ {
+		kind := faults[s.Faults[slot%len(s.Faults)]]
+		if kind.Crash != nil {
+			res.Crashes = append(res.Crashes, kind.Crash(s.N, s.T, slot))
+		} else {
+			if res.Byz == nil {
+				res.Byz = make(map[sim.PartyID]fault.Behavior, s.T)
+			}
+			res.Byz[sim.PartyID(slot)] = kind.Behavior
+		}
+	}
+	return res, nil
+}
+
+// Suite returns the standard six-scheduler adversary sweep at (n, t), each
+// paired with the given fault composition — the scenario form of the old
+// sched.Suite × fault wiring every sweep experiment used.
+func Suite(n, t int, faultKeys ...string) []Spec {
+	out := make([]Spec, 0, 6)
+	for _, name := range SuiteSchedulers() {
+		out = append(out, Spec{Sched: name, Faults: faultKeys, N: n, T: t})
+	}
+	return out
+}
+
+// Cross returns the full cross-product of schedulers × fault compositions
+// × sizes, with t derived per size — the enumeration behind large-n sweep
+// workloads like E12. A nil faultSets means the single fault-free
+// composition.
+func Cross(scheds []string, faultSets [][]string, sizes []int, tFor func(n int) int) []Spec {
+	if faultSets == nil {
+		faultSets = [][]string{nil}
+	}
+	out := make([]Spec, 0, len(scheds)*len(faultSets)*len(sizes))
+	for _, n := range sizes {
+		for _, sc := range scheds {
+			for _, fs := range faultSets {
+				out = append(out, Spec{Sched: sc, Faults: fs, N: n, T: tFor(n)})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"sync/n=9,t=4",
+		"sync:5+crash/n=10,t=4",
+		"skew+equivocate/n=64,t=9",
+		"splitviews/n=64",
+		"random+crash+equivocate/n=13,t=6",
+		"fifo/n=7,t=2",
+	}
+	for _, raw := range cases {
+		s, err := Parse(raw)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", raw, err)
+		}
+		if got := s.String(); got != raw {
+			t.Errorf("round trip %q -> %q", raw, got)
+		}
+		again, err := Parse(s.String())
+		if err != nil || !reflect.DeepEqual(again, s) {
+			t.Errorf("re-parse of %q drifted: %+v vs %+v (%v)", raw, again, s, err)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"warp/n=9,t=2":                 "unknown scheduler",
+		"sync/n=9,t=2,x=1":             "unknown parameter",
+		"sync/n=0,t=0":                 "n out of range",
+		"sync/n=9,t=9":                 "t out of range",
+		"sync+gremlin/n=9,t=2":         "unknown fault",
+		"sync+crash":                   "faults without n",
+		"sync+crash/n=9":               "faults without t",
+		"sync+crash+spam+spam/n=9,t=2": "more fault kinds than slots",
+		"sync:0/n=9,t=2":               "bad scheduler argument",
+		"sync/n=9,t=-1":                "explicit negative t (TUnset sentinel collision)",
+		"unordered:3/n=9,t=2":          "argument on arg-less scheduler",
+		"sync/n=":                      "empty parameter value",
+		"":                             "empty spec",
+	}
+	for raw, why := range cases {
+		if _, err := Parse(raw); err == nil {
+			t.Errorf("Parse(%q) accepted (%s)", raw, why)
+		}
+	}
+}
+
+// TestResolveMirrorsLegacySuite pins the registry against the historical
+// wiring: the six-scheduler suite must produce exactly sched.Suite's
+// parameterizations, and the fault kinds exactly fault.Suite(0,1) plus the
+// harness's staggered crash plans.
+func TestResolveMirrorsLegacySuite(t *testing.T) {
+	n, tf := 15, 2
+	suite := Suite(n, tf)
+	legacy := sched.Suite(n, tf)
+	if len(suite) != len(legacy) {
+		t.Fatalf("suite size %d, legacy %d", len(suite), len(legacy))
+	}
+	for i, spec := range suite {
+		if spec.Sched != legacy[i].Name {
+			t.Fatalf("suite[%d] = %s, legacy %s", i, spec.Sched, legacy[i].Name)
+		}
+		res, err := spec.Resolve()
+		if err != nil {
+			t.Fatalf("resolve %s: %v", spec, err)
+		}
+		if res.Scheduler.Name != legacy[i].Name {
+			t.Errorf("%s: resolved name %q", spec, res.Scheduler.Name)
+		}
+		if got, want := reflect.TypeOf(res.Scheduler.Scheduler), reflect.TypeOf(legacy[i].Scheduler); got != want {
+			t.Errorf("%s: scheduler type %v, legacy %v", spec, got, want)
+		}
+		if !reflect.DeepEqual(res.Scheduler.Scheduler, legacy[i].Scheduler) {
+			t.Errorf("%s: scheduler %+v, legacy %+v", spec, res.Scheduler.Scheduler, legacy[i].Scheduler)
+		}
+	}
+
+	res, err := Spec{Sched: "sync", Faults: []string{"crash"}, N: 9, T: 4}.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot, plan := range res.Crashes {
+		want := sim.CrashPlan{Party: sim.PartyID(slot), AfterSends: 9/2 + slot*9*2}
+		if plan != want {
+			t.Errorf("crash slot %d: %+v, want %+v", slot, plan, want)
+		}
+	}
+
+	legacyByz := fault.Suite(0, 1)
+	for i, name := range ByzSuite() {
+		res, err := Spec{Sched: "splitviews", Faults: []string{name}, N: 10, T: 3}.Resolve()
+		if err != nil {
+			t.Fatalf("resolve %s: %v", name, err)
+		}
+		if len(res.Byz) != 3 || len(res.Crashes) != 0 {
+			t.Fatalf("%s: %d byz, %d crashes", name, len(res.Byz), len(res.Crashes))
+		}
+		if !reflect.DeepEqual(res.Byz[0], legacyByz[i]) {
+			t.Errorf("%s: behavior %+v, legacy %+v", name, res.Byz[0], legacyByz[i])
+		}
+	}
+}
+
+// TestResolveMixedFaults pins the cyclic slot assignment of composite
+// fault lists.
+func TestResolveMixedFaults(t *testing.T) {
+	res, err := MustParse("random+crash+equivocate/n=13,t=5").Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Crashes) != 3 { // slots 0, 2, 4
+		t.Fatalf("crashes %+v", res.Crashes)
+	}
+	if len(res.Byz) != 2 { // slots 1, 3
+		t.Fatalf("byz %+v", res.Byz)
+	}
+	for _, p := range []sim.PartyID{1, 3} {
+		if _, ok := res.Byz[p]; !ok {
+			t.Errorf("slot %d not byzantine", p)
+		}
+	}
+}
+
+// TestResolveFreshInstances pins that stateful schedulers are never shared
+// across resolutions.
+func TestResolveFreshInstances(t *testing.T) {
+	spec := MustParse("fifo/n=7,t=2")
+	a, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Scheduler.Scheduler == b.Scheduler.Scheduler {
+		t.Fatal("fifo scheduler instance shared across resolutions")
+	}
+}
+
+func TestSchedulerArg(t *testing.T) {
+	res, err := MustParse("sync:5/n=9,t=4").Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Scheduler.Scheduler.Delay(sim.Envelope{}, 0, nil); d != 5 {
+		t.Fatalf("sync:5 delay = %d", d)
+	}
+	if res.Scheduler.Name != "sync:5" {
+		t.Fatalf("resolved name %q", res.Scheduler.Name)
+	}
+}
+
+func TestCross(t *testing.T) {
+	specs := Cross([]string{"sync", "splitviews"}, [][]string{nil, {"crash"}},
+		[]int{64, 128}, func(n int) int { return (n - 1) / 2 })
+	if len(specs) != 8 {
+		t.Fatalf("cross product size %d", len(specs))
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+		if s.T != (s.N-1)/2 {
+			t.Errorf("%s: t not derived", s)
+		}
+	}
+}
+
+func TestFuzzRegistry(t *testing.T) {
+	stats, err := Fuzz(800, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Valid == 0 || stats.Invalid == 0 {
+		t.Fatalf("degenerate fuzz distribution: %+v", stats)
+	}
+}
+
+// TestRegisterRejectsGrammarNames pins that extension registrants cannot
+// break the String → Parse round trip with metacharacter names.
+func TestRegisterRejectsGrammarNames(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("registering %q did not panic", name)
+			}
+		}()
+		fn()
+	}
+	for _, name := range []string{"crash+burn", "net/slow", "sync:x", "a,b", "a=b", "two words"} {
+		name := name
+		mustPanic(name, func() {
+			RegisterScheduler(name, func(_, _ int, _ string) (sim.Scheduler, error) { return nil, nil })
+		})
+		mustPanic(name, func() {
+			RegisterFault(name, FaultKind{Behavior: fault.Silent{}})
+		})
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	for _, name := range SuiteSchedulers() {
+		if _, ok := schedulers[name]; !ok {
+			t.Errorf("suite scheduler %q unregistered", name)
+		}
+	}
+	for _, name := range ByzSuite() {
+		if _, ok := faults[name]; !ok {
+			t.Errorf("byz suite fault %q unregistered", name)
+		}
+	}
+	if !strings.Contains(strings.Join(FaultNames(), ","), "crashinit") {
+		t.Error("crashinit unregistered")
+	}
+}

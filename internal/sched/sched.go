@@ -8,6 +8,13 @@
 // the split-views attack that maximizes disagreement between the reception
 // sets of different parties (the known worst case for convergence-rate
 // measurements).
+//
+// This package holds the mechanisms; the entry point for composing them
+// into runnable adversaries is internal/scenario, whose registry owns the
+// canonical parameterization of every scheduler here and pairs it with
+// fault compositions in one declarative, parseable spec. New experiment
+// code should enumerate scenario.Spec values rather than constructing
+// schedulers directly.
 package sched
 
 import (

@@ -1,0 +1,7 @@
+//go:build !simheap
+
+package sim
+
+// defaultEventCore is the event core used when Config.Core is CoreDefault.
+// Build with `-tags simheap` to fall back to the binary-heap reference core.
+const defaultEventCore = CoreCalendar

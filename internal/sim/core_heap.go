@@ -1,0 +1,8 @@
+//go:build simheap
+
+package sim
+
+// defaultEventCore under the simheap build tag: the binary-heap reference
+// core, kept switchable until (and after) the calendar queue's equivalence
+// tests pinned byte-identical traces.
+const defaultEventCore = CoreHeap

@@ -12,8 +12,27 @@ type event struct {
 // The sequence tiebreak makes executions fully deterministic for a given
 // scheduler and seed. A hand-rolled heap (rather than container/heap) avoids
 // per-operation interface allocations in the simulator's hot loop.
+//
+// The heap is the reference event core (sim.CoreHeap); the calendar queue
+// in calendar.go replaces it on the hot path and is pinned trace-equivalent
+// by the core-equivalence tests.
 type eventHeap struct {
 	items []event
+}
+
+var _ eventQueue = (*eventHeap)(nil)
+
+// PopTick implements eventQueue: it pops every event at the earliest
+// pending tick, in Seq order (the heap's tiebreak).
+func (h *eventHeap) PopTick(buf []event) []event {
+	if len(h.items) == 0 {
+		return buf
+	}
+	t := h.items[0].at
+	for len(h.items) > 0 && h.items[0].at == t {
+		buf = append(buf, h.Pop())
+	}
+	return buf
 }
 
 func (h *eventHeap) Len() int { return len(h.items) }

@@ -77,7 +77,8 @@ func (r *Result) HonestSpread() float64 {
 type Network struct {
 	cfg        Config
 	parties    []*partyState
-	queue      eventHeap
+	queue      eventQueue
+	batch      []event // reusable same-tick delivery batch (Run loop)
 	rng        *rand.Rand
 	now        Time
 	seq        uint64
@@ -200,6 +201,7 @@ func New(cfg Config) (*Network, error) {
 	}
 	n := &Network{
 		cfg:              cfg,
+		queue:            newEventQueue(cfg.Core),
 		rng:              rand.New(rand.NewSource(cfg.Seed)),
 		defaultMaxEvents: 5_000_000,
 	}
@@ -329,18 +331,29 @@ func (n *Network) Run() (*Result, error) {
 	}
 	var err error
 	events := 0
+	// The loop drains the queue one virtual-time tick at a time: PopTick
+	// hands over every event of the earliest tick in one batch (delays are
+	// >= 1, so deliveries can never append to the tick in flight), and the
+	// inner consumption runs straight through the batch without touching
+	// the queue structure — same-tick deliveries to the same party hit a
+	// warm process with no queue bookkeeping in between.
+	batch, bi := n.batch[:0], 0
 	for n.pendingHonest > 0 {
-		if n.queue.Len() == 0 {
-			err = ErrStalled
-			break
+		if bi == len(batch) {
+			if n.queue.Len() == 0 {
+				err = ErrStalled
+				break
+			}
+			batch, bi = n.queue.PopTick(batch[:0]), 0
+			n.now = batch[0].at
 		}
 		if events >= budget {
 			err = ErrEventBudget
 			break
 		}
 		events++
-		ev := n.queue.Pop()
-		n.now = ev.at
+		ev := batch[bi]
+		bi++
 		dst := n.parties[ev.env.To]
 		if dst.crashed {
 			continue
@@ -357,6 +370,7 @@ func (n *Network) Run() (*Result, error) {
 			n.observer(n.now, ev.env)
 		}
 	}
+	n.batch = batch[:0]
 	return n.result(), err
 }
 

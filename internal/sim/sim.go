@@ -127,6 +127,10 @@ type Config struct {
 	Byzantine map[PartyID]Process
 	// MaxEvents aborts runaway executions; 0 means a generous default.
 	MaxEvents int
+	// Core selects the event-queue implementation (CoreDefault resolves to
+	// the build's default). The cores are trace-equivalent; the switch
+	// exists for the equivalence tests and performance comparisons.
+	Core EventCore
 }
 
 // Sentinel errors returned by Run.
@@ -146,6 +150,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Scheduler == nil {
 		return errors.New("sim: config: nil Scheduler")
+	}
+	if c.Core < CoreDefault || c.Core > CoreHeap {
+		return fmt.Errorf("sim: config: unknown event core %d", c.Core)
 	}
 	faulty := make(map[PartyID]bool, len(c.Crashes)+len(c.Byzantine))
 	for _, cr := range c.Crashes {
