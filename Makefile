@@ -5,10 +5,10 @@
 # the race detector.
 
 GO ?= go
-BENCH_OLD ?= BENCH_2.json
-BENCH_NEW ?= BENCH_3.json
+BENCH_OLD ?= BENCH_3.json
+BENCH_NEW ?= BENCH_4.json
 
-.PHONY: check vet race bench bench-compare benchmem
+.PHONY: check vet race bench bench-compare bench-smoke bench-smoke-refresh benchmem
 
 check:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ check:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -run 'TestEngine|TestMapOrdered|TestRunAll|TestSetParallelism|TestSmoke|TestCoreEquivalenceTraces' ./internal/harness/
+	$(GO) test -race -run 'TestEngine|TestMapOrdered|TestRunAll|TestSetParallelism|TestSmoke|TestCoreEquivalenceTraces|TestRunContext' ./internal/harness/
 
 # bench regenerates the committed benchmark snapshot. Seeds are kept small
 # so the refresh stays in the tens of seconds; the snapshot records the
@@ -29,7 +29,20 @@ bench:
 bench-compare:
 	$(GO) run ./cmd/aabench -compare $(BENCH_OLD) $(BENCH_NEW)
 
+# bench-smoke is the CI regression gate: a reduced-seed snapshot (no micro
+# benches, which need a quiet machine) compared against the committed
+# BENCH_SMOKE.json. Wall-clock deltas are advisory; any msgs/bytes-per-run
+# drift makes the compare exit non-zero — correctness regressions surface
+# on the PR, not after merge. Refresh the committed file with
+# `make bench-smoke-refresh` after an intentional behavior change.
+bench-smoke:
+	$(GO) run ./cmd/aabench -seeds 1 -micro=false -json /tmp/bench-smoke.json
+	$(GO) run ./cmd/aabench -compare BENCH_SMOKE.json /tmp/bench-smoke.json
+
+bench-smoke-refresh:
+	$(GO) run ./cmd/aabench -seeds 1 -micro=false -json BENCH_SMOKE.json
+
 # benchmem runs the substrate micro-benchmarks with allocation accounting,
 # the numbers PERF.md tracks.
 benchmem:
-	$(GO) test -run '^$$' -bench 'BenchmarkApproxFuncs|BenchmarkContractionSearch|BenchmarkWire|BenchmarkSimLoop|BenchmarkScenarioE12' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkApproxFuncs|BenchmarkContractionSearch|BenchmarkWire|BenchmarkSimLoop|BenchmarkScenarioE12|BenchmarkRunReused' -benchmem .

@@ -240,3 +240,10 @@ func BenchmarkSimLoop(b *testing.B) {
 func BenchmarkScenarioE12(b *testing.B) {
 	microbench.ScenarioE12(b)
 }
+
+// BenchmarkRunReused measures a full crash-protocol run on a warm recycled
+// harness.RunContext — the zero-steady-state-allocation engine path
+// (shared with the snapshot as "harness/run-reused").
+func BenchmarkRunReused(b *testing.B) {
+	microbench.RunReused(b)
+}

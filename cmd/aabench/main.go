@@ -7,18 +7,24 @@
 //
 // Usage:
 //
-//	aabench [-seeds N] [-only E4] [-csv DIR] [-parallel N] [-core calendar|heap] [-json FILE]
+//	aabench [-seeds N] [-only E4] [-csv DIR] [-parallel N] [-core calendar|heap] [-json FILE] [-micro=false]
 //	aabench -compare OLD.json NEW.json
 //
 // Experiments run on the parallel engine (internal/harness worker pool) by
 // default, fanning independent simulation runs across GOMAXPROCS cores;
 // -parallel 1 forces the sequential path (the rendered tables are identical
-// by construction — the determinism tests pin this).
+// by construction — the determinism tests pin this). Every run executes on
+// a recycled harness run context, so per-run state construction is off the
+// measured path (see PERF.md "Run-context recycling").
 //
 // -compare diffs two BENCH_*.json snapshots: a per-experiment delta table
 // (ns/run, msgs/run, bytes/run) and a per-micro delta table (ns/op,
-// allocs/op), with regressions highlighted. `make bench-compare` wraps it
-// for the committed BENCH_1 → BENCH_2 trajectory.
+// allocs/op), with regressions highlighted. Time deltas are advisory, but
+// msgs/bytes-per-run deltas are a correctness contract: any drift makes
+// compare exit non-zero, so behavior changes can never hide inside a perf
+// compare. `make bench-compare` wraps it for the committed trajectory and
+// `make bench-smoke` (CI) compares a fresh reduced run against the
+// committed BENCH_SMOKE.json.
 package main
 
 import (
@@ -73,6 +79,14 @@ type expBench struct {
 	NsPerRun    float64 `json:"ns_per_run"`
 	MsgsPerRun  float64 `json:"msgs_per_run"`
 	BytesPerRun float64 `json:"bytes_per_run"`
+	// AllocsPerRun is the process-wide heap-allocation count per engine run
+	// (runtime.MemStats.Mallocs delta around the experiment), the metric the
+	// run-context recycling work drives toward zero. It includes the
+	// experiment's spec enumeration and table construction, so "near zero"
+	// in a committed snapshot means tens per run, not 0.0 — the per-run
+	// protocol/simulator allocations themselves are pinned at zero by the
+	// harness AllocsPerRun tests.
+	AllocsPerRun float64 `json:"allocs_per_run"`
 }
 
 type microBench struct {
@@ -90,7 +104,8 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "engine worker count (0 = GOMAXPROCS, 1 = sequential)")
 	coreName := fs.String("core", "", "simulator event core: calendar | heap (default: the build's default core)")
 	jsonPath := fs.String("json", "", "file to write a BENCH_*.json benchmark snapshot into")
-	compareMode := fs.Bool("compare", false, "compare two BENCH_*.json snapshots (args: OLD.json NEW.json) instead of running")
+	micro := fs.Bool("micro", true, "include the micro-benchmarks in the -json snapshot (disable for fast CI smoke runs)")
+	compareMode := fs.Bool("compare", false, "compare two BENCH_*.json snapshots (args: OLD.json NEW.json) instead of running; exits non-zero when msgs/bytes per run drift")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -150,13 +165,14 @@ func run(args []string) error {
 		}
 		fmt.Println()
 		snap.Experiments = append(snap.Experiments, expBench{
-			ID:          exp.ID,
-			Title:       exp.Title,
-			WallNs:      wall.Nanoseconds(),
-			Runs:        stats.Runs,
-			NsPerRun:    perRun(float64(wall.Nanoseconds()), stats.Runs),
-			MsgsPerRun:  perRun(float64(stats.MessagesSent), stats.Runs),
-			BytesPerRun: perRun(float64(stats.BytesSent), stats.Runs),
+			ID:           exp.ID,
+			Title:        exp.Title,
+			WallNs:       wall.Nanoseconds(),
+			Runs:         stats.Runs,
+			NsPerRun:     perRun(float64(wall.Nanoseconds()), stats.Runs),
+			MsgsPerRun:   perRun(float64(stats.MessagesSent), stats.Runs),
+			BytesPerRun:  perRun(float64(stats.BytesSent), stats.Runs),
+			AllocsPerRun: perRun(float64(stats.Mallocs), stats.Runs),
 		})
 		if *csvDir != "" {
 			f, err := os.Create(filepath.Join(*csvDir, strings.ToLower(exp.ID)+".csv"))
@@ -175,7 +191,9 @@ func run(args []string) error {
 	if *jsonPath == "" {
 		return nil
 	}
-	snap.Micro = microBenchRunner()
+	if *micro {
+		snap.Micro = microBenchRunner()
+	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
@@ -194,8 +212,18 @@ func perRun(total float64, runs int64) float64 {
 // flagged: wall-clock deltas under 5% are noise on shared hardware.
 const regressionThreshold = 0.05
 
+// drifted reports whether a per-run traffic ratio changed at all. The
+// comparison is exact, not a tolerance: runs are deterministic functions
+// of their specs, the ratios are computed by the same float64 division on
+// both sides, and JSON round-trips float64 exactly — so any difference
+// means protocol traffic actually changed, a hard error that can never
+// hide inside a perf compare.
+func drifted(oldV, newV float64) bool { return oldV != newV }
+
 // compare renders the per-experiment and per-micro delta tables between
-// two snapshot files, flagging regressions.
+// two snapshot files, flagging regressions. Wall-clock deltas are
+// advisory; msgs/bytes-per-run deltas are a correctness contract and any
+// drift makes compare return an error (non-zero exit).
 func compare(w io.Writer, oldPath, newPath string) error {
 	oldSnap, err := readSnapshot(oldPath)
 	if err != nil {
@@ -219,23 +247,42 @@ func compare(w io.Writer, oldPath, newPath string) error {
 	for _, e := range oldSnap.Experiments {
 		oldExp[e.ID] = e
 	}
+	var drift []string
 	newExp := make(map[string]bool, len(newSnap.Experiments))
 	for _, n := range newSnap.Experiments {
 		newExp[n.ID] = true
 		o, ok := oldExp[n.ID]
 		if !ok {
 			fmt.Fprintf(tw, "%s\t-\t%.0f\tnew\tnew\tnew\t\n", n.ID, n.NsPerRun)
+			// Symmetric with the removed-row case below: an experiment the
+			// old snapshot does not pin is a hole in the gate until the
+			// committed snapshot is refreshed to cover it.
+			drift = append(drift, fmt.Sprintf("%s only in new snapshot (refresh the committed baseline)", n.ID))
 			continue
 		}
 		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%s\t%s\t%s\t\n",
 			n.ID, o.NsPerRun, n.NsPerRun, delta(o.NsPerRun, n.NsPerRun),
 			delta(o.MsgsPerRun, n.MsgsPerRun), delta(o.BytesPerRun, n.BytesPerRun))
+		if o.Runs != n.Runs {
+			// Runs is deterministic for fixed -seeds; a change means the
+			// enumerated run set itself moved, which per-run ratios alone
+			// could mask (e.g. every spec duplicated scales both sides).
+			drift = append(drift, fmt.Sprintf("%s runs %d -> %d", n.ID, o.Runs, n.Runs))
+		}
+		if drifted(o.MsgsPerRun, n.MsgsPerRun) {
+			drift = append(drift, fmt.Sprintf("%s msgs/run %.2f -> %.2f", n.ID, o.MsgsPerRun, n.MsgsPerRun))
+		}
+		if drifted(o.BytesPerRun, n.BytesPerRun) {
+			drift = append(drift, fmt.Sprintf("%s bytes/run %.2f -> %.2f", n.ID, o.BytesPerRun, n.BytesPerRun))
+		}
 	}
-	// Coverage losses are as important as slowdowns: surface rows the new
-	// snapshot no longer measures instead of silently dropping them.
+	// Coverage losses are as important as slowdowns — and a vanished
+	// experiment would otherwise be a hole in the drift gate (its
+	// msgs/bytes rows simply absent), so it counts as drift too.
 	for _, o := range oldSnap.Experiments {
 		if !newExp[o.ID] {
 			fmt.Fprintf(tw, "%s\t%.0f\t-\tremoved\t-\t-\t\n", o.ID, o.NsPerRun)
+			drift = append(drift, fmt.Sprintf("%s removed from new snapshot", o.ID))
 		}
 	}
 	if err := tw.Flush(); err != nil {
@@ -266,7 +313,16 @@ func compare(w io.Writer, oldPath, newPath string) error {
 			fmt.Fprintf(tw, "%s\t%.1f\t-\tremoved\t%d\t-\tremoved\t\n", o.Name, o.NsOp, o.AllocsOp)
 		}
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if len(drift) > 0 {
+		// Deterministic runs mean msgs/bytes per run can only move when the
+		// protocols' observable behavior moved — never acceptable inside a
+		// performance compare.
+		return fmt.Errorf("correctness drift (msgs/bytes per run changed): %s", strings.Join(drift, "; "))
+	}
+	return nil
 }
 
 func readSnapshot(path string) (*snapshot, error) {

@@ -47,8 +47,15 @@ func TestCompareSnapshots(t *testing.T) {
 		}
 	}
 	var sb strings.Builder
-	if err := compare(&sb, oldPath, newPath); err != nil {
-		t.Fatal(err)
+	// The old snapshot's E5 is missing from the new one: a coverage loss is
+	// a hole in the drift gate, so compare must both render the "removed"
+	// row and return the drift error.
+	err := compare(&sb, oldPath, newPath)
+	if err == nil {
+		t.Fatal("removed experiment accepted as drift-free")
+	}
+	if !strings.Contains(err.Error(), "E5 removed") {
+		t.Fatalf("drift error %q does not name the removed experiment", err)
 	}
 	out := sb.String()
 	for _, want := range []string{
@@ -65,9 +72,10 @@ func TestCompareSnapshots(t *testing.T) {
 	if strings.Contains(out, "-60.0% REGRESSION") {
 		t.Error("improvement flagged as regression")
 	}
-	// The CLI entry point accepts the flag form.
-	if err := run([]string{"-compare", oldPath, newPath}); err != nil {
-		t.Fatal(err)
+	// The CLI entry point accepts the flag form (and surfaces the same
+	// removed-experiment drift verdict).
+	if err := run([]string{"-compare", oldPath, newPath}); err == nil {
+		t.Error("CLI compare accepted a removed experiment as drift-free")
 	}
 	if err := run([]string{"-compare", oldPath}); err == nil {
 		t.Error("missing second snapshot accepted")
@@ -79,6 +87,94 @@ func TestCompareSnapshots(t *testing.T) {
 	}
 	if err := run([]string{"-compare", oldPath, bad}); err == nil {
 		t.Error("unknown schema accepted")
+	}
+}
+
+// TestCompareFlagsTrafficDrift pins the correctness contract of -compare:
+// msgs/bytes-per-run deltas are a hard error (non-zero exit), while pure
+// wall-clock regressions remain advisory.
+func TestCompareFlagsTrafficDrift(t *testing.T) {
+	dir := t.TempDir()
+	base := `{"schema":"aabench/v1","go":"go1.24.0","gomaxprocs":1,"parallelism":1,"seeds":2,
+		"experiments":[{"id":"E4","title":"t","wall_ns":10,"runs":2,"ns_per_run":1000,"msgs_per_run":50,"bytes_per_run":800}],
+		"micro":[]}`
+	cases := []struct {
+		name    string
+		newSnap string
+		wantErr string
+	}{
+		{
+			// Slower but byte-identical traffic: advisory only.
+			name: "slowdown-only",
+			newSnap: `{"schema":"aabench/v1","go":"go1.24.0","gomaxprocs":1,"parallelism":1,"seeds":2,
+				"experiments":[{"id":"E4","title":"t","wall_ns":10,"runs":2,"ns_per_run":9000,"msgs_per_run":50,"bytes_per_run":800}],
+				"micro":[]}`,
+		},
+		{
+			name: "msgs-drift",
+			newSnap: `{"schema":"aabench/v1","go":"go1.24.0","gomaxprocs":1,"parallelism":1,"seeds":2,
+				"experiments":[{"id":"E4","title":"t","wall_ns":10,"runs":2,"ns_per_run":1000,"msgs_per_run":51,"bytes_per_run":800}],
+				"micro":[]}`,
+			wantErr: "msgs/run",
+		},
+		{
+			name: "bytes-drift",
+			newSnap: `{"schema":"aabench/v1","go":"go1.24.0","gomaxprocs":1,"parallelism":1,"seeds":2,
+				"experiments":[{"id":"E4","title":"t","wall_ns":10,"runs":2,"ns_per_run":1000,"msgs_per_run":50,"bytes_per_run":0}],
+				"micro":[]}`,
+			wantErr: "bytes/run",
+		},
+		{
+			// An experiment only the new snapshot measures is unpinned until
+			// the committed baseline is refreshed — drift, symmetrically
+			// with removal.
+			name: "new-experiment",
+			newSnap: `{"schema":"aabench/v1","go":"go1.24.0","gomaxprocs":1,"parallelism":1,"seeds":2,
+				"experiments":[{"id":"E4","title":"t","wall_ns":10,"runs":2,"ns_per_run":1000,"msgs_per_run":50,"bytes_per_run":800},
+				               {"id":"E13","title":"t","wall_ns":10,"runs":2,"ns_per_run":1000,"msgs_per_run":50,"bytes_per_run":800}],
+				"micro":[]}`,
+			wantErr: "E13 only in new snapshot",
+		},
+		{
+			// Doubling every spec scales msgs and runs together, leaving the
+			// per-run ratios untouched — the run count itself must be gated.
+			name: "runs-drift",
+			newSnap: `{"schema":"aabench/v1","go":"go1.24.0","gomaxprocs":1,"parallelism":1,"seeds":2,
+				"experiments":[{"id":"E4","title":"t","wall_ns":10,"runs":4,"ns_per_run":1000,"msgs_per_run":50,"bytes_per_run":800}],
+				"micro":[]}`,
+			wantErr: "runs 2 -> 4",
+		},
+	}
+	oldPath := filepath.Join(dir, "old.json")
+	if err := os.WriteFile(oldPath, []byte(base), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			newPath := filepath.Join(dir, c.name+".json")
+			if err := os.WriteFile(newPath, []byte(c.newSnap), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			err := compare(&sb, oldPath, newPath)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("advisory-only delta rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("traffic drift accepted; output:\n%s", sb.String())
+			}
+			if !strings.Contains(err.Error(), "correctness drift") || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("drift error %q does not name the drifted ratio %q", err, c.wantErr)
+			}
+			// The delta tables must still have been rendered before the
+			// verdict, so the operator sees what moved.
+			if !strings.Contains(sb.String(), "E4") {
+				t.Error("compare error suppressed the delta table")
+			}
+		})
 	}
 }
 

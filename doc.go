@@ -46,6 +46,16 @@
 // wire package offers append-style encoders (wire.AppendValue et al.) for
 // buffer-reusing encode.
 //
+// Whole runs recycle too: every engine run executes on a pooled
+// harness.RunContext whose simulator (sim.Network.Reset), protocol
+// parties (core.*.Reset), and reliable-broadcast slabs
+// (rbc.Broadcaster.Reset) are reset in place — provably equivalent to
+// fresh construction, pinned by byte-identical experiment tables with
+// recycling on and off — so a warm worker executes an entire
+// scheduler×seed×n sweep with zero steady-state heap allocations on the
+// reused-report path (testing.AllocsPerRun pins exactly 0 for the crash,
+// trim, and witness protocols).
+//
 // PERF.md records the measured before/after numbers; the BENCH_*.json
 // snapshots at the repo root (written by cmd/aabench -json, refreshed via
 // `make bench`) carry the performance trajectory across PRs.

@@ -31,21 +31,25 @@ const futureRoundSlack = 4096
 // value for every later round. The adaptive guarantee is conditional (see
 // DESIGN.md §Termination modes); experiment E8 maps the boundary.
 type AsyncAA struct {
-	p       Params
-	rounds  map[uint32]map[sim.PartyID]float64
-	inits   map[sim.PartyID]float64
-	frozen  map[sim.PartyID]float64
-	api     sim.API
-	fn      multiset.Func
-	viewBuf []float64 // per-round reception scratch, reused across rounds
-	wireBuf []byte    // wire-encoding scratch; runtimes snapshot on send
-	input   float64
-	v       float64
-	round   uint32 // round currently being collected (1-based)
-	horizon uint32 // last round; 0 means decide immediately
-	started bool   // value rounds have begun (always true in fixed mode)
-	decided bool
-	err     error
+	p      Params
+	rounds map[uint32]map[sim.PartyID]float64
+	inits  map[sim.PartyID]float64
+	frozen map[sim.PartyID]float64
+	// freeBuckets recycles completed rounds' reception maps (cleared, with
+	// their buckets intact), so steady-state round turnover — within a run
+	// and across recycled runs — inserts into warm maps without allocating.
+	freeBuckets []map[sim.PartyID]float64
+	api         sim.API
+	fn          multiset.Func
+	viewBuf     []float64 // per-round reception scratch, reused across rounds
+	wireBuf     []byte    // wire-encoding scratch; runtimes snapshot on send
+	input       float64
+	v           float64
+	round       uint32 // round currently being collected (1-based)
+	horizon     uint32 // last round; 0 means decide immediately
+	started     bool   // value rounds have begun (always true in fixed mode)
+	decided     bool
+	err         error
 }
 
 var (
@@ -57,28 +61,52 @@ var (
 // Protocol ProtoCrash or ProtoByzTrim and pass Validate; input is this
 // party's input value.
 func NewAsyncAA(p Params, input float64) (*AsyncAA, error) {
-	if p.Protocol != ProtoCrash && p.Protocol != ProtoByzTrim {
-		return nil, fmt.Errorf("%w: AsyncAA does not implement %s", ErrBadParams, p.Protocol)
-	}
-	if err := p.Validate(); err != nil {
+	a := &AsyncAA{}
+	if err := a.Reset(p, input); err != nil {
 		return nil, err
 	}
+	return a, nil
+}
+
+// Reset re-initializes the party for a new run, performing exactly the
+// validation NewAsyncAA performs but recycling the reception maps and
+// scratch buffers — the recycled-run-context form of fresh construction.
+// After a same-shape warm-up run it allocates nothing.
+func (a *AsyncAA) Reset(p Params, input float64) error {
+	if p.Protocol != ProtoCrash && p.Protocol != ProtoByzTrim {
+		return fmt.Errorf("%w: AsyncAA does not implement %s", ErrBadParams, p.Protocol)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
 	if !isUsable(input) {
-		return nil, fmt.Errorf("%w: non-finite input %v", ErrBadParams, input)
+		return fmt.Errorf("%w: non-finite input %v", ErrBadParams, input)
 	}
 	if !p.Adaptive && (input < p.Lo || input > p.Hi) {
-		return nil, fmt.Errorf("%w: input %v outside promised range [%v, %v]",
+		return fmt.Errorf("%w: input %v outside promised range [%v, %v]",
 			ErrBadParams, input, p.Lo, p.Hi)
 	}
-	return &AsyncAA{
-		p:      p,
-		fn:     p.fn(),
-		input:  input,
-		v:      input,
-		rounds: make(map[uint32]map[sim.PartyID]float64),
-		inits:  make(map[sim.PartyID]float64),
-		frozen: make(map[sim.PartyID]float64),
-	}, nil
+	a.p = p
+	a.fn = p.fn()
+	a.input, a.v = input, input
+	a.api = nil
+	a.round, a.horizon = 0, 0
+	a.started, a.decided = false, false
+	a.err = nil
+	if a.rounds == nil {
+		a.rounds = make(map[uint32]map[sim.PartyID]float64)
+		a.inits = make(map[sim.PartyID]float64)
+		a.frozen = make(map[sim.PartyID]float64)
+		return nil
+	}
+	for r, bucket := range a.rounds {
+		clear(bucket)
+		a.freeBuckets = append(a.freeBuckets, bucket)
+		delete(a.rounds, r)
+	}
+	clear(a.inits)
+	clear(a.frozen)
+	return nil
 }
 
 // Init implements sim.Process.
@@ -178,11 +206,15 @@ func (a *AsyncAA) onInit(from sim.PartyID, v float64) {
 	a.extendHorizon(uint32(a.p.adaptiveRounds(a.initSpread())))
 }
 
+// initSpread computes the spread of the INIT values seen so far, staging
+// them in the view scratch (free here: views are only assembled later, in
+// advance, which never runs concurrently with an onInit callback).
 func (a *AsyncAA) initSpread() float64 {
-	vals := make([]float64, 0, len(a.inits))
+	vals := a.viewBuf[:0]
 	for _, v := range a.inits {
 		vals = append(vals, v)
 	}
+	a.viewBuf = vals[:0]
 	return multiset.Spread(vals)
 }
 
@@ -202,7 +234,13 @@ func (a *AsyncAA) onValue(from sim.PartyID, m wire.Value) {
 	}
 	bucket, ok := a.rounds[m.Round]
 	if !ok {
-		bucket = make(map[sim.PartyID]float64, a.p.N)
+		if k := len(a.freeBuckets); k > 0 {
+			bucket = a.freeBuckets[k-1]
+			a.freeBuckets[k-1] = nil
+			a.freeBuckets = a.freeBuckets[:k-1]
+		} else {
+			bucket = make(map[sim.PartyID]float64, a.p.N)
+		}
 		a.rounds[m.Round] = bucket
 	}
 	if _, dup := bucket[from]; dup {
@@ -228,7 +266,11 @@ func (a *AsyncAA) advance() {
 			return
 		}
 		a.v = next
-		delete(a.rounds, a.round)
+		if bucket, ok := a.rounds[a.round]; ok {
+			clear(bucket)
+			a.freeBuckets = append(a.freeBuckets, bucket)
+			delete(a.rounds, a.round)
+		}
 		a.round++
 		if a.round > a.horizon {
 			a.decide()

@@ -21,17 +21,19 @@ import (
 // fewer arrivals than the function's minimum is recorded as an Err and the
 // party stalls, which the simulator reports as lost liveness).
 type SyncAA struct {
-	p       Params
-	api     sim.API
-	fn      multiset.Func
-	rounds  map[uint32]map[sim.PartyID]float64
-	viewBuf []float64 // per-round reception scratch, reused across rounds
-	wireBuf []byte    // wire-encoding scratch; runtimes snapshot on send
-	v       float64
-	round   uint32
-	horizon uint32
-	decided bool
-	err     error
+	p      Params
+	api    sim.API
+	fn     multiset.Func
+	rounds map[uint32]map[sim.PartyID]float64
+	// freeBuckets recycles completed rounds' reception maps, as in AsyncAA.
+	freeBuckets []map[sim.PartyID]float64
+	viewBuf     []float64 // per-round reception scratch, reused across rounds
+	wireBuf     []byte    // wire-encoding scratch; runtimes snapshot on send
+	v           float64
+	round       uint32
+	horizon     uint32
+	decided     bool
+	err         error
 }
 
 var (
@@ -42,25 +44,46 @@ var (
 
 // NewSyncAA builds a party of the synchronous baseline.
 func NewSyncAA(p Params, input float64) (*SyncAA, error) {
-	if p.Protocol != ProtoSync {
-		return nil, fmt.Errorf("%w: SyncAA requires ProtoSync, got %s", ErrBadParams, p.Protocol)
-	}
-	if err := p.Validate(); err != nil {
+	s := &SyncAA{}
+	if err := s.Reset(p, input); err != nil {
 		return nil, err
 	}
+	return s, nil
+}
+
+// Reset re-initializes the party for a new run with NewSyncAA's validation,
+// recycling the reception maps and scratch buffers (see AsyncAA.Reset).
+func (s *SyncAA) Reset(p Params, input float64) error {
+	if p.Protocol != ProtoSync {
+		return fmt.Errorf("%w: SyncAA requires ProtoSync, got %s", ErrBadParams, p.Protocol)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
 	if !isUsable(input) {
-		return nil, fmt.Errorf("%w: non-finite input %v", ErrBadParams, input)
+		return fmt.Errorf("%w: non-finite input %v", ErrBadParams, input)
 	}
 	if input < p.Lo || input > p.Hi {
-		return nil, fmt.Errorf("%w: input %v outside promised range [%v, %v]",
+		return fmt.Errorf("%w: input %v outside promised range [%v, %v]",
 			ErrBadParams, input, p.Lo, p.Hi)
 	}
-	return &SyncAA{
-		p:      p,
-		fn:     p.fn(),
-		v:      input,
-		rounds: make(map[uint32]map[sim.PartyID]float64),
-	}, nil
+	s.p = p
+	s.fn = p.fn()
+	s.v = input
+	s.api = nil
+	s.round, s.horizon = 0, 0
+	s.decided = false
+	s.err = nil
+	if s.rounds == nil {
+		s.rounds = make(map[uint32]map[sim.PartyID]float64)
+		return nil
+	}
+	for r, bucket := range s.rounds {
+		clear(bucket)
+		s.freeBuckets = append(s.freeBuckets, bucket)
+		delete(s.rounds, r)
+	}
+	return nil
 }
 
 // Init implements sim.Process.
@@ -108,7 +131,13 @@ func (s *SyncAA) Deliver(from sim.PartyID, data []byte) {
 	}
 	bucket, ok := s.rounds[m.Round]
 	if !ok {
-		bucket = make(map[sim.PartyID]float64, s.p.N)
+		if k := len(s.freeBuckets); k > 0 {
+			bucket = s.freeBuckets[k-1]
+			s.freeBuckets[k-1] = nil
+			s.freeBuckets = s.freeBuckets[:k-1]
+		} else {
+			bucket = make(map[sim.PartyID]float64, s.p.N)
+		}
 		s.rounds[m.Round] = bucket
 	}
 	if _, dup := bucket[from]; !dup {
@@ -126,7 +155,11 @@ func (s *SyncAA) OnTimer(tag uint64) {
 		view = append(view, v)
 	}
 	s.viewBuf = view
-	delete(s.rounds, s.round)
+	if bucket, ok := s.rounds[s.round]; ok {
+		clear(bucket)
+		s.freeBuckets = append(s.freeBuckets, bucket)
+		delete(s.rounds, s.round)
+	}
 	if len(view) < s.fn.MinInputs() {
 		s.err = fmt.Errorf("core: sync round %d: %d arrivals, below %s minimum %d (synchrony assumption violated)",
 			s.round, len(view), s.fn.Name(), s.fn.MinInputs())

@@ -51,6 +51,12 @@ type WitnessAA struct {
 	sendersBuf []uint16  // origins listed in this party's own report
 	repScratch []uint16  // decode-into scratch for incoming reports
 	wireBuf    []byte    // wire-encoding scratch for report multicasts
+	// mcast caches the api.Multicast bound-method value: taking it afresh
+	// every Init would allocate a closure per party per run. Rebuilt only
+	// when the API identity changes (mcastAPI), which a recycled context
+	// never does — its party i always gets the same simulator record.
+	mcast    func(data []byte)
+	mcastAPI sim.API
 	v          float64
 	round      uint32
 	horizon    uint32
@@ -87,39 +93,95 @@ var (
 // supported: the witness protocol derives its common round count from the
 // public range, which is what makes its guarantees unconditional.
 func NewWitnessAA(p Params, input float64) (*WitnessAA, error) {
-	if p.Protocol != ProtoWitness {
-		return nil, fmt.Errorf("%w: WitnessAA requires ProtoWitness, got %s", ErrBadParams, p.Protocol)
-	}
-	if p.Adaptive {
-		return nil, fmt.Errorf("%w: witness protocol is fixed-range only", ErrBadParams)
-	}
-	if err := p.Validate(); err != nil {
+	w := &WitnessAA{}
+	if err := w.Reset(p, input); err != nil {
 		return nil, err
 	}
-	if !isUsable(input) {
-		return nil, fmt.Errorf("%w: non-finite input %v", ErrBadParams, input)
-	}
-	if input < p.Lo || input > p.Hi {
-		return nil, fmt.Errorf("%w: input %v outside promised range [%v, %v]",
-			ErrBadParams, input, p.Lo, p.Hi)
-	}
-	return &WitnessAA{
-		p:     p,
-		fn:    p.fn(),
-		v:     input,
-		words: (p.N + 63) / 64,
-	}, nil
+	return w, nil
 }
 
-// Init implements sim.Process.
+// Reset re-initializes the party for a new run with NewWitnessAA's
+// validation, recycling the round ring, the dense per-round arrays, the
+// broadcaster (rbc slabs included), and every scratch buffer. A shape
+// change (different N) drops the shape-bound pools; a same-shape reuse
+// allocates nothing after warm-up.
+func (w *WitnessAA) Reset(p Params, input float64) error {
+	if p.Protocol != ProtoWitness {
+		return fmt.Errorf("%w: WitnessAA requires ProtoWitness, got %s", ErrBadParams, p.Protocol)
+	}
+	if p.Adaptive {
+		return fmt.Errorf("%w: witness protocol is fixed-range only", ErrBadParams)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if !isUsable(input) {
+		return fmt.Errorf("%w: non-finite input %v", ErrBadParams, input)
+	}
+	if input < p.Lo || input > p.Hi {
+		return fmt.Errorf("%w: input %v outside promised range [%v, %v]",
+			ErrBadParams, input, p.Lo, p.Hi)
+	}
+	sameShape := p.N == w.p.N
+	for i := range w.rounds {
+		if a := w.rounds[i].arr; a != nil {
+			if sameShape {
+				w.recycleArrays(a)
+			}
+			w.rounds[i].arr = nil
+		}
+	}
+	w.rounds = w.rounds[:0]
+	if !sameShape {
+		clear(w.freeArr)
+		w.freeArr = w.freeArr[:0]
+	}
+	w.p = p
+	w.fn = p.fn()
+	w.v = input
+	w.words = (p.N + 63) / 64
+	w.api = nil
+	w.round, w.horizon = 0, 0
+	w.decided = false
+	w.err = nil
+	return nil
+}
+
+// recycleArrays zeroes a round's bitsets and counters and pushes the
+// arrays onto the free ring — the single definition of "clean" shared by
+// mid-run cleanup and cross-run Reset.
+func (w *WitnessAA) recycleArrays(a *witArrays) {
+	for i := range a.have {
+		a.have[i] = 0
+		a.sat[i] = 0
+		a.pendActive[i] = 0
+	}
+	a.haveCnt = 0
+	a.satCnt = 0
+	w.freeArr = append(w.freeArr, a)
+}
+
+// Init implements sim.Process. All per-run structures are
+// reused-or-allocated: a recycled party re-enters Init with warm buffers
+// (and a resettable broadcaster) and takes the same code path a fresh one
+// does, just without the allocations.
 func (w *WitnessAA) Init(api sim.API) {
 	w.api = api
-	b, err := rbc.New(w.p.N, w.p.T, uint16(api.ID()), api.Multicast)
-	if err != nil {
+	if w.mcast == nil || w.mcastAPI != api {
+		w.mcast = api.Multicast
+		w.mcastAPI = api
+	}
+	if w.bcast == nil {
+		b, err := rbc.New(w.p.N, w.p.T, uint16(api.ID()), w.mcast)
+		if err != nil {
+			w.err = err
+			return
+		}
+		w.bcast = b
+	} else if err := w.bcast.Reset(w.p.N, w.p.T, uint16(api.ID()), w.mcast); err != nil {
 		w.err = err
 		return
 	}
-	w.bcast = b
 	r, err := w.p.FixedRounds()
 	if err != nil {
 		w.err = err
@@ -131,11 +193,26 @@ func (w *WitnessAA) Init(api sim.API) {
 		api.Decide(w.v)
 		return
 	}
-	b.SetMaxRound(w.horizon)
-	w.rounds = make([]witRound, w.horizon+1)
-	w.maskBuf = make([]uint64, w.words)
-	w.viewBuf = make([]float64, 0, w.p.N)
-	w.sendersBuf = make([]uint16, 0, w.p.N)
+	w.bcast.SetMaxRound(w.horizon)
+	if need := int(w.horizon) + 1; cap(w.rounds) >= need {
+		w.rounds = w.rounds[:need]
+		for i := range w.rounds {
+			w.rounds[i] = witRound{}
+		}
+	} else {
+		w.rounds = make([]witRound, need)
+	}
+	if cap(w.maskBuf) >= w.words {
+		w.maskBuf = w.maskBuf[:w.words]
+	} else {
+		w.maskBuf = make([]uint64, w.words)
+	}
+	if w.viewBuf == nil {
+		w.viewBuf = make([]float64, 0, w.p.N)
+	}
+	if w.sendersBuf == nil {
+		w.sendersBuf = make([]uint16, 0, w.p.N)
+	}
 	w.round = 1
 	w.bcast.Broadcast(w.round, w.v)
 }
@@ -331,15 +408,8 @@ func (w *WitnessAA) maybeAdvance() {
 // RBC arena slab for the round.
 func (w *WitnessAA) cleanup(round uint32) {
 	if a := w.rounds[round].arr; a != nil {
-		for i := range a.have {
-			a.have[i] = 0
-			a.sat[i] = 0
-			a.pendActive[i] = 0
-		}
-		a.haveCnt = 0
-		a.satCnt = 0
+		w.recycleArrays(a)
 		w.rounds[round].arr = nil
-		w.freeArr = append(w.freeArr, a)
 	}
 	w.bcast.ReleaseRound(round)
 }

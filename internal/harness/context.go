@@ -1,0 +1,250 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// This file is the run-context recycling layer: the structural answer to
+// the last allocation cost the hot-path PRs left standing, the per-*run*
+// construction of a fresh simulator (calendar wheel, event arena, payload
+// blocks), fresh protocol parties, and fresh RBC slabs for every one of
+// the hundreds of engine runs behind each experiment table.
+//
+// A RunContext owns one resettable copy of all of that. Run(spec) resets
+// the pieces the spec needs (sim.Network.Reset, the party Resets, and —
+// through WitnessAA.Init — rbc.Broadcaster.Reset) and executes; after a
+// one-run warm-up of a given shape, a context executes an entire
+// scheduler×seed sweep with zero steady-state heap allocations on the
+// reused-report path (pinned by TestRunReusedAllocs).
+//
+// Equivalence argument. A run must remain a pure function of its Spec, so
+// Reset must be indistinguishable from fresh construction. Every Reset in
+// the stack re-derives all run-visible state from its arguments (reseeded
+// rand sources produce identical streams; cleared maps and re-zeroed
+// bitsets are observably empty; recycled slabs are re-zeroed before
+// reuse) — the same deferred-quiescent style of argument PR 2 used for
+// rbc.ReleaseRound. TestRunContextReuseByteIdentical pins it end to end:
+// every experiment table renders byte-identically with recycling on and
+// off, at engine parallelism 1 and 8.
+
+// noRecycling, when set, makes the package-level Run build a fresh
+// RunContext per run instead of drawing from the pool — the
+// fresh-construction baseline the equivalence tests compare against.
+var noRecycling atomic.Bool
+
+// SetStateRecycling toggles run-context recycling for the package-level
+// Run (and therefore RunAll and every experiment driver). It is on by
+// default; the byte-identity tests switch it off to regenerate tables with
+// per-run fresh construction.
+func SetStateRecycling(on bool) { noRecycling.Store(!on) }
+
+// StateRecycling reports whether run-context recycling is enabled.
+func StateRecycling() bool { return !noRecycling.Load() }
+
+// ctxPool recycles run contexts across runs and across the engine's worker
+// goroutines. sync.Pool's per-P caching gives each pool worker an
+// effectively private context without explicit worker slots, and lets the
+// GC drop contexts (with their arenas) under memory pressure.
+var ctxPool = sync.Pool{New: func() any { return NewRunContext() }}
+
+func acquireContext() *RunContext {
+	if noRecycling.Load() {
+		return NewRunContext()
+	}
+	return ctxPool.Get().(*RunContext)
+}
+
+func releaseContext(c *RunContext) {
+	if !noRecycling.Load() {
+		ctxPool.Put(c)
+	}
+}
+
+// RunContext is a reusable execution context: a resettable simulator, a
+// pool of resettable protocol parties per protocol family, and reusable
+// report/result/estimator storage. A context is single-threaded; the
+// engine recycles one per worker via the package pool. The zero value is
+// not ready; use NewRunContext.
+type RunContext struct {
+	net    *sim.Network
+	asyncs []*core.AsyncAA
+	wits   []*core.WitnessAA
+	syncs  []*core.SyncAA
+	// est collects the estimator-capable honest parties of the current
+	// run, for trajectory sampling (diameter only — identity irrelevant).
+	est []sim.Estimator
+	byz map[sim.PartyID]sim.Process
+
+	// rep and res back the reused-report Run path; they are handed to the
+	// caller and remain valid until the next Run on this context.
+	rep Report
+	res sim.Result
+}
+
+// NewRunContext builds an empty context. Its pools warm up lazily: the
+// first run of a given shape allocates, later same-shape runs do not.
+func NewRunContext() *RunContext { return &RunContext{} }
+
+// Run executes a spec on the context and returns the context-owned report,
+// which is valid until the next Run call on the same context. This is the
+// zero-steady-state-allocation form; callers that retain reports across
+// runs (the engine's RunAll) use the package-level Run instead.
+func (c *RunContext) Run(spec Spec) (*Report, error) {
+	c.rep.Result = &c.res
+	if err := c.run(spec, &c.rep); err != nil {
+		return nil, err
+	}
+	return &c.rep, nil
+}
+
+// party returns the context's recycled party i for the spec's protocol,
+// reset for a new run. Errors are exactly those of the New* constructors.
+func (c *RunContext) party(p core.Params, i int, input float64) (sim.Process, error) {
+	switch p.Protocol {
+	case core.ProtoCrash, core.ProtoByzTrim:
+		for len(c.asyncs) <= i {
+			c.asyncs = append(c.asyncs, new(core.AsyncAA))
+		}
+		if err := c.asyncs[i].Reset(p, input); err != nil {
+			return nil, err
+		}
+		return c.asyncs[i], nil
+	case core.ProtoWitness:
+		for len(c.wits) <= i {
+			c.wits = append(c.wits, new(core.WitnessAA))
+		}
+		if err := c.wits[i].Reset(p, input); err != nil {
+			return nil, err
+		}
+		return c.wits[i], nil
+	case core.ProtoSync:
+		for len(c.syncs) <= i {
+			c.syncs = append(c.syncs, new(core.SyncAA))
+		}
+		if err := c.syncs[i].Reset(p, input); err != nil {
+			return nil, err
+		}
+		return c.syncs[i], nil
+	default:
+		return nil, fmt.Errorf("harness: unknown protocol %v", p.Protocol)
+	}
+}
+
+// run executes spec into rep, recycling the context's simulator and party
+// state. rep's storage (Result maps, ProtoErrs, Trajectory) is reused when
+// already allocated and (re)allocated when not, so the same body serves
+// both the reused-report and the fresh-report path.
+func (c *RunContext) run(spec Spec, rep *Report) error {
+	p := spec.Params
+	if len(spec.Inputs) != p.N {
+		return fmt.Errorf("harness: %d inputs for %d parties", len(spec.Inputs), p.N)
+	}
+	if !spec.allowOverfault && len(spec.Crashes)+len(spec.Byz) > p.T {
+		return errTooManyFaults
+	}
+	env, err := behaviorEnv(p)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{
+		N:         p.N,
+		Scheduler: spec.Scheduler.Scheduler,
+		Seed:      spec.Seed,
+		Crashes:   spec.Crashes,
+		MaxEvents: spec.MaxEvents,
+		Core:      EventCore(),
+	}
+	if len(spec.Byz) > 0 {
+		if c.byz == nil {
+			c.byz = make(map[sim.PartyID]sim.Process, len(spec.Byz))
+		} else {
+			clear(c.byz)
+		}
+		for id, b := range spec.Byz {
+			c.byz[id] = b.New(env)
+		}
+		cfg.Byzantine = c.byz
+	} else if len(c.byz) > 0 {
+		// Drop a previous Byzantine run's process references on the first
+		// later run, whatever its outcome: a pooled context may serve
+		// thousands of fault-free runs next, and the map would otherwise
+		// pin the whole process graph throughout (this start-of-run clear
+		// also covers error returns, which skip any end-of-run cleanup).
+		clear(c.byz)
+	}
+	if c.net == nil {
+		net, err := sim.New(cfg)
+		if err != nil {
+			return err
+		}
+		c.net = net
+	} else if err := c.net.Reset(cfg); err != nil {
+		return err
+	}
+	net := c.net
+	c.est = c.est[:0]
+	for i := 0; i < p.N; i++ {
+		id := sim.PartyID(i)
+		if _, isByz := spec.Byz[id]; isByz {
+			continue
+		}
+		proc, err := c.party(p, i, spec.Inputs[i])
+		if err != nil {
+			return fmt.Errorf("harness: party %d: %w", i, err)
+		}
+		if err := net.SetProcess(id, proc); err != nil {
+			return err
+		}
+		if est, ok := proc.(sim.Estimator); ok && !isCrashPlanned(spec.Crashes, id) {
+			c.est = append(c.est, est)
+		}
+	}
+	rep.ProtoErrs = rep.ProtoErrs[:0]
+	rep.Trajectory = rep.Trajectory[:0]
+	if spec.RecordTrajectory || spec.Observer != nil {
+		last := math.Inf(1)
+		trace, traj := spec.Observer, spec.RecordTrajectory
+		est := c.est
+		net.SetObserver(func(now sim.Time, env sim.Envelope) {
+			if trace != nil {
+				trace(now, env)
+			}
+			if !traj {
+				return
+			}
+			d, ok := honestDiameter(est)
+			if !ok {
+				return
+			}
+			if d != last {
+				rep.Trajectory = append(rep.Trajectory, TrajPoint{Time: now, Diameter: d})
+				last = d
+			}
+		})
+	}
+	rep.RunErr = net.RunInto(rep.Result)
+	// Detach the observer closure immediately: left in place it would pin
+	// the (possibly caller-retained) report, the trajectory, and the
+	// user's trace callback from an idle pooled context.
+	if spec.RecordTrajectory || spec.Observer != nil {
+		net.SetObserver(nil)
+	}
+	for i := 0; i < p.N; i++ {
+		id := sim.PartyID(i)
+		if ef, ok := net.Party(id).(interface{ Err() error }); ok {
+			if _, isByz := spec.Byz[id]; !isByz {
+				if perr := ef.Err(); perr != nil {
+					rep.ProtoErrs = append(rep.ProtoErrs, fmt.Errorf("party %d: %w", i, perr))
+				}
+			}
+		}
+	}
+	rep.check(spec)
+	return nil
+}

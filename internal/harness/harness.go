@@ -25,7 +25,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
-	"repro/internal/multiset"
 	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -129,93 +128,25 @@ func SpecFrom(p core.Params, inputs []float64, scen scenario.Spec, seed int64) (
 	}, nil
 }
 
-// Run executes a spec and checks the invariants.
+// Run executes a spec and checks the invariants. It draws a recycled run
+// context from the package pool (see context.go), so the simulator wheel,
+// protocol party state, and RBC slabs of earlier runs are reused rather
+// than rebuilt; the returned Report is freshly allocated and safe to
+// retain. SetStateRecycling(false) switches to per-run fresh construction.
 func Run(spec Spec) (*Report, error) {
-	p := spec.Params
-	if len(spec.Inputs) != p.N {
-		return nil, fmt.Errorf("harness: %d inputs for %d parties", len(spec.Inputs), p.N)
-	}
-	if !spec.allowOverfault && len(spec.Crashes)+len(spec.Byz) > p.T {
-		return nil, errTooManyFaults
-	}
-	env, err := behaviorEnv(p)
-	if err != nil {
+	c := acquireContext()
+	defer releaseContext(c)
+	rep := &Report{Result: &sim.Result{}}
+	if err := c.run(spec, rep); err != nil {
 		return nil, err
 	}
-	cfg := sim.Config{
-		N:         p.N,
-		Scheduler: spec.Scheduler.Scheduler,
-		Seed:      spec.Seed,
-		Crashes:   spec.Crashes,
-		MaxEvents: spec.MaxEvents,
-		Core:      EventCore(),
-	}
-	if len(spec.Byz) > 0 {
-		cfg.Byzantine = make(map[sim.PartyID]sim.Process, len(spec.Byz))
-		for id, b := range spec.Byz {
-			cfg.Byzantine[id] = b.New(env)
-		}
-	}
-	net, err := sim.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	estimators := make(map[sim.PartyID]sim.Estimator, p.N)
-	for i := 0; i < p.N; i++ {
-		id := sim.PartyID(i)
-		if _, isByz := spec.Byz[id]; isByz {
-			continue
-		}
-		proc, err := newParty(p, spec.Inputs[i])
-		if err != nil {
-			return nil, fmt.Errorf("harness: party %d: %w", i, err)
-		}
-		if err := net.SetProcess(id, proc); err != nil {
-			return nil, err
-		}
-		if est, ok := proc.(sim.Estimator); ok && !isCrashPlanned(spec.Crashes, id) {
-			estimators[id] = est
-		}
-	}
-	rep := &Report{}
-	if spec.RecordTrajectory || spec.Observer != nil {
-		last := math.Inf(1)
-		trace, traj := spec.Observer, spec.RecordTrajectory
-		net.SetObserver(func(now sim.Time, env sim.Envelope) {
-			if trace != nil {
-				trace(now, env)
-			}
-			if !traj {
-				return
-			}
-			d, ok := honestDiameter(estimators)
-			if !ok {
-				return
-			}
-			if d != last {
-				rep.Trajectory = append(rep.Trajectory, TrajPoint{Time: now, Diameter: d})
-				last = d
-			}
-		})
-	}
-	res, runErr := net.Run()
-	rep.Result = res
-	rep.RunErr = runErr
-	for i := 0; i < p.N; i++ {
-		id := sim.PartyID(i)
-		if ef, ok := net.Party(id).(interface{ Err() error }); ok {
-			if _, isByz := spec.Byz[id]; !isByz {
-				if perr := ef.Err(); perr != nil {
-					rep.ProtoErrs = append(rep.ProtoErrs, fmt.Errorf("party %d: %w", i, perr))
-				}
-			}
-		}
-	}
-	rep.check(spec)
 	return rep, nil
 }
 
-// check fills the invariant verdicts.
+// check fills the invariant verdicts. It is allocation-free: the spreads
+// are single min/max passes (matching multiset.Spread and the sorted-
+// decisions diameter exactly), part of the recycled hot path's zero-alloc
+// steady-state budget.
 func (r *Report) check(spec Spec) {
 	p := spec.Params
 	// Validity hull: inputs of every non-Byzantine party. Crashed parties
@@ -229,11 +160,24 @@ func (r *Report) check(spec Spec) {
 		r.HullLo = math.Min(r.HullLo, v)
 		r.HullHi = math.Max(r.HullHi, v)
 	}
-	var honestInputs []float64
-	for _, id := range r.Result.Honest {
-		honestInputs = append(honestInputs, spec.Inputs[id])
+	r.InitialSpread = 0
+	var inLo, inHi float64
+	for k, id := range r.Result.Honest {
+		v := spec.Inputs[id]
+		if k == 0 {
+			inLo, inHi = v, v
+		} else {
+			if v < inLo {
+				inLo = v
+			}
+			if v > inHi {
+				inHi = v
+			}
+		}
 	}
-	r.InitialSpread = multiset.Spread(honestInputs)
+	if len(r.Result.Honest) > 0 {
+		r.InitialSpread = inHi - inLo
+	}
 	r.FinalSpread = r.Result.HonestSpread()
 
 	tol := 1e-9 * math.Max(1, math.Max(math.Abs(r.HullLo), math.Abs(r.HullHi)))
@@ -249,20 +193,6 @@ func (r *Report) check(spec Spec) {
 		}
 	}
 	r.AgreementOK = r.FinalSpread <= p.Eps+tol
-}
-
-// newParty instantiates the right protocol for the params.
-func newParty(p core.Params, input float64) (sim.Process, error) {
-	switch p.Protocol {
-	case core.ProtoCrash, core.ProtoByzTrim:
-		return core.NewAsyncAA(p, input)
-	case core.ProtoWitness:
-		return core.NewWitnessAA(p, input)
-	case core.ProtoSync:
-		return core.NewSyncAA(p, input)
-	default:
-		return nil, fmt.Errorf("harness: unknown protocol %v", p.Protocol)
-	}
 }
 
 // behaviorEnv derives what Byzantine behaviors are told about the run.
@@ -292,7 +222,7 @@ func isCrashPlanned(crashes []sim.CrashPlan, id sim.PartyID) bool {
 }
 
 // honestDiameter computes the diameter of the current estimates.
-func honestDiameter(est map[sim.PartyID]sim.Estimator) (float64, bool) {
+func honestDiameter(est []sim.Estimator) (float64, bool) {
 	lo, hi := math.Inf(1), math.Inf(-1)
 	any := false
 	for _, e := range est {

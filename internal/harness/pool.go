@@ -21,6 +21,13 @@ import (
 // indices from an atomic counter, write results into a preallocated slot
 // per index, and all aggregation happens after the barrier in index order —
 // so scheduling nondeterminism can never reach an experiment table.
+//
+// Each run executes on a recycled RunContext (context.go) drawn from a
+// sync.Pool, whose per-P caching effectively gives every worker goroutine
+// its own warm context: the simulator wheel, party state, and RBC slabs
+// are reset — provably equivalent to fresh construction — instead of
+// rebuilt, which removes the per-run allocation load (and the cross-worker
+// GC pressure that used to scale with Parallelism()).
 
 // parallelism overrides the worker count; 0 means runtime.GOMAXPROCS(0).
 // It is read atomically because experiments may run while a test flips it.
@@ -59,7 +66,8 @@ func EventCore() sim.EventCore { return sim.EventCore(eventCore.Load()) }
 
 // EngineStats aggregates run-level accounting across every engine-executed
 // simulation since the last reset. cmd/aabench snapshots it around each
-// experiment to report msgs/run in the BENCH_*.json trajectory.
+// experiment to report msgs/run and allocs/run in the BENCH_*.json
+// trajectory.
 type EngineStats struct {
 	// Runs counts completed simulation runs.
 	Runs int64
@@ -68,16 +76,33 @@ type EngineStats struct {
 	MessagesSent      int64
 	MessagesDelivered int64
 	BytesSent         int64
+	// Mallocs is the process-wide heap-allocation count since the last
+	// ResetEngineStats (runtime.MemStats.Mallocs delta). Divided by Runs it
+	// tracks the run-context recycling contract: a warm sweep should sit
+	// near zero allocations per run. It is process-wide, so concurrent
+	// non-engine work (or the table renderer) inflates it slightly.
+	Mallocs int64
 }
 
 var engineRuns, engineMsgsSent, engineMsgsDelivered, engineBytes atomic.Int64
 
-// ResetEngineStats zeroes the cumulative engine counters.
+// engineMallocsBase is the MemStats.Mallocs baseline captured at reset.
+var engineMallocsBase atomic.Uint64
+
+func readMallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// ResetEngineStats zeroes the cumulative engine counters and re-baselines
+// the allocation counter.
 func ResetEngineStats() {
 	engineRuns.Store(0)
 	engineMsgsSent.Store(0)
 	engineMsgsDelivered.Store(0)
 	engineBytes.Store(0)
+	engineMallocsBase.Store(readMallocs())
 }
 
 // SnapshotEngineStats reads the cumulative engine counters.
@@ -87,6 +112,7 @@ func SnapshotEngineStats() EngineStats {
 		MessagesSent:      engineMsgsSent.Load(),
 		MessagesDelivered: engineMsgsDelivered.Load(),
 		BytesSent:         engineBytes.Load(),
+		Mallocs:           int64(readMallocs() - engineMallocsBase.Load()),
 	}
 }
 

@@ -1,0 +1,199 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// This file pins the run-context recycling contract from two sides:
+//
+//   - Equivalence: every experiment table renders byte-identically whether
+//     runs execute on recycled contexts or on per-run fresh construction,
+//     at engine parallelism 1 and 8. Together with the determinism tests
+//     this proves Reset is observably equivalent to New across the whole
+//     stack (simulator, protocols, RBC).
+//   - Economy: a warm context executes full protocol runs with zero
+//     steady-state heap allocations on the reused-report path.
+
+// renderRecycled renders the listed experiments (plus a reduced E12) with
+// the given recycling setting and worker count.
+func renderRecycled(t *testing.T, recycle bool, workers int) map[string]string {
+	t.Helper()
+	SetStateRecycling(recycle)
+	SetParallelism(workers)
+	defer SetStateRecycling(true)
+	defer SetParallelism(0)
+	out := make(map[string]string)
+	for _, exp := range Experiments(1) {
+		run := exp.Run
+		if exp.ID == "E12" {
+			// The full E12 sweep exists to measure large n, not to gate it;
+			// the reduced sizes exercise the same driver and aggregation.
+			run = func() (*trace.Table, error) { return E12LargeNSizes([]int{16, 32}) }
+		}
+		tbl, err := run()
+		if err != nil {
+			t.Fatalf("%s (recycle=%v, workers=%d): %v", exp.ID, recycle, workers, err)
+		}
+		var sb strings.Builder
+		if err := tbl.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		out[exp.ID] = sb.String()
+	}
+	return out
+}
+
+// TestRunContextReuseByteIdentical regenerates the full E1–E12 table set
+// with run-context recycling on and off, at one worker and at eight, and
+// asserts byte-identical renderings. Any state leaking across a Reset —
+// in the simulator, a protocol party, or an RBC slab — would perturb some
+// run's delivery schedule or decision and surface as a table diff.
+func TestRunContextReuseByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders every experiment table four times; run without -short")
+	}
+	want := renderRecycled(t, false, 1) // fresh construction, sequential: the reference
+	for _, cfg := range []struct {
+		recycle bool
+		workers int
+	}{
+		{true, 1},
+		{true, 8},
+		{false, 8},
+	} {
+		got := renderRecycled(t, cfg.recycle, cfg.workers)
+		for id, ref := range want {
+			if got[id] != ref {
+				t.Errorf("%s diverges (recycle=%v, workers=%d):\n--- reference ---\n%s\n--- got ---\n%s",
+					id, cfg.recycle, cfg.workers, ref, got[id])
+			}
+		}
+	}
+}
+
+// TestRunContextReuseByteIdenticalLargeN is the large-n arm of the
+// equivalence pin: the reduced sizes above never engage the calendar
+// queue's overflow migration, multi-block payload turnover, or the
+// party-pool shrink path the way n ≥ 64 message volumes do, so one
+// render of the E12 driver at n ∈ {64, 128} (mixed shapes force contexts
+// to grow and shrink mid-sweep) is compared recycled-vs-fresh at the
+// full worker count.
+func TestRunContextReuseByteIdenticalLargeN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders a large-n E12 sweep twice; run without -short")
+	}
+	render := func(recycle bool) string {
+		SetStateRecycling(recycle)
+		defer SetStateRecycling(true)
+		tbl, err := E12LargeNSizes([]int{64, 128})
+		if err != nil {
+			t.Fatalf("E12 large-n (recycle=%v): %v", recycle, err)
+		}
+		var sb strings.Builder
+		if err := tbl.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if fresh, recycled := render(false), render(true); fresh != recycled {
+		t.Errorf("large-n E12 diverges:\n--- fresh ---\n%s\n--- recycled ---\n%s", fresh, recycled)
+	}
+}
+
+// TestRunReusedAllocs pins the tentpole economy claim: after a one-run
+// warm-up, a context's reused-report Run performs zero steady-state heap
+// allocations for the crash, trim, and witness protocols. 200 measured
+// runs amortize away the residual warm-up effects (map geometry, slice
+// growth), which testing.AllocsPerRun's integer average then floors.
+func TestRunReusedAllocs(t *testing.T) {
+	cases := []struct {
+		name string
+		p    core.Params
+		scen string
+	}{
+		{"crash-aa", core.Params{Protocol: core.ProtoCrash, N: 10, T: 4, Eps: 1e-3, Lo: 0, Hi: 1},
+			"splitviews+crash/n=10,t=4"},
+		{"byztrim-aa", core.Params{Protocol: core.ProtoByzTrim, N: 15, T: 2, Eps: 1e-3, Lo: 0, Hi: 1},
+			"splitviews/n=15,t=2"},
+		{"witness-aa", core.Params{Protocol: core.ProtoWitness, N: 10, T: 3, Eps: 1e-3, Lo: 0, Hi: 1},
+			"splitviews/n=10,t=3"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spec, err := SpecFrom(c.p, BimodalInputs(c.p.N, 0, 1), scenario.MustParse(c.scen), 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := NewRunContext()
+			if rep, err := ctx.Run(spec); err != nil {
+				t.Fatalf("warm-up failed: %v", err)
+			} else if !rep.OK() {
+				t.Fatalf("warm-up run failed: %s", rep.Failure())
+			}
+			var runErr error
+			var runFail string
+			allocs := testing.AllocsPerRun(200, func() {
+				rep, err := ctx.Run(spec)
+				switch {
+				case err != nil:
+					runErr = err
+				case !rep.OK():
+					runFail = rep.Failure()
+				}
+			})
+			if runErr != nil {
+				t.Fatalf("run failed: %v", runErr)
+			}
+			if runFail != "" {
+				t.Fatalf("run failed: %s", runFail)
+			}
+			if allocs != 0 {
+				t.Errorf("warm steady state allocates %.2f/run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestRunContextSurvivesShapeChanges drives one context through a sweep
+// that changes protocol, n, and fault composition between consecutive runs
+// — the E12 usage pattern — and checks each report against a fresh-context
+// run of the same spec.
+func TestRunContextSurvivesShapeChanges(t *testing.T) {
+	specs := []struct {
+		p    core.Params
+		scen string
+	}{
+		{core.Params{Protocol: core.ProtoCrash, N: 9, T: 4, Eps: 1e-3, Lo: 0, Hi: 1}, "random+crash/n=9,t=4"},
+		{core.Params{Protocol: core.ProtoWitness, N: 7, T: 2, Eps: 1e-3, Lo: 0, Hi: 1}, "splitviews/n=7,t=2"},
+		{core.Params{Protocol: core.ProtoCrash, N: 17, T: 8, Eps: 1e-3, Lo: 0, Hi: 1}, "skew+crash/n=17,t=8"},
+		{core.Params{Protocol: core.ProtoWitness, N: 13, T: 4, Eps: 1e-3, Lo: 0, Hi: 1}, "partition+equivocate/n=13,t=4"},
+		{core.Params{Protocol: core.ProtoSync, N: 9, T: 2, Eps: 1e-3, Lo: 0, Hi: 1, RoundDuration: 10}, "sync:5/n=9,t=2"},
+		{core.Params{Protocol: core.ProtoByzTrim, N: 15, T: 2, Eps: 1e-3, Lo: 0, Hi: 1}, "staggered+extreme/n=15,t=2"},
+	}
+	ctx := NewRunContext()
+	for _, c := range specs {
+		spec, err := SpecFrom(c.p, BimodalInputs(c.p.N, 0, 1), scenario.MustParse(c.scen), 23)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ctx.Run(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.scen, err)
+		}
+		want, err := NewRunContext().Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.OK() != want.OK() || got.FinalSpread != want.FinalSpread ||
+			got.Result.Stats != want.Result.Stats ||
+			got.Result.FinishTime != want.Result.FinishTime {
+			t.Errorf("%s: recycled run diverges from fresh: got %+v stats %+v, want %+v stats %+v",
+				c.scen, got.FinalSpread, got.Result.Stats, want.FinalSpread, want.Result.Stats)
+		}
+	}
+}

@@ -50,6 +50,7 @@ func Cases() []Case {
 		{"simloop/calendar", func(b *testing.B) { SimLoop(b, sim.CoreCalendar) }},
 		{"simloop/heap", func(b *testing.B) { SimLoop(b, sim.CoreHeap) }},
 		{"scenario/e12", ScenarioE12},
+		{"harness/run-reused", RunReused},
 	}
 }
 
@@ -124,6 +125,37 @@ func ScenarioE12(b *testing.B) {
 			b.Fatal(err)
 		}
 		rep, err := harness.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.OK() {
+			b.Fatalf("run failed: %s", rep.Failure())
+		}
+	}
+}
+
+// RunReused measures one full crash-protocol run (n=10 t=4, splitviews
+// scheduler with a crash storm) on a warm recycled harness.RunContext —
+// the form every engine run takes since the run-context recycling PR. Its
+// allocs_op in the snapshot is the steady-state pin: ~0 after warm-up
+// (the reused-report path; TestRunReusedAllocs asserts exactly 0).
+func RunReused(b *testing.B) {
+	scen := scenario.MustParse("splitviews+crash/n=10,t=4")
+	p := core.Params{Protocol: core.ProtoCrash, N: 10, T: 4, Eps: 1e-3, Lo: 0, Hi: 1}
+	spec, err := harness.SpecFrom(p, harness.BimodalInputs(10, 0, 1), scen, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := harness.NewRunContext()
+	if rep, err := ctx.Run(spec); err != nil {
+		b.Fatalf("warm-up failed: %v", err)
+	} else if !rep.OK() {
+		b.Fatalf("warm-up run failed: %s", rep.Failure())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := ctx.Run(spec)
 		if err != nil {
 			b.Fatal(err)
 		}

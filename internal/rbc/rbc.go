@@ -74,6 +74,24 @@ type Broadcaster struct {
 	byRound []*roundState
 	rounds  map[uint32]*roundState
 	buf     []byte // wire-encoding scratch
+
+	// Recycling state. freeSlabs holds arena slabs (instance array plus the
+	// two shared vote backings) returned by quiescent-round release and by
+	// Reset; freeRS holds zeroed roundState records; denseSpare keeps the
+	// dense round table's backing across Reset so SetMaxRound can re-carve
+	// it. All three are shape-bound to n and dropped when Reset changes it.
+	freeSlabs  []slab
+	freeRS     []*roundState
+	denseSpare []*roundState
+	mapSpare   map[uint32]*roundState
+}
+
+// slab is one recyclable round arena: the instance array and the two
+// backing allocations its tallies are carved from.
+type slab struct {
+	inst  []instanceState
+	seen  []uint64
+	votes []vote
 }
 
 // roundState is the per-round arena: all n instances of a round, indexed
@@ -81,7 +99,9 @@ type Broadcaster struct {
 // allocations (instead of one struct plus four maps per instance).
 type roundState struct {
 	inst   []instanceState
-	active int // instances touched, for the Instances() memory hook
+	seen   []uint64 // backing of the instances' seen-bitsets, for recycling
+	votes  []vote   // backing of the instances' vote tallies, for recycling
+	active int      // instances touched, for the Instances() memory hook
 	// complete counts inert instances — echoed, readied, and delivered.
 	// Such an instance can never emit anything again: a late SEND finds
 	// echoed already set, further votes find readied and delivered set. So
@@ -159,15 +179,72 @@ func New(n, t int, self uint16, multicast func(data []byte)) (*Broadcaster, erro
 	if multicast == nil {
 		return nil, errors.New("rbc: nil multicast")
 	}
-	return &Broadcaster{
-		n:         n,
-		t:         t,
-		words:     (n + 63) / 64,
-		self:      self,
-		multicast: multicast,
-		rounds:    make(map[uint32]*roundState),
-		buf:       make([]byte, 0, wire.RBCSize),
-	}, nil
+	b := &Broadcaster{buf: make([]byte, 0, wire.RBCSize)}
+	if err := b.Reset(n, t, self, multicast); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Reset reconfigures the broadcaster for a new execution, recycling every
+// round's arena slab (and the dense round table's backing) instead of
+// dropping them — the shape-preserving case performs no allocation. It is
+// observably equivalent to New: all protocol state is cleared and recycled
+// slabs are re-zeroed before reuse. Changing n drops the shape-bound pools.
+func (b *Broadcaster) Reset(n, t int, self uint16, multicast func(data []byte)) error {
+	if n < 3*t+1 || t < 0 {
+		return fmt.Errorf("rbc: need n >= 3t+1, got n=%d t=%d", n, t)
+	}
+	if int(self) >= n {
+		return fmt.Errorf("rbc: self %d out of range [0,%d)", self, n)
+	}
+	if multicast == nil {
+		return errors.New("rbc: nil multicast")
+	}
+	if n != b.n {
+		b.freeSlabs = b.freeSlabs[:0]
+		clear(b.freeSlabs[:cap(b.freeSlabs)])
+	}
+	b.n, b.t = n, t
+	b.words = (n + 63) / 64
+	b.self = self
+	b.multicast = multicast
+	b.maxRound = 0
+	if b.byRound != nil {
+		for i, rs := range b.byRound {
+			if rs != nil {
+				b.recycle(rs)
+				b.byRound[i] = nil
+			}
+		}
+		b.denseSpare = b.byRound[:0]
+		b.byRound = nil
+	}
+	if b.rounds == nil {
+		// A previous SetMaxRound switched to the dense table and parked the
+		// (empty) map container in mapSpare; restore it rather than remake.
+		if b.mapSpare != nil {
+			b.rounds, b.mapSpare = b.mapSpare, nil
+		} else {
+			b.rounds = make(map[uint32]*roundState)
+		}
+	} else {
+		for r, rs := range b.rounds {
+			b.recycle(rs)
+			delete(b.rounds, r)
+		}
+	}
+	return nil
+}
+
+// recycle returns a round's slab to the free pool (shape permitting) and
+// its zeroed state record to the record pool.
+func (b *Broadcaster) recycle(rs *roundState) {
+	if rs.inst != nil && len(rs.inst) == b.n {
+		b.freeSlabs = append(b.freeSlabs, slab{inst: rs.inst, seen: rs.seen, votes: rs.votes})
+	}
+	*rs = roundState{}
+	b.freeRS = append(b.freeRS, rs)
 }
 
 // SetMaxRound caps the instance rounds the broadcaster will track. Called
@@ -193,7 +270,14 @@ func (b *Broadcaster) SetMaxRound(r uint32) {
 		return
 	}
 	if r > 0 && r <= maxDenseRounds && len(b.rounds) == 0 {
-		b.byRound = make([]*roundState, r+1)
+		if cap(b.denseSpare) >= int(r)+1 {
+			b.byRound = b.denseSpare[:r+1]
+			clear(b.byRound)
+		} else {
+			b.byRound = make([]*roundState, r+1)
+		}
+		b.denseSpare = nil
+		b.mapSpare = b.rounds // empty (len checked above); parked for Reset
 		b.rounds = nil
 	}
 }
@@ -212,31 +296,54 @@ func (b *Broadcaster) cast(phase byte, origin uint16, round uint32, v float64) {
 }
 
 // round returns the (possibly empty) state record for a round, creating it
-// if absent. Callers have already validated r against maxRound.
+// (from the record pool when possible) if absent. Callers have already
+// validated r against maxRound.
 func (b *Broadcaster) round(r uint32) *roundState {
 	if b.byRound != nil {
 		if rs := b.byRound[r]; rs != nil {
 			return rs
 		}
-		rs := &roundState{}
+		rs := b.newRoundState()
 		b.byRound[r] = rs
 		return rs
 	}
 	rs, ok := b.rounds[r]
 	if !ok {
-		rs = &roundState{}
+		rs = b.newRoundState()
 		b.rounds[r] = rs
 	}
 	return rs
 }
 
-// materialize allocates the round's arena slab: three backing arrays
-// shared by all n instances, instead of per-instance maps.
+func (b *Broadcaster) newRoundState() *roundState {
+	if k := len(b.freeRS); k > 0 {
+		rs := b.freeRS[k-1]
+		b.freeRS[k-1] = nil
+		b.freeRS = b.freeRS[:k-1]
+		return rs
+	}
+	return &roundState{}
+}
+
+// materialize attaches the round's arena slab — three backing arrays shared
+// by all n instances, instead of per-instance maps — recycling a slab from
+// the free pool when one is available (re-zeroed here, so a recycled round
+// is indistinguishable from a fresh one).
 func (b *Broadcaster) materialize(rs *roundState) {
 	n, w := b.n, b.words
-	rs.inst = make([]instanceState, n)
-	seen := make([]uint64, 2*n*w)
-	votes := make([]vote, 2*n*voteCap)
+	if k := len(b.freeSlabs); k > 0 {
+		rec := b.freeSlabs[k-1]
+		b.freeSlabs[k-1] = slab{}
+		b.freeSlabs = b.freeSlabs[:k-1]
+		rs.inst, rs.seen, rs.votes = rec.inst, rec.seen, rec.votes
+		clear(rs.inst)
+		clear(rs.seen)
+	} else {
+		rs.inst = make([]instanceState, n)
+		rs.seen = make([]uint64, 2*n*w)
+		rs.votes = make([]vote, 2*n*voteCap)
+	}
+	seen, votes := rs.seen, rs.votes
 	for i := range rs.inst {
 		st := &rs.inst[i]
 		st.echo = tally{
@@ -273,7 +380,11 @@ func (b *Broadcaster) maybeFree(rs *roundState) {
 	if !rs.doomed || rs.freed || rs.inst == nil || rs.complete < b.n {
 		return
 	}
-	rs.inst = nil
+	// The quiescent round's slab goes back to the free pool rather than to
+	// the GC, so the next round (or the next recycled run) materializes
+	// without allocating.
+	b.freeSlabs = append(b.freeSlabs, slab{inst: rs.inst, seen: rs.seen, votes: rs.votes})
+	rs.inst, rs.seen, rs.votes = nil, nil, nil
 	rs.active = 0
 	rs.freed = true
 }

@@ -219,14 +219,29 @@ func (s Spec) Resolve() (*Resolved, error) {
 		return nil, err
 	}
 	res := &Resolved{Scheduler: named}
+	if len(s.Faults) > 0 {
+		// Count the slot split up front so both containers are allocated
+		// exactly once at their final size (spec resolution runs once per
+		// enumerated engine run; see the run-context recycling notes in
+		// internal/harness).
+		crashSlots := 0
+		for slot := 0; slot < s.T; slot++ {
+			if faults[s.Faults[slot%len(s.Faults)]].Crash != nil {
+				crashSlots++
+			}
+		}
+		if crashSlots > 0 {
+			res.Crashes = make([]sim.CrashPlan, 0, crashSlots)
+		}
+		if byzSlots := s.T - crashSlots; byzSlots > 0 {
+			res.Byz = make(map[sim.PartyID]fault.Behavior, byzSlots)
+		}
+	}
 	for slot := 0; slot < s.T && len(s.Faults) > 0; slot++ {
 		kind := faults[s.Faults[slot%len(s.Faults)]]
 		if kind.Crash != nil {
 			res.Crashes = append(res.Crashes, kind.Crash(s.N, s.T, slot))
 		} else {
-			if res.Byz == nil {
-				res.Byz = make(map[sim.PartyID]fault.Behavior, s.T)
-			}
 			res.Byz[sim.PartyID(slot)] = kind.Behavior
 		}
 	}

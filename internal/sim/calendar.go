@@ -45,7 +45,7 @@ type calendarQueue struct {
 	wheel    [wheelSize]calBucket
 	occupied [wheelSize / 64]uint64 // one bit per non-empty bucket
 	// base is the earliest tick the wheel window [base, base+wheelSize)
-	// can hold. It only advances.
+	// can hold. It only advances within a run; Reset rewinds it to 0.
 	base     Time
 	inWheel  int
 	overflow eventHeap
@@ -72,6 +72,40 @@ func (q *calendarQueue) alloc(e event) int32 {
 	}
 	q.arena = append(q.arena, calNode{ev: e, next: -1})
 	return int32(len(q.arena) - 1)
+}
+
+// Reset implements eventQueue: it empties the wheel and overflow heap and
+// rewinds the window to tick zero, keeping the arena (and its free list)
+// for the next run. Cost is O(events still pending), not O(arena): only
+// the occupied buckets — found through the occupancy bitmap — are walked,
+// their nodes freed and payload references dropped, so a context recycled
+// from a large-n run resets in constant time for small-n runs. Free-list
+// order after a reset differs from a fresh queue's, but arena indices are
+// invisible to delivery order (buckets chain FIFO and ties break on Seq),
+// so the two are observably identical.
+func (q *calendarQueue) Reset() {
+	if q.inWheel > 0 {
+		for wi, word := range q.occupied {
+			for word != 0 {
+				slot := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				b := &q.wheel[slot]
+				for idx := b.head; idx >= 0; {
+					n := &q.arena[idx]
+					next := n.next
+					n.ev = event{}
+					n.next = q.freeHead
+					q.freeHead = idx
+					idx = next
+				}
+				b.head, b.tail = -1, -1
+			}
+			q.occupied[wi] = 0
+		}
+	}
+	q.base = 0
+	q.inWheel = 0
+	q.overflow.Reset()
 }
 
 // Push implements eventQueue.

@@ -37,6 +37,15 @@ func (h *eventHeap) PopTick(buf []event) []event {
 
 func (h *eventHeap) Len() int { return len(h.items) }
 
+// Reset implements eventQueue: it empties the heap, keeping the backing
+// array but dropping the payload references of any still-pending events.
+func (h *eventHeap) Reset() {
+	for i := range h.items {
+		h.items[i] = event{}
+	}
+	h.items = h.items[:0]
+}
+
 func (h *eventHeap) less(i, j int) bool {
 	a, b := h.items[i], h.items[j]
 	if a.at != b.at {

@@ -63,22 +63,52 @@ func (r *Result) HonestDecisions() []float64 {
 }
 
 // HonestSpread returns the diameter of the honest decisions (0 when fewer
-// than two parties decided).
+// than two parties decided). It is allocation-free: the harness calls it
+// once per run on the recycled hot path.
 func (r *Result) HonestSpread() float64 {
-	d := r.HonestDecisions()
-	if len(d) < 2 {
+	var lo, hi float64
+	count := 0
+	for _, p := range r.Honest {
+		v, ok := r.Decisions[p]
+		if !ok {
+			continue
+		}
+		if count == 0 {
+			lo, hi = v, v
+		} else {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		count++
+	}
+	if count < 2 {
 		return 0
 	}
-	return d[len(d)-1] - d[0]
+	return hi - lo
 }
 
 // Network is the discrete-event simulator. Create one with New, attach
 // processes with SetProcess for every honest party, then call Run.
+//
+// A Network is resettable: Reset reconfigures it for a new execution while
+// recycling every piece of run state — the event queue's arena, the payload
+// blocks, the per-party records and their random sources. After a warm-up
+// run of the same shape, a Reset + Run cycle performs zero steady-state
+// heap allocations. Reset is provably equivalent to fresh construction
+// (every field a run can observe is re-derived from the new Config), which
+// the harness pins by comparing recycled and freshly-built experiment
+// tables byte for byte.
 type Network struct {
 	cfg        Config
-	parties    []*partyState
+	parties    []*partyState // the run's parties: allParties[:cfg.N]
+	allParties []*partyState // every party record ever built, for recycling
 	queue      eventQueue
-	batch      []event // reusable same-tick delivery batch (Run loop)
+	queueCore  EventCore // resolved core the queue implements
+	batch      []event   // reusable same-tick delivery batch (Run loop)
 	rng        *rand.Rand
 	now        Time
 	seq        uint64
@@ -93,13 +123,17 @@ type Network struct {
 
 	defaultMaxEvents int
 
-	// arena is the block allocator for in-flight message payloads: Send and
-	// Multicast snapshot the caller's bytes into it, so protocols encode
-	// into reusable scratch buffers and a multicast's n envelopes share one
-	// copy. Exhausted blocks are dropped (not recycled) and are reclaimed
-	// by the GC once their last envelope is delivered.
-	arena    []byte
-	arenaOff int
+	// blocks is the payload arena: Send and Multicast snapshot the caller's
+	// bytes into the current block, so protocols encode into reusable
+	// scratch buffers and a multicast's n envelopes share one copy. A
+	// payload slice is valid only while its envelope is in flight (until
+	// the delivery callback returns): exhausted blocks are kept and
+	// recycled by Reset, so memory is bounded by the peak per-run payload
+	// volume rather than churned per run.
+	blocks   [][]byte
+	cur      []byte // blocks[blk], the block currently being carved
+	blk      int    // index of cur; -1 before the first block exists
+	arenaOff int    // write offset into cur
 }
 
 // arenaBlock is the payload arena's allocation granularity.
@@ -107,23 +141,40 @@ const arenaBlock = 1 << 16
 
 // snapshot copies data into the payload arena and returns the full-slice
 // copy. The copy is capacity-clipped so appends can never bleed into a
-// neighboring payload.
+// neighboring payload. The in-block fast path is kept small enough to
+// inline into Send/Multicast; block turnover is outlined in nextBlock.
 func (n *Network) snapshot(data []byte) []byte {
 	if len(data) == 0 {
 		return nil
 	}
-	if n.arenaOff+len(data) > len(n.arena) {
-		size := arenaBlock
-		if len(data) > size {
-			size = len(data)
-		}
-		n.arena = make([]byte, size)
-		n.arenaOff = 0
+	if n.arenaOff+len(data) > len(n.cur) {
+		n.nextBlock(len(data))
 	}
-	buf := n.arena[n.arenaOff : n.arenaOff+len(data) : n.arenaOff+len(data)]
+	buf := n.cur[n.arenaOff : n.arenaOff+len(data) : n.arenaOff+len(data)]
 	n.arenaOff += len(data)
 	copy(buf, data)
 	return buf
+}
+
+// nextBlock advances cur to the next pooled block that fits need bytes,
+// allocating (and pooling) a new block only when none does. Skipped blocks
+// stay pooled for later runs.
+func (n *Network) nextBlock(need int) {
+	for {
+		n.blk++
+		if n.blk >= len(n.blocks) {
+			size := arenaBlock
+			if need > size {
+				size = need
+			}
+			n.blocks = append(n.blocks, make([]byte, size))
+		}
+		n.cur = n.blocks[n.blk]
+		n.arenaOff = 0
+		if need <= len(n.cur) {
+			return
+		}
+	}
 }
 
 type partyState struct {
@@ -193,43 +244,110 @@ func (p *partyState) Decide(value float64) {
 	}
 }
 
+// partySeed derives party i's deterministic random seed from the run seed.
+func partySeed(seed int64, i int) int64 {
+	return seed ^ (int64(i+1) * 0x7E3779B97F4A7C15)
+}
+
 // New builds a network from the configuration. Processes for honest parties
 // must be attached with SetProcess before Run.
 func New(cfg Config) (*Network, error) {
-	if err := cfg.Validate(); err != nil {
+	n := &Network{defaultMaxEvents: 5_000_000}
+	if err := n.Reset(cfg); err != nil {
 		return nil, err
 	}
-	n := &Network{
-		cfg:              cfg,
-		queue:            newEventQueue(cfg.Core),
-		rng:              rand.New(rand.NewSource(cfg.Seed)),
-		defaultMaxEvents: 5_000_000,
-	}
-	crashBudget := make(map[PartyID]int, len(cfg.Crashes))
-	for _, cr := range cfg.Crashes {
-		crashBudget[cr.Party] = cr.AfterSends
-	}
-	n.parties = make([]*partyState, cfg.N)
-	for i := 0; i < cfg.N; i++ {
-		id := PartyID(i)
-		ps := &partyState{
-			id:         id,
-			net:        n,
-			rng:        rand.New(rand.NewSource(cfg.Seed ^ (int64(i+1) * 0x7E3779B97F4A7C15))),
-			sendBudget: -1,
-		}
-		if budget, ok := crashBudget[id]; ok {
-			ps.faulty = true
-			ps.sendBudget = budget
-		}
-		if proc, ok := cfg.Byzantine[id]; ok {
-			ps.faulty = true
-			ps.byz = true
-			ps.proc = proc
-		}
-		n.parties[i] = ps
-	}
 	return n, nil
+}
+
+// Reset reconfigures the network for a new execution, recycling the event
+// queue, the payload arena, and the party records of earlier runs. It is
+// observably equivalent to New(cfg): every run-visible field — virtual
+// time, sequence counter, stats, party fault assignments, random sources —
+// is re-derived from cfg, and the reseeded sources produce the same streams
+// a fresh construction would. Attached processes and the observer are
+// cleared; reattach with SetProcess (and SetObserver) before Run.
+func (n *Network) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	n.cfg = cfg
+	if core := cfg.Core.Resolve(); n.queue == nil || core != n.queueCore {
+		n.queue = newEventQueue(core)
+		n.queueCore = core
+	} else {
+		n.queue.Reset()
+	}
+	if n.rng == nil {
+		n.rng = rand.New(rand.NewSource(cfg.Seed))
+	} else {
+		n.rng.Seed(cfg.Seed)
+	}
+	if cap(n.allParties) < cfg.N {
+		grown := make([]*partyState, len(n.allParties), cfg.N)
+		copy(grown, n.allParties)
+		n.allParties = grown
+	}
+	// recycled counts the parties whose random source must be re-seeded;
+	// parties created below are seeded at construction (rngSource seeding
+	// is the dominant cost of building a network, so it must happen exactly
+	// once per party per run).
+	recycled := len(n.allParties)
+	if recycled > cfg.N {
+		recycled = cfg.N
+	}
+	for len(n.allParties) < cfg.N {
+		i := len(n.allParties)
+		n.allParties = append(n.allParties, &partyState{
+			id:  PartyID(i),
+			net: n,
+			rng: rand.New(rand.NewSource(partySeed(cfg.Seed, i))),
+		})
+	}
+	n.parties = n.allParties[:cfg.N]
+	// Parties beyond the new N keep their records (and warm rand sources)
+	// for later larger runs, but must not pin the previous run's process
+	// objects (a Byzantine process graph can be sizable).
+	for _, ps := range n.allParties[cfg.N:] {
+		ps.proc = nil
+	}
+	for i, ps := range n.parties {
+		if i < recycled {
+			ps.rng.Seed(partySeed(cfg.Seed, i))
+		}
+		ps.proc = nil
+		ps.faulty = false
+		ps.byz = false
+		ps.crashed = false
+		ps.sendBudget = -1
+		ps.decided = false
+		ps.decision = 0
+		ps.decidedAt = 0
+	}
+	for _, cr := range cfg.Crashes {
+		ps := n.parties[cr.Party]
+		ps.faulty = true
+		ps.sendBudget = cr.AfterSends
+	}
+	for id, proc := range cfg.Byzantine {
+		ps := n.parties[id]
+		ps.faulty = true
+		ps.byz = true
+		ps.proc = proc
+	}
+	n.now = 0
+	n.seq = 0
+	n.stats = Stats{}
+	n.finishTime = 0
+	n.maxHonestDelay = 0
+	n.pendingHonest = 0
+	n.observer = nil
+	n.arenaOff = 0
+	if len(n.blocks) > 0 {
+		n.blk, n.cur = 0, n.blocks[0]
+	} else {
+		n.blk, n.cur = -1, nil
+	}
+	return nil
 }
 
 // SetProcess attaches the protocol state machine for a party. It must be
@@ -310,11 +428,36 @@ func (n *Network) send(from *partyState, to PartyID, data []byte) {
 // (ErrEventBudget). It returns a Result in all cases; on error the Result
 // reflects the partial execution, which tests use for diagnosis.
 func (n *Network) Run() (*Result, error) {
+	if err := n.checkProcs(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	return res, n.runInto(res)
+}
+
+func (n *Network) checkProcs() error {
 	for _, ps := range n.parties {
 		if ps.proc == nil {
-			return nil, fmt.Errorf("sim: party %d has no process attached", ps.id)
+			return fmt.Errorf("sim: party %d has no process attached", ps.id)
 		}
 	}
+	return nil
+}
+
+// RunInto is Run writing its outcome into a caller-owned Result, whose maps
+// and slices are reused when already allocated — the allocation-free form
+// the recycled harness contexts use. The Result reflects the execution
+// (partial on ErrStalled/ErrEventBudget); it is left untouched when a party
+// has no process attached.
+func (n *Network) RunInto(res *Result) error {
+	if err := n.checkProcs(); err != nil {
+		return err
+	}
+	return n.runInto(res)
+}
+
+// runInto is the shared execution body; callers have already checkProcs'd.
+func (n *Network) runInto(res *Result) error {
 	n.pendingHonest = 0
 	for _, ps := range n.parties {
 		if !ps.faulty {
@@ -371,17 +514,27 @@ func (n *Network) Run() (*Result, error) {
 		}
 	}
 	n.batch = batch[:0]
-	return n.result(), err
+	n.resultInto(res)
+	return err
 }
 
-func (n *Network) result() *Result {
-	res := &Result{
-		Decisions:      make(map[PartyID]float64),
-		DecidedAt:      make(map[PartyID]Time),
-		FinishTime:     n.finishTime,
-		MaxHonestDelay: n.maxHonestDelay,
-		Stats:          n.stats,
+// resultInto fills res from the finished (or aborted) execution, reusing
+// its maps and slices when present.
+func (n *Network) resultInto(res *Result) {
+	if res.Decisions == nil {
+		res.Decisions = make(map[PartyID]float64)
+	} else {
+		clear(res.Decisions)
 	}
+	if res.DecidedAt == nil {
+		res.DecidedAt = make(map[PartyID]Time)
+	} else {
+		clear(res.DecidedAt)
+	}
+	res.Honest = res.Honest[:0]
+	res.FinishTime = n.finishTime
+	res.MaxHonestDelay = n.maxHonestDelay
+	res.Stats = n.stats
 	for _, ps := range n.parties {
 		if ps.decided {
 			res.Decisions[ps.id] = ps.decision
@@ -391,5 +544,4 @@ func (n *Network) result() *Result {
 			res.Honest = append(res.Honest, ps.id)
 		}
 	}
-	return res
 }

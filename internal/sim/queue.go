@@ -59,6 +59,10 @@ type eventQueue interface {
 	// and appends them to buf in Seq order, returning the extended slice.
 	// It returns buf unchanged when the queue is empty.
 	PopTick(buf []event) []event
+	// Reset empties the queue and restores its initial ordering state
+	// (virtual time restarts at zero) while keeping its storage for the
+	// next run. Payload references held by pending events are released.
+	Reset()
 }
 
 // newEventQueue builds the queue for the selected core.

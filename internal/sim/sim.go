@@ -34,7 +34,11 @@ type Time int64
 type Envelope struct {
 	From PartyID
 	To   PartyID
-	Data []byte // wire-encoded payload; its length is the bit-complexity unit
+	// Data is the wire-encoded payload; its length is the bit-complexity
+	// unit. It aliases the simulator's recycled payload arena: it is valid
+	// during the delivery (and observer) callback only, and must be copied
+	// by anything that retains it past the callback.
+	Data []byte
 	Sent Time   // virtual time at which the sender issued the message
 	Seq  uint64 // global send sequence number (deterministic tiebreak)
 }
@@ -154,18 +158,22 @@ func (c *Config) Validate() error {
 	if c.Core < CoreDefault || c.Core > CoreHeap {
 		return fmt.Errorf("sim: config: unknown event core %d", c.Core)
 	}
-	faulty := make(map[PartyID]bool, len(c.Crashes)+len(c.Byzantine))
-	for _, cr := range c.Crashes {
+	// The duplicate-fault scan is quadratic in the crash count instead of
+	// building a set: fault lists are bounded by the protocol fault bound,
+	// and Validate runs once per (possibly recycled) execution, so staying
+	// allocation-free matters more than asymptotics here.
+	for i, cr := range c.Crashes {
 		if cr.Party < 0 || int(cr.Party) >= c.N {
 			return fmt.Errorf("sim: config: crash party %d out of range [0,%d)", cr.Party, c.N)
 		}
 		if cr.AfterSends < 0 {
 			return fmt.Errorf("sim: config: crash party %d has negative send budget", cr.Party)
 		}
-		if faulty[cr.Party] {
-			return fmt.Errorf("sim: config: party %d assigned two faults", cr.Party)
+		for _, prev := range c.Crashes[:i] {
+			if prev.Party == cr.Party {
+				return fmt.Errorf("sim: config: party %d assigned two faults", cr.Party)
+			}
 		}
-		faulty[cr.Party] = true
 	}
 	for p, proc := range c.Byzantine {
 		if p < 0 || int(p) >= c.N {
@@ -174,10 +182,11 @@ func (c *Config) Validate() error {
 		if proc == nil {
 			return fmt.Errorf("sim: config: byzantine party %d has nil process", p)
 		}
-		if faulty[p] {
-			return fmt.Errorf("sim: config: party %d assigned two faults", p)
+		for _, cr := range c.Crashes {
+			if cr.Party == p {
+				return fmt.Errorf("sim: config: party %d assigned two faults", p)
+			}
 		}
-		faulty[p] = true
 	}
 	return nil
 }
