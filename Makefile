@@ -5,10 +5,10 @@
 # the race detector.
 
 GO ?= go
-BENCH_OLD ?= BENCH_3.json
-BENCH_NEW ?= BENCH_4.json
+BENCH_OLD ?= BENCH_4.json
+BENCH_NEW ?= BENCH_5.json
 
-.PHONY: check vet race bench bench-compare bench-smoke bench-smoke-refresh benchmem
+.PHONY: check vet race bench bench-compare bench-smoke bench-smoke-refresh benchmem e12-smoke
 
 check:
 	$(GO) build ./...
@@ -41,6 +41,12 @@ bench-smoke:
 
 bench-smoke-refresh:
 	$(GO) run ./cmd/aabench -seeds 1 -micro=false -json BENCH_SMOKE.json
+
+# e12-smoke exercises the n=512 scale axis (batched tick delivery + SoA
+# party state) on every PR: a reduced scenario slice at n=512 on the crash
+# protocol, ~3M messages per run, asserting full invariant success.
+e12-smoke:
+	E12_LARGE_SMOKE=1 $(GO) test -run TestE12LargeN512Smoke -v -timeout 20m ./internal/harness/
 
 # benchmem runs the substrate micro-benchmarks with allocation accounting,
 # the numbers PERF.md tracks.

@@ -241,6 +241,15 @@ func BenchmarkScenarioE12(b *testing.B) {
 	microbench.ScenarioE12(b)
 }
 
+// BenchmarkDeliverBatch measures the tick-delivery core A/B — batched
+// destination-grouped delivery versus the per-envelope reference loop on
+// the same (observably identical) E12-style run (shared with the snapshot
+// as "deliverbatch/on" and "deliverbatch/off").
+func BenchmarkDeliverBatch(b *testing.B) {
+	b.Run("on", func(b *testing.B) { microbench.DeliverBatch(b, sim.BatchOn) })
+	b.Run("off", func(b *testing.B) { microbench.DeliverBatch(b, sim.BatchOff) })
+}
+
 // BenchmarkRunReused measures a full crash-protocol run on a warm recycled
 // harness.RunContext — the zero-steady-state-allocation engine path
 // (shared with the snapshot as "harness/run-reused").

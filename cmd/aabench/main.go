@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	aabench [-seeds N] [-only E4] [-csv DIR] [-parallel N] [-core calendar|heap] [-json FILE] [-micro=false]
+//	aabench [-seeds N] [-only E4] [-csv DIR] [-parallel N] [-core calendar|heap] [-batch on|off] [-json FILE] [-micro=false]
 //	aabench -compare OLD.json NEW.json
 //
 // Experiments run on the parallel engine (internal/harness worker pool) by
@@ -63,6 +63,7 @@ type snapshot struct {
 	GOMAXPROCS  int          `json:"gomaxprocs"`
 	Parallelism int          `json:"parallelism"`
 	Core        string       `json:"core,omitempty"`
+	Batch       string       `json:"batch,omitempty"`
 	Seeds       int          `json:"seeds"`
 	Generated   string       `json:"generated"`
 	Experiments []expBench   `json:"experiments"`
@@ -103,6 +104,7 @@ func run(args []string) error {
 	csvDir := fs.String("csv", "", "directory to also write CSV tables into")
 	parallel := fs.Int("parallel", 0, "engine worker count (0 = GOMAXPROCS, 1 = sequential)")
 	coreName := fs.String("core", "", "simulator event core: calendar | heap (default: the build's default core)")
+	batchName := fs.String("batch", "", "tick delivery mode: on (batched, the default) | off (per-envelope reference loop)")
 	jsonPath := fs.String("json", "", "file to write a BENCH_*.json benchmark snapshot into")
 	micro := fs.Bool("micro", true, "include the micro-benchmarks in the -json snapshot (disable for fast CI smoke runs)")
 	compareMode := fs.Bool("compare", false, "compare two BENCH_*.json snapshots (args: OLD.json NEW.json) instead of running; exits non-zero when msgs/bytes per run drift")
@@ -127,6 +129,16 @@ func run(args []string) error {
 		return fmt.Errorf("unknown event core %q (want calendar or heap)", *coreName)
 	}
 	defer harness.SetEventCore(sim.CoreDefault)
+	switch *batchName {
+	case "":
+	case "on":
+		harness.SetBatching(sim.BatchOn)
+	case "off":
+		harness.SetBatching(sim.BatchOff)
+	default:
+		return fmt.Errorf("unknown batch mode %q (want on or off)", *batchName)
+	}
+	defer harness.SetBatching(sim.BatchDefault)
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
 		if id = strings.TrimSpace(id); id != "" {
@@ -144,6 +156,7 @@ func run(args []string) error {
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Parallelism: harness.Parallelism(),
 		Core:        harness.EventCore().Resolve().String(),
+		Batch:       harness.Batching().Resolve().String(),
 		Seeds:       *seeds,
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 	}

@@ -24,13 +24,21 @@
 // overflow heap for far-future events, and a flat event arena recycled
 // through a free list, so enqueue and dequeue are amortized O(1) per
 // event instead of the binary heap's O(log M) — the difference that makes
-// the E12 large-n sweeps (n up to 256, ~650k messages per run) practical.
-// The Run loop drains one virtual-time tick per batch, so same-tick
-// deliveries never touch queue structure in between. The heap remains as
-// the reference core behind sim.Config.Core (build default switchable
-// with `-tags simheap`); the core-equivalence tests pin event-for-event
-// identical delivery traces and byte-identical experiment tables across
-// the two, and cmd/aabench -core benchmarks one against the other.
+// the E12 large-n sweeps (n up to 512, ~2.6M messages per run at the top)
+// practical. The Run loop drains one virtual-time tick per batch and
+// delivers dense ticks batched by destination: each party consumes its
+// whole tick through one DeliverBatch call (sim.BatchProcess, with a
+// per-envelope shim for processes that don't opt in), hot per-party
+// simulator state lives in flat struct-of-arrays on the Network, and
+// sends emitted mid-tick are deferred and flushed in trigger order so the
+// batched loop's Seq and scheduler-rng streams are exactly the
+// per-envelope loop's. The heap remains as the reference core behind
+// sim.Config.Core (build default switchable with `-tags simheap`) and the
+// per-envelope loop as the reference delivery mode behind
+// sim.Config.Batch; equivalence tests pin event-for-event identical
+// delivery traces and byte-identical experiment tables across both
+// switches, and cmd/aabench -core / -batch benchmark them against each
+// other.
 //
 // Adversary wiring is declarative: internal/scenario turns a scheduler, a
 // fault composition, and a run shape into one registry-validated

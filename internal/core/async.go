@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/multiset"
 	"repro/internal/sim"
@@ -13,6 +14,12 @@ import (
 // absurd round numbers while honest values slightly ahead of a growing
 // adaptive horizon are still retained.
 const futureRoundSlack = 4096
+
+// roundRingLen is the window of the dense round ring: buckets for rounds
+// within roundRingLen of each other live in a direct-indexed ring (the
+// common case — honest parties lead each other by at most the horizon);
+// colliding far-apart rounds (Byzantine round spam) spill to a map.
+const roundRingLen = 64
 
 // AsyncAA is the asynchronous value-exchange protocol (ProtoCrash and
 // ProtoByzTrim). Each round r the party multicasts ⟨VAL, r, v⟩, waits until
@@ -30,31 +37,50 @@ const futureRoundSlack = 4096
 // that decides multicasts ⟨DECIDED, y⟩, and receivers use y as that party's
 // value for every later round. The adaptive guarantee is conditional (see
 // DESIGN.md §Termination modes); experiment E8 maps the boundary.
+//
+// Bookkeeping is dense (struct-of-arrays, like the witness ring): per-round
+// reception state lives in roundBuckets held by a tag-checked ring indexed
+// by round, INIT and DECIDED values in flat per-origin arrays with seen
+// bitsets, and the INIT spread estimate is a running min/max pair. The
+// quorum test per message is an O(1) count check; the O(n) view assembly
+// and multiset reduce run once per completed round, not once per message —
+// which is what makes n ≥ 512 sweeps tractable.
 type AsyncAA struct {
-	p      Params
-	rounds map[uint32]map[sim.PartyID]float64
-	inits  map[sim.PartyID]float64
-	frozen map[sim.PartyID]float64
-	// freeBuckets recycles completed rounds' reception maps (cleared, with
-	// their buckets intact), so steady-state round turnover — within a run
-	// and across recycled runs — inserts into warm maps without allocating.
-	freeBuckets []map[sim.PartyID]float64
-	api         sim.API
-	fn          multiset.Func
-	viewBuf     []float64 // per-round reception scratch, reused across rounds
-	wireBuf     []byte    // wire-encoding scratch; runtimes snapshot on send
-	input       float64
-	v           float64
-	round       uint32 // round currently being collected (1-based)
-	horizon     uint32 // last round; 0 means decide immediately
-	started     bool   // value rounds have begun (always true in fixed mode)
-	decided     bool
-	err         error
+	p Params
+	// ring holds the active rounds' buckets, indexed round % roundRingLen
+	// and tag-checked; spill catches ring collisions (rounds ≥ roundRingLen
+	// apart, only reachable through Byzantine round tags). freeBuckets
+	// recycles completed rounds' buckets across rounds and runs.
+	ring        []*roundBucket
+	spill       map[uint32]*roundBucket
+	freeBuckets []*roundBucket
+	// inits and frozen are dense per-origin stores with seen bitsets;
+	// initLo/initHi carry the running INIT spread (O(1) per INIT, no
+	// staging walk).
+	initVals       []float64
+	initSeen       []uint64
+	initCnt        int
+	initLo, initHi float64
+	frozenVals     []float64
+	frozenSeen     []uint64
+	frozenCnt      int
+	api            sim.API
+	fn             multiset.Func
+	viewBuf        []float64 // per-round reception scratch, reused across rounds
+	wireBuf        []byte    // wire-encoding scratch; runtimes snapshot on send
+	input          float64
+	v              float64
+	round          uint32 // round currently being collected (1-based)
+	horizon        uint32 // last round; 0 means decide immediately
+	started        bool   // value rounds have begun (always true in fixed mode)
+	decided        bool
+	err            error
 }
 
 var (
-	_ sim.Process   = (*AsyncAA)(nil)
-	_ sim.Estimator = (*AsyncAA)(nil)
+	_ sim.Process      = (*AsyncAA)(nil)
+	_ sim.BatchProcess = (*AsyncAA)(nil)
+	_ sim.Estimator    = (*AsyncAA)(nil)
 )
 
 // NewAsyncAA builds a party of the asynchronous protocol. Params must have
@@ -69,9 +95,11 @@ func NewAsyncAA(p Params, input float64) (*AsyncAA, error) {
 }
 
 // Reset re-initializes the party for a new run, performing exactly the
-// validation NewAsyncAA performs but recycling the reception maps and
-// scratch buffers — the recycled-run-context form of fresh construction.
-// After a same-shape warm-up run it allocates nothing.
+// validation NewAsyncAA performs but recycling the round buckets, the
+// dense INIT/DECIDED stores, and the scratch buffers — the recycled-run-
+// context form of fresh construction. After a same-shape warm-up run it
+// allocates nothing; a shape change (different N) drops the shape-bound
+// pools.
 func (a *AsyncAA) Reset(p Params, input float64) error {
 	if p.Protocol != ProtoCrash && p.Protocol != ProtoByzTrim {
 		return fmt.Errorf("%w: AsyncAA does not implement %s", ErrBadParams, p.Protocol)
@@ -86,6 +114,35 @@ func (a *AsyncAA) Reset(p Params, input float64) error {
 		return fmt.Errorf("%w: input %v outside promised range [%v, %v]",
 			ErrBadParams, input, p.Lo, p.Hi)
 	}
+	sameShape := p.N == a.p.N && a.ring != nil
+	if sameShape {
+		for i, b := range a.ring {
+			if b != nil {
+				b.clear()
+				a.freeBuckets = append(a.freeBuckets, b)
+				a.ring[i] = nil
+			}
+		}
+		for r, b := range a.spill {
+			b.clear()
+			a.freeBuckets = append(a.freeBuckets, b)
+			delete(a.spill, r)
+		}
+		clear(a.initSeen)
+		clear(a.frozenSeen)
+	} else {
+		words := (p.N + 63) / 64
+		a.ring = make([]*roundBucket, roundRingLen)
+		a.spill = nil
+		clear(a.freeBuckets) // shape-bound: drop old-size buckets entirely
+		a.freeBuckets = a.freeBuckets[:0]
+		a.initVals = make([]float64, p.N)
+		a.initSeen = make([]uint64, words)
+		a.frozenVals = make([]float64, p.N)
+		a.frozenSeen = make([]uint64, words)
+	}
+	a.initCnt, a.frozenCnt = 0, 0
+	a.initLo, a.initHi = 0, 0
 	a.p = p
 	a.fn = p.fn()
 	a.input, a.v = input, input
@@ -93,19 +150,6 @@ func (a *AsyncAA) Reset(p Params, input float64) error {
 	a.round, a.horizon = 0, 0
 	a.started, a.decided = false, false
 	a.err = nil
-	if a.rounds == nil {
-		a.rounds = make(map[uint32]map[sim.PartyID]float64)
-		a.inits = make(map[sim.PartyID]float64)
-		a.frozen = make(map[sim.PartyID]float64)
-		return nil
-	}
-	for r, bucket := range a.rounds {
-		clear(bucket)
-		a.freeBuckets = append(a.freeBuckets, bucket)
-		delete(a.rounds, r)
-	}
-	clear(a.inits)
-	clear(a.frozen)
 	return nil
 }
 
@@ -153,6 +197,22 @@ func (a *AsyncAA) sendRound() {
 
 // Deliver implements sim.Process.
 func (a *AsyncAA) Deliver(from sim.PartyID, data []byte) {
+	a.deliver(from, data)
+}
+
+// DeliverBatch implements sim.BatchProcess: one call per virtual-time tick,
+// with the per-message work reduced to decode plus an O(1) bucket insert —
+// the quorum check and the (per-round, not per-message) view reduce happen
+// at the same per-envelope points as unbatched delivery, so the two paths
+// are observably identical.
+func (a *AsyncAA) DeliverBatch(b *sim.Batch) {
+	for env := b.Next(); env != nil; env = b.Next() {
+		a.deliver(env.From, env.Data)
+	}
+}
+
+// deliver is the shared per-message body.
+func (a *AsyncAA) deliver(from sim.PartyID, data []byte) {
 	if a.err != nil {
 		return
 	}
@@ -178,10 +238,7 @@ func (a *AsyncAA) Deliver(from sim.PartyID, data []byte) {
 		if err != nil || !isUsable(m.Value) {
 			return
 		}
-		if _, ok := a.frozen[from]; !ok {
-			a.frozen[from] = m.Value
-			a.advance()
-		}
+		a.onDecided(from, m.Value)
 	default:
 		// RBC and report traffic belongs to other protocols; ignore.
 	}
@@ -193,12 +250,28 @@ func (a *AsyncAA) onInit(from sim.PartyID, v float64) {
 	if !a.p.Adaptive {
 		return
 	}
-	if _, ok := a.inits[from]; ok {
+	if from < 0 || int(from) >= a.p.N {
 		return
 	}
-	a.inits[from] = v
+	wd, bit := int(from)>>6, uint64(1)<<(uint(from)&63)
+	if a.initSeen[wd]&bit != 0 {
+		return
+	}
+	a.initSeen[wd] |= bit
+	a.initVals[from] = v
+	if a.initCnt == 0 {
+		a.initLo, a.initHi = v, v
+	} else {
+		if v < a.initLo {
+			a.initLo = v
+		}
+		if v > a.initHi {
+			a.initHi = v
+		}
+	}
+	a.initCnt++
 	if !a.started {
-		if len(a.inits) >= a.p.Quorum() {
+		if a.initCnt >= a.p.Quorum() {
 			a.begin(uint32(a.p.adaptiveRounds(a.initSpread())))
 		}
 		return
@@ -206,16 +279,13 @@ func (a *AsyncAA) onInit(from sim.PartyID, v float64) {
 	a.extendHorizon(uint32(a.p.adaptiveRounds(a.initSpread())))
 }
 
-// initSpread computes the spread of the INIT values seen so far, staging
-// them in the view scratch (free here: views are only assembled later, in
-// advance, which never runs concurrently with an onInit callback).
+// initSpread is the running spread of the INIT values seen so far — a
+// min/max pair maintained by onInit, O(1) per INIT with no staging walk.
 func (a *AsyncAA) initSpread() float64 {
-	vals := a.viewBuf[:0]
-	for _, v := range a.inits {
-		vals = append(vals, v)
+	if a.initCnt == 0 {
+		return 0
 	}
-	a.viewBuf = vals[:0]
-	return multiset.Spread(vals)
+	return a.initHi - a.initLo
 }
 
 // extendHorizon joins horizons by maximum (adaptive mode only).
@@ -226,28 +296,124 @@ func (a *AsyncAA) extendHorizon(h uint32) {
 	a.horizon = h
 }
 
+// onDecided freezes a decided party's final value for every later round.
+func (a *AsyncAA) onDecided(from sim.PartyID, v float64) {
+	if from < 0 || int(from) >= a.p.N {
+		return
+	}
+	wd, bit := int(from)>>6, uint64(1)<<(uint(from)&63)
+	if a.frozenSeen[wd]&bit != 0 {
+		return
+	}
+	a.frozenSeen[wd] |= bit
+	a.frozenVals[from] = v
+	a.frozenCnt++
+	// A frozen value can complete the current round's quorum; the count
+	// pair is a cheap superset test (overlap makes it an overestimate) and
+	// advance re-checks exactly.
+	if b := a.bucket(a.round, false); b == nil {
+		if a.frozenCnt >= a.p.Quorum() {
+			a.advance()
+		}
+	} else if b.cnt+a.frozenCnt >= a.p.Quorum() {
+		a.advance()
+	}
+}
+
+// bucket returns round's reception bucket, creating it when create is set:
+// from the direct-indexed ring slot when free or matching, spilling to the
+// map when a far-apart round (Byzantine round tags) collides.
+func (a *AsyncAA) bucket(round uint32, create bool) *roundBucket {
+	slot := round % roundRingLen
+	b := a.ring[slot]
+	if b != nil && b.round == round {
+		return b
+	}
+	// Not in the ring: the round may have been spilled earlier (its slot
+	// was occupied then), and a spilled round stays in the map for its
+	// lifetime even if the slot has since been freed — a freed slot must
+	// not shadow recorded state.
+	if sb, ok := a.spill[round]; ok {
+		return sb
+	}
+	if !create {
+		return nil
+	}
+	nb := a.takeBucket(round)
+	if b == nil {
+		a.ring[slot] = nb
+		return nb
+	}
+	if a.spill == nil {
+		a.spill = make(map[uint32]*roundBucket)
+	}
+	a.spill[round] = nb
+	return nb
+}
+
+// takeBucket pulls a recycled bucket (or allocates) and tags it.
+func (a *AsyncAA) takeBucket(round uint32) *roundBucket {
+	var b *roundBucket
+	if k := len(a.freeBuckets); k > 0 {
+		b = a.freeBuckets[k-1]
+		a.freeBuckets[k-1] = nil
+		a.freeBuckets = a.freeBuckets[:k-1]
+	} else {
+		b = newRoundBucket(a.p.N)
+	}
+	b.round = round
+	return b
+}
+
+// activeBuckets counts live round buckets (ring plus spill), the memory
+// bound the future-round slack guard enforces (used by tests).
+func (a *AsyncAA) activeBuckets() int {
+	n := len(a.spill)
+	for _, b := range a.ring {
+		if b != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// dropBucket recycles a completed round's bucket.
+func (a *AsyncAA) dropBucket(round uint32) {
+	slot := round % roundRingLen
+	if b := a.ring[slot]; b != nil && b.round == round {
+		b.clear()
+		a.freeBuckets = append(a.freeBuckets, b)
+		a.ring[slot] = nil
+		return
+	}
+	if b, ok := a.spill[round]; ok {
+		b.clear()
+		a.freeBuckets = append(a.freeBuckets, b)
+		delete(a.spill, round)
+	}
+}
+
 // onValue records a round-tagged value, joining the piggybacked horizon.
 func (a *AsyncAA) onValue(from sim.PartyID, m wire.Value) {
 	a.extendHorizon(m.Horizon)
 	if m.Round == 0 || uint64(m.Round) > uint64(a.horizon)+futureRoundSlack {
 		return
 	}
-	bucket, ok := a.rounds[m.Round]
-	if !ok {
-		if k := len(a.freeBuckets); k > 0 {
-			bucket = a.freeBuckets[k-1]
-			a.freeBuckets[k-1] = nil
-			a.freeBuckets = a.freeBuckets[:k-1]
-		} else {
-			bucket = make(map[sim.PartyID]float64, a.p.N)
-		}
-		a.rounds[m.Round] = bucket
+	if from < 0 || int(from) >= a.p.N {
+		return
 	}
-	if _, dup := bucket[from]; dup {
+	b := a.bucket(m.Round, true)
+	if !b.add(from, m.Value) {
 		return // only a sender's first value for a round counts
 	}
-	bucket[from] = m.Value
-	a.advance()
+	// The quorum test is the count pair; the O(n) view assembly and reduce
+	// run only when the current round can actually complete. Values for
+	// other rounds can never complete the current round, so the advance
+	// probe is skipped entirely — this is the "one view rebuild per round
+	// instead of per message" batching win.
+	if m.Round == a.round && b.cnt+a.frozenCnt >= a.p.Quorum() {
+		a.advance()
+	}
 }
 
 // advance processes as many rounds as currently have full quorums.
@@ -266,11 +432,7 @@ func (a *AsyncAA) advance() {
 			return
 		}
 		a.v = next
-		if bucket, ok := a.rounds[a.round]; ok {
-			clear(bucket)
-			a.freeBuckets = append(a.freeBuckets, bucket)
-			delete(a.rounds, a.round)
-		}
+		a.dropBucket(a.round)
 		a.round++
 		if a.round > a.horizon {
 			a.decide()
@@ -285,14 +447,25 @@ func (a *AsyncAA) advance() {
 // The returned slice is the party's reusable scratch buffer — valid until
 // the next view call, sorted in place by the apply step.
 func (a *AsyncAA) view(round uint32) []float64 {
-	bucket := a.rounds[round]
 	out := a.viewBuf[:0]
-	for _, v := range bucket {
-		out = append(out, v)
-	}
-	for from, v := range a.frozen {
-		if _, ok := bucket[from]; !ok {
-			out = append(out, v)
+	b := a.bucket(round, false)
+	if b != nil {
+		out = b.appendValues(out)
+		if a.frozenCnt > 0 {
+			for wi, word := range a.frozenSeen {
+				word &^= b.seen[wi]
+				for word != 0 {
+					out = append(out, a.frozenVals[wi<<6+bits.TrailingZeros64(word)])
+					word &= word - 1
+				}
+			}
+		}
+	} else if a.frozenCnt > 0 {
+		for wi, word := range a.frozenSeen {
+			for word != 0 {
+				out = append(out, a.frozenVals[wi<<6+bits.TrailingZeros64(word)])
+				word &= word - 1
+			}
 		}
 	}
 	a.viewBuf = out

@@ -93,8 +93,8 @@ func TestAsyncAAFutureRoundMemoryBound(t *testing.T) {
 	for r := uint32(1); r <= 100_000; r += 97 {
 		a.Deliver(1, wire.MarshalValue(wire.Value{Round: r, Value: 0.5}))
 	}
-	if len(a.rounds) > int(a.horizon)+futureRoundSlack+1 {
-		t.Fatalf("round buffer grew to %d entries", len(a.rounds))
+	if got := a.activeBuckets(); got > int(a.horizon)+futureRoundSlack+1 {
+		t.Fatalf("round buffer grew to %d entries", got)
 	}
 }
 
@@ -167,3 +167,36 @@ func (l *perRecipientLiar) Init(api sim.API) {
 }
 
 func (l *perRecipientLiar) Deliver(sim.PartyID, []byte) {}
+
+// TestAsyncAARoundRingSpillSurvivesSlotFree pins the ring/spill interaction:
+// a round whose ring slot was occupied at first touch spills to the map, and
+// must remain reachable (same bucket, duplicate detection intact) after the
+// slot's occupant is dropped — a freed slot must not shadow spilled state.
+func TestAsyncAARoundRingSpillSurvivesSlotFree(t *testing.T) {
+	a, err := NewAsyncAA(crashParams(5, 2), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := uint32(1 + roundRingLen) // collides with round 1's slot
+	b1 := a.bucket(1, true)
+	spilled := a.bucket(far, true)
+	if spilled == b1 {
+		t.Fatal("colliding rounds share a bucket")
+	}
+	spilled.add(0, 0.25)
+	a.dropBucket(1) // free the slot round far collided with
+	got := a.bucket(far, false)
+	if got != spilled {
+		t.Fatalf("spilled round %d no longer reachable after slot free: got %p, want %p", far, got, spilled)
+	}
+	if got := a.bucket(far, true); got != spilled {
+		t.Fatalf("create path built a second bucket for spilled round %d", far)
+	}
+	if !spilled.has(0) || spilled.cnt != 1 {
+		t.Fatal("spilled state lost")
+	}
+	a.dropBucket(far)
+	if a.bucket(far, false) != nil {
+		t.Fatal("dropped spilled round still reachable")
+	}
+}

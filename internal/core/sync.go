@@ -20,13 +20,19 @@ import (
 // round (at least n−t values under the synchrony assumption with t faults;
 // fewer arrivals than the function's minimum is recorded as an Err and the
 // party stalls, which the simulator reports as lost liveness).
+//
+// Reception state is dense: the fixed horizon is known at Init, so rounds
+// index directly into a slice of roundBuckets (value slots plus seen
+// bitsets) recycled through a free list — no map probes on the delivery
+// path.
 type SyncAA struct {
-	p      Params
-	api    sim.API
-	fn     multiset.Func
-	rounds map[uint32]map[sim.PartyID]float64
-	// freeBuckets recycles completed rounds' reception maps, as in AsyncAA.
-	freeBuckets []map[sim.PartyID]float64
+	p   Params
+	api sim.API
+	fn  multiset.Func
+	// rounds[r] is round r's bucket (nil until traffic arrives); len is
+	// horizon+1, recycled across runs.
+	rounds      []*roundBucket
+	freeBuckets []*roundBucket
 	viewBuf     []float64 // per-round reception scratch, reused across rounds
 	wireBuf     []byte    // wire-encoding scratch; runtimes snapshot on send
 	v           float64
@@ -38,6 +44,7 @@ type SyncAA struct {
 
 var (
 	_ sim.Process      = (*SyncAA)(nil)
+	_ sim.BatchProcess = (*SyncAA)(nil)
 	_ sim.TimerHandler = (*SyncAA)(nil)
 	_ sim.Estimator    = (*SyncAA)(nil)
 )
@@ -52,7 +59,7 @@ func NewSyncAA(p Params, input float64) (*SyncAA, error) {
 }
 
 // Reset re-initializes the party for a new run with NewSyncAA's validation,
-// recycling the reception maps and scratch buffers (see AsyncAA.Reset).
+// recycling the round buckets and scratch buffers (see AsyncAA.Reset).
 func (s *SyncAA) Reset(p Params, input float64) error {
 	if p.Protocol != ProtoSync {
 		return fmt.Errorf("%w: SyncAA requires ProtoSync, got %s", ErrBadParams, p.Protocol)
@@ -67,6 +74,20 @@ func (s *SyncAA) Reset(p Params, input float64) error {
 		return fmt.Errorf("%w: input %v outside promised range [%v, %v]",
 			ErrBadParams, input, p.Lo, p.Hi)
 	}
+	sameShape := p.N == s.p.N
+	for i, b := range s.rounds {
+		if b != nil {
+			if sameShape {
+				b.clear()
+				s.freeBuckets = append(s.freeBuckets, b)
+			}
+			s.rounds[i] = nil
+		}
+	}
+	if !sameShape {
+		clear(s.freeBuckets)
+		s.freeBuckets = s.freeBuckets[:0]
+	}
 	s.p = p
 	s.fn = p.fn()
 	s.v = input
@@ -74,15 +95,6 @@ func (s *SyncAA) Reset(p Params, input float64) error {
 	s.round, s.horizon = 0, 0
 	s.decided = false
 	s.err = nil
-	if s.rounds == nil {
-		s.rounds = make(map[uint32]map[sim.PartyID]float64)
-		return nil
-	}
-	for r, bucket := range s.rounds {
-		clear(bucket)
-		s.freeBuckets = append(s.freeBuckets, bucket)
-		delete(s.rounds, r)
-	}
 	return nil
 }
 
@@ -100,6 +112,11 @@ func (s *SyncAA) Init(api sim.API) {
 		api.Decide(s.v)
 		return
 	}
+	if need := int(s.horizon) + 1; cap(s.rounds) >= need {
+		s.rounds = s.rounds[:need]
+	} else {
+		s.rounds = make([]*roundBucket, need)
+	}
 	s.round = 1
 	s.beginRound()
 }
@@ -112,6 +129,21 @@ func (s *SyncAA) beginRound() {
 
 // Deliver implements sim.Process.
 func (s *SyncAA) Deliver(from sim.PartyID, data []byte) {
+	s.deliver(from, data)
+}
+
+// DeliverBatch implements sim.BatchProcess: the tick's arrivals are
+// ingested in one pass (an O(1) bucket insert each); interleaved round
+// timers fire from inside Next at their exact tick positions, so the
+// round-boundary view reduce happens once per round in both modes.
+func (s *SyncAA) DeliverBatch(b *sim.Batch) {
+	for env := b.Next(); env != nil; env = b.Next() {
+		s.deliver(env.From, env.Data)
+	}
+}
+
+// deliver is the shared per-message body.
+func (s *SyncAA) deliver(from sim.PartyID, data []byte) {
 	if s.err != nil || s.decided {
 		return
 	}
@@ -129,20 +161,22 @@ func (s *SyncAA) Deliver(from sim.PartyID, data []byte) {
 	if m.Round < s.round || uint64(m.Round) > uint64(s.horizon) {
 		return
 	}
-	bucket, ok := s.rounds[m.Round]
-	if !ok {
+	if from < 0 || int(from) >= s.p.N {
+		return
+	}
+	b := s.rounds[m.Round]
+	if b == nil {
 		if k := len(s.freeBuckets); k > 0 {
-			bucket = s.freeBuckets[k-1]
+			b = s.freeBuckets[k-1]
 			s.freeBuckets[k-1] = nil
 			s.freeBuckets = s.freeBuckets[:k-1]
 		} else {
-			bucket = make(map[sim.PartyID]float64, s.p.N)
+			b = newRoundBucket(s.p.N)
 		}
-		s.rounds[m.Round] = bucket
+		b.round = m.Round
+		s.rounds[m.Round] = b
 	}
-	if _, dup := bucket[from]; !dup {
-		bucket[from] = m.Value
-	}
+	b.add(from, m.Value)
 }
 
 // OnTimer implements sim.TimerHandler: the round boundary.
@@ -151,15 +185,13 @@ func (s *SyncAA) OnTimer(tag uint64) {
 		return
 	}
 	view := s.viewBuf[:0]
-	for _, v := range s.rounds[s.round] {
-		view = append(view, v)
+	if b := s.rounds[s.round]; b != nil {
+		view = b.appendValues(view)
+		b.clear()
+		s.freeBuckets = append(s.freeBuckets, b)
+		s.rounds[s.round] = nil
 	}
 	s.viewBuf = view
-	if bucket, ok := s.rounds[s.round]; ok {
-		clear(bucket)
-		s.freeBuckets = append(s.freeBuckets, bucket)
-		delete(s.rounds, s.round)
-	}
 	if len(view) < s.fn.MinInputs() {
 		s.err = fmt.Errorf("core: sync round %d: %d arrivals, below %s minimum %d (synchrony assumption violated)",
 			s.round, len(view), s.fn.Name(), s.fn.MinInputs())

@@ -28,7 +28,11 @@ func (r *recorder) N() int                        { return r.n }
 func (r *recorder) Rand() *rand.Rand              { return r.rng }
 func (r *recorder) Decide(float64)                {}
 func (r *recorder) SetTimer(sim.Time, uint64)     {}
-func (r *recorder) Send(to sim.PartyID, d []byte) { r.sent[to] = append(r.sent[to], d) }
+// Send snapshots the payload, as every real runtime does (behavior procs
+// encode into reusable scratch buffers and rely on it).
+func (r *recorder) Send(to sim.PartyID, d []byte) {
+	r.sent[to] = append(r.sent[to], append([]byte(nil), d...))
+}
 func (r *recorder) Multicast(d []byte) {
 	for i := 0; i < r.n; i++ {
 		r.Send(sim.PartyID(i), d)

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -81,6 +82,25 @@ type RunContext struct {
 	est []sim.Estimator
 	byz map[sim.PartyID]sim.Process
 
+	// Observer state for trajectory/trace runs. obsFn caches the observer
+	// closure (one bound-method value per context, not one per run); the
+	// remaining fields are the per-run parameters it reads, so a warm
+	// trajectory-recording run allocates nothing (TestTrajectoryReusedAllocs).
+	obsFn    func(now sim.Time, env sim.Envelope)
+	obsTrace func(now sim.Time, env sim.Envelope)
+	obsRep   *Report
+	obsLast  float64
+	obsTraj  bool
+
+	// byzPool recycles Byzantine behavior processes across runs: a run's
+	// processes are parked here at the start of the next run, and
+	// fault.Renewer behaviors revive a parked process of their type
+	// instead of rebuilding it — the same pooling the protocol parties
+	// get, which is what pins the warm Byzantine path at zero allocations
+	// (TestByzRunReusedAllocs). Pool size is bounded by the largest
+	// Byzantine cohort the context has served.
+	byzPool []sim.Process
+
 	// rep and res back the reused-report Run path; they are handed to the
 	// caller and remain valid until the next Run on this context.
 	rep Report
@@ -136,6 +156,49 @@ func (c *RunContext) party(p core.Params, i int, input float64) (sim.Process, er
 	}
 }
 
+// observe is the context's reusable observer body: the optional trace
+// callback first, then change-sampled honest-diameter trajectory points.
+func (c *RunContext) observe(now sim.Time, env sim.Envelope) {
+	if c.obsTrace != nil {
+		c.obsTrace(now, env)
+	}
+	if !c.obsTraj {
+		return
+	}
+	d, ok := honestDiameter(c.est)
+	if !ok {
+		return
+	}
+	if d != c.obsLast {
+		c.obsRep.Trajectory = append(c.obsRep.Trajectory, TrajPoint{Time: now, Diameter: d})
+		c.obsLast = d
+	}
+}
+
+// maxByzPool bounds the Byzantine process pool; every built-in behavior
+// renews, so the pool normally stabilizes at the largest cohort size.
+const maxByzPool = 64
+
+// byzProc builds the adversarial process for one Byzantine party, reviving
+// a pooled process when the behavior supports it (fault.Renewer) and
+// falling back to fresh construction otherwise. Pool order cannot affect
+// determinism: Renew fully re-derives the process state from env, so any
+// process of the right type is interchangeable with a fresh one.
+func (c *RunContext) byzProc(b fault.Behavior, env fault.Env) sim.Process {
+	if rn, ok := b.(fault.Renewer); ok {
+		for i, cand := range c.byzPool {
+			if proc, ok := rn.Renew(cand, env); ok {
+				last := len(c.byzPool) - 1
+				c.byzPool[i] = c.byzPool[last]
+				c.byzPool[last] = nil
+				c.byzPool = c.byzPool[:last]
+				return proc
+			}
+		}
+	}
+	return b.New(env)
+}
+
 // run executes spec into rep, recycling the context's simulator and party
 // state. rep's storage (Result maps, ProtoErrs, Trajectory) is reused when
 // already allocated and (re)allocated when not, so the same body serves
@@ -159,24 +222,32 @@ func (c *RunContext) run(spec Spec, rep *Report) error {
 		Crashes:   spec.Crashes,
 		MaxEvents: spec.MaxEvents,
 		Core:      EventCore(),
+		Batch:     Batching(),
+	}
+	// Park the previous run's Byzantine processes in the pool before
+	// clearing the map (the start-of-run point also covers error returns,
+	// which skip any end-of-run cleanup). The processes are small concrete
+	// records (scratch buffers plus parameters), so keeping them warm does
+	// not pin a run graph the way the pre-pooling process closures did.
+	if len(c.byz) > 0 {
+		for _, proc := range c.byz {
+			// The cap bounds the pool when behaviors don't implement
+			// fault.Renewer (their parked processes would never be drawn
+			// again): beyond it, references are simply dropped to the GC.
+			if len(c.byzPool) < maxByzPool {
+				c.byzPool = append(c.byzPool, proc)
+			}
+		}
+		clear(c.byz)
 	}
 	if len(spec.Byz) > 0 {
 		if c.byz == nil {
 			c.byz = make(map[sim.PartyID]sim.Process, len(spec.Byz))
-		} else {
-			clear(c.byz)
 		}
 		for id, b := range spec.Byz {
-			c.byz[id] = b.New(env)
+			c.byz[id] = c.byzProc(b, env)
 		}
 		cfg.Byzantine = c.byz
-	} else if len(c.byz) > 0 {
-		// Drop a previous Byzantine run's process references on the first
-		// later run, whatever its outcome: a pooled context may serve
-		// thousands of fault-free runs next, and the map would otherwise
-		// pin the whole process graph throughout (this start-of-run clear
-		// also covers error returns, which skip any end-of-run cleanup).
-		clear(c.byz)
 	}
 	if c.net == nil {
 		net, err := sim.New(cfg)
@@ -208,32 +279,34 @@ func (c *RunContext) run(spec Spec, rep *Report) error {
 	rep.ProtoErrs = rep.ProtoErrs[:0]
 	rep.Trajectory = rep.Trajectory[:0]
 	if spec.RecordTrajectory || spec.Observer != nil {
-		last := math.Inf(1)
-		trace, traj := spec.Observer, spec.RecordTrajectory
-		est := c.est
-		net.SetObserver(func(now sim.Time, env sim.Envelope) {
-			if trace != nil {
-				trace(now, env)
+		if spec.RecordTrajectory {
+			// Preallocate the trajectory from the round budget: the honest
+			// diameter is sampled on change only, and every party's
+			// estimate moves at most once per round, so n·(rounds+2)
+			// covers a run's samples — later growth (a pathological
+			// schedule) still appends correctly, it just allocates.
+			if need := p.N * (env.Rounds + 2); cap(rep.Trajectory) < need {
+				rep.Trajectory = make([]TrajPoint, 0, need)
 			}
-			if !traj {
-				return
-			}
-			d, ok := honestDiameter(est)
-			if !ok {
-				return
-			}
-			if d != last {
-				rep.Trajectory = append(rep.Trajectory, TrajPoint{Time: now, Diameter: d})
-				last = d
-			}
-		})
+		}
+		c.obsTrace = spec.Observer
+		c.obsTraj = spec.RecordTrajectory
+		c.obsRep = rep
+		c.obsLast = math.Inf(1)
+		if c.obsFn == nil {
+			c.obsFn = c.observe
+		}
+		net.SetObserver(c.obsFn)
 	}
 	rep.RunErr = net.RunInto(rep.Result)
-	// Detach the observer closure immediately: left in place it would pin
-	// the (possibly caller-retained) report, the trajectory, and the
-	// user's trace callback from an idle pooled context.
+	// Detach the observer immediately: left in place it would pin the
+	// (possibly caller-retained) report, the trajectory, and the user's
+	// trace callback from an idle pooled context.
 	if spec.RecordTrajectory || spec.Observer != nil {
 		net.SetObserver(nil)
+		c.obsTrace = nil
+		c.obsRep = nil
+		c.obsTraj = false
 	}
 	for i := 0; i < p.N; i++ {
 		id := sim.PartyID(i)

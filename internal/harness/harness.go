@@ -49,6 +49,10 @@ type Spec struct {
 	RecordTrajectory bool
 	// Observer, when non-nil, sees every delivery (before the trajectory
 	// sampler). The core-equivalence tests use it to record full traces.
+	// Under batched delivery (the default) a dense tick's callbacks
+	// replay at tick end in delivery order, so an observer reading live
+	// protocol state sees end-of-tick state; the callback sequence itself
+	// is identical across delivery modes.
 	Observer func(now sim.Time, env sim.Envelope)
 	// MaxEvents overrides the simulator's default event budget.
 	MaxEvents int

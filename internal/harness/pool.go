@@ -64,6 +64,20 @@ func SetEventCore(c sim.EventCore) { eventCore.Store(int32(c)) }
 // EventCore reports the event core currently in effect.
 func EventCore() sim.EventCore { return sim.EventCore(eventCore.Load()) }
 
+// batchMode selects batched versus per-envelope tick delivery for every
+// engine run. The modes are observably equivalent (pinned by the batch
+// equivalence tests); the switch exists for those tests and for A/B
+// benchmarking (cmd/aabench -batch).
+var batchMode atomic.Int32
+
+// SetBatching selects the simulator delivery mode used by Run (and
+// therefore every experiment). sim.BatchDefault restores the default
+// (batched).
+func SetBatching(m sim.BatchMode) { batchMode.Store(int32(m)) }
+
+// Batching reports the delivery mode currently in effect.
+func Batching() sim.BatchMode { return sim.BatchMode(batchMode.Load()) }
+
 // EngineStats aggregates run-level accounting across every engine-executed
 // simulation since the last reset. cmd/aabench snapshots it around each
 // experiment to report msgs/run and allocs/run in the BENCH_*.json

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -158,6 +159,101 @@ func TestRunReusedAllocs(t *testing.T) {
 		})
 	}
 }
+
+// TestByzRunReusedAllocs pins the Byzantine arm of the economy claim:
+// behavior processes are pooled through the run context (fault.Renewer)
+// and encode into reusable scratch, so a warm Byzantine run — scripted
+// one-shot attackers and the reactive amplifier alike, on both the trim
+// and the witness protocol — performs zero steady-state heap allocations,
+// exactly like the fault-free path.
+func TestByzRunReusedAllocs(t *testing.T) {
+	cases := []struct {
+		name string
+		p    core.Params
+		scen string
+	}{
+		{"byztrim-scripted", core.Params{Protocol: core.ProtoByzTrim, N: 22, T: 3, Eps: 1e-3, Lo: 0, Hi: 1},
+			"splitviews+extreme+equivocate+spam/n=22,t=3"},
+		{"byztrim-amplifier", core.Params{Protocol: core.ProtoByzTrim, N: 15, T: 2, Eps: 1e-3, Lo: 0, Hi: 1},
+			"splitviews+amplifier/n=15,t=2"},
+		{"witness-equivocate", core.Params{Protocol: core.ProtoWitness, N: 10, T: 3, Eps: 1e-3, Lo: 0, Hi: 1},
+			"splitviews+equivocate+silent/n=10,t=3"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spec, err := SpecFrom(c.p, BimodalInputs(c.p.N, 0, 1), scenario.MustParse(c.scen), 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := NewRunContext()
+			if rep, err := ctx.Run(spec); err != nil {
+				t.Fatalf("warm-up failed: %v", err)
+			} else if !rep.OK() {
+				t.Fatalf("warm-up run failed: %s", rep.Failure())
+			}
+			var runErr error
+			var runFail string
+			allocs := testing.AllocsPerRun(100, func() {
+				rep, err := ctx.Run(spec)
+				switch {
+				case err != nil:
+					runErr = err
+				case !rep.OK():
+					runFail = rep.Failure()
+				}
+			})
+			if runErr != nil {
+				t.Fatalf("run failed: %v", runErr)
+			}
+			if runFail != "" {
+				t.Fatalf("run failed: %s", runFail)
+			}
+			if allocs != 0 {
+				t.Errorf("warm Byzantine steady state allocates %.2f/run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestTrajectoryReusedAllocs pins the trajectory-recording arm (the E5
+// path): the observer closure is cached on the context and the trajectory
+// storage is preallocated from the round budget, so warm sampled runs
+// allocate nothing.
+func TestTrajectoryReusedAllocs(t *testing.T) {
+	p := core.Params{Protocol: core.ProtoByzTrim, N: 15, T: 2, Eps: 1e-3, Lo: 0, Hi: 1}
+	spec, err := SpecFrom(p, BimodalInputs(p.N, 0, 1), scenario.MustParse("splitviews+amplifier/n=15,t=2"), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.RecordTrajectory = true
+	ctx := NewRunContext()
+	rep, err := ctx.Run(spec)
+	if err != nil {
+		t.Fatalf("warm-up failed: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("warm-up run failed: %s", rep.Failure())
+	}
+	if len(rep.Trajectory) == 0 {
+		t.Fatal("no trajectory recorded")
+	}
+	var runErr error
+	allocs := testing.AllocsPerRun(100, func() {
+		if rep, err := ctx.Run(spec); err != nil {
+			runErr = err
+		} else if len(rep.Trajectory) == 0 {
+			runErr = errNoTrajectory
+		}
+	})
+	if runErr != nil {
+		t.Fatalf("run failed: %v", runErr)
+	}
+	if allocs != 0 {
+		t.Errorf("warm trajectory steady state allocates %.2f/run, want 0", allocs)
+	}
+}
+
+var errNoTrajectory = errors.New("no trajectory recorded")
 
 // TestRunContextSurvivesShapeChanges drives one context through a sweep
 // that changes protocol, n, and fault composition between consecutive runs

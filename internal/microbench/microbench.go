@@ -50,6 +50,8 @@ func Cases() []Case {
 		{"simloop/calendar", func(b *testing.B) { SimLoop(b, sim.CoreCalendar) }},
 		{"simloop/heap", func(b *testing.B) { SimLoop(b, sim.CoreHeap) }},
 		{"scenario/e12", ScenarioE12},
+		{"deliverbatch/on", func(b *testing.B) { DeliverBatch(b, sim.BatchOn) }},
+		{"deliverbatch/off", func(b *testing.B) { DeliverBatch(b, sim.BatchOff) }},
 		{"harness/run-reused", RunReused},
 	}
 }
@@ -124,6 +126,32 @@ func ScenarioE12(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		rep, err := harness.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.OK() {
+			b.Fatalf("run failed: %s", rep.Failure())
+		}
+	}
+}
+
+// DeliverBatch measures the tick-delivery core A/B: the same E12-style
+// crash-protocol run at n=64 with batched destination-grouped delivery
+// (sim.BatchOn, the default) versus the per-envelope reference loop
+// (sim.BatchOff). The runs are observably identical — pinned by the batch
+// equivalence tests — so the delta is pure delivery-path cost.
+func DeliverBatch(b *testing.B, mode sim.BatchMode) {
+	harness.SetBatching(mode)
+	defer harness.SetBatching(sim.BatchDefault)
+	scen := scenario.MustParse("splitviews+crash/n=64,t=31")
+	p := core.Params{Protocol: core.ProtoCrash, N: 64, T: 31, Eps: 1e-3, Lo: 0, Hi: 1}
+	inputs := harness.BimodalInputs(64, 0, 1)
+	spec, err := harness.SpecFrom(p, inputs, scen, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
 		rep, err := harness.Run(spec)
 		if err != nil {
 			b.Fatal(err)

@@ -115,6 +115,33 @@ type Network struct {
 	stats      Stats
 	finishTime Time
 
+	// Hot per-party state lives in parallel flat arrays indexed by PartyID
+	// (struct-of-arrays): the per-event loops touch only the field they
+	// need, walking contiguous memory instead of chasing partyState
+	// pointers — the cache-density move for n >= 256 sweeps. The partyState
+	// records keep the cold identity (process, rand source).
+	crashed    []bool
+	faulty     []bool // any fault assignment (crash or byzantine)
+	byz        []bool
+	decided    []bool
+	sendBudget []int // sends remaining before a crash fires; -1 = unlimited
+	decision   []float64
+	decidedAt  []Time
+
+	// Batched tick delivery state (see batch.go): per-destination staging
+	// of the tick's event indices, the deferred send/timer ops with their
+	// counting-sort scratch, and the trigger bookkeeping behind the
+	// mid-tick completion repair.
+	batching   bool
+	stage      [][]int32
+	touched    []int32
+	pend       []pendingOp
+	delivTrig  []int32
+	curTrig    int32
+	decideTrig int32
+	deferOps   bool
+	bat        Batch
+
 	maxHonestDelay Time
 	pendingHonest  int // honest parties that have not decided yet
 
@@ -177,20 +204,14 @@ func (n *Network) nextBlock(need int) {
 	}
 }
 
+// partyState is a party's cold identity record and its API implementation.
+// The hot flags and values (crashed/decided, send budget, decision) live in
+// the Network's parallel arrays, indexed by id.
 type partyState struct {
-	id      PartyID
-	proc    Process
-	net     *Network
-	rng     *rand.Rand
-	faulty  bool // any fault assignment (crash or byzantine)
-	byz     bool
-	crashed bool // crash already triggered
-	// sendBudget is the number of sends remaining before a crash fires;
-	// -1 means unlimited (no crash plan).
-	sendBudget int
-	decided    bool
-	decision   float64
-	decidedAt  Time
+	id   PartyID
+	proc Process
+	net  *Network
+	rng  *rand.Rand
 }
 
 var _ API = (*partyState)(nil)
@@ -206,20 +227,58 @@ func (p *partyState) Send(to PartyID, data []byte) {
 func (p *partyState) Multicast(data []byte) {
 	// One snapshot shared by all n envelopes: the sender may reuse its
 	// buffer immediately, and the n recipients alias a single copy.
-	buf := p.net.snapshot(data)
-	for to := 0; to < p.net.cfg.N; to++ {
-		p.net.send(p, PartyID(to), buf)
+	n := p.net
+	buf := n.snapshot(data)
+	if n.deferOps {
+		// Batched tick in progress: the whole multicast coalesces into one
+		// pending op (expanded recipient-by-recipient at the flush, in the
+		// exact per-send order the unbatched loop produces). The crash
+		// budget is settled here, at call time, with the unbatched
+		// semantics: a budget smaller than the fan-out truncates the
+		// multicast to the first sendBudget recipients and fires the crash.
+		id := p.id
+		if n.crashed[id] {
+			return
+		}
+		k := n.cfg.N
+		if bud := n.sendBudget[id]; bud >= 0 {
+			if bud < k {
+				k = bud
+				n.crashed[id] = true
+			}
+			n.sendBudget[id] -= k
+		}
+		if k == 0 {
+			return
+		}
+		n.stats.MessagesSent += k
+		n.stats.BytesSent += k * len(buf)
+		if !n.faulty[id] {
+			n.stats.HonestMessagesSent += k
+			n.stats.HonestBytesSent += k * len(buf)
+		}
+		n.pend = append(n.pend, pendingOp{data: buf, from: id, trig: n.curTrig, mcastTo: int32(k)})
+		return
+	}
+	for to := 0; to < n.cfg.N; to++ {
+		n.send(p, PartyID(to), buf)
 	}
 }
 
 func (p *partyState) SetTimer(delay Time, tag uint64) {
-	if p.crashed {
+	net := p.net
+	if net.crashed[p.id] {
 		return
 	}
 	if delay < 1 {
 		delay = 1
 	}
-	net := p.net
+	if net.deferOps {
+		net.pend = append(net.pend, pendingOp{
+			from: p.id, delay: delay, tag: tag, trig: net.curTrig, timer: true,
+		})
+		return
+	}
 	net.seq++
 	net.queue.Push(event{
 		at:    net.now + delay,
@@ -230,16 +289,23 @@ func (p *partyState) SetTimer(delay Time, tag uint64) {
 }
 
 func (p *partyState) Decide(value float64) {
-	if p.decided {
+	net := p.net
+	if net.decided[p.id] {
 		return
 	}
-	p.decided = true
-	p.decision = value
-	p.decidedAt = p.net.now
-	if !p.faulty {
-		p.net.pendingHonest--
-		if p.net.now > p.net.finishTime {
-			p.net.finishTime = p.net.now
+	net.decided[p.id] = true
+	net.decision[p.id] = value
+	net.decidedAt[p.id] = net.now
+	if !net.faulty[p.id] {
+		net.pendingHonest--
+		if net.now > net.finishTime {
+			net.finishTime = net.now
+		}
+		// Track the latest trigger that produced an honest decision: if
+		// this tick completes the run, the unbatched loop would have
+		// stopped exactly there (the mid-tick completion repair).
+		if net.deferOps && net.curTrig > net.decideTrig {
+			net.decideTrig = net.curTrig
 		}
 	}
 }
@@ -310,30 +376,30 @@ func (n *Network) Reset(cfg Config) error {
 	for _, ps := range n.allParties[cfg.N:] {
 		ps.proc = nil
 	}
+	n.resizeSoA(cfg.N)
 	for i, ps := range n.parties {
 		if i < recycled {
 			ps.rng.Seed(partySeed(cfg.Seed, i))
 		}
 		ps.proc = nil
-		ps.faulty = false
-		ps.byz = false
-		ps.crashed = false
-		ps.sendBudget = -1
-		ps.decided = false
-		ps.decision = 0
-		ps.decidedAt = 0
+		n.faulty[i] = false
+		n.byz[i] = false
+		n.crashed[i] = false
+		n.sendBudget[i] = -1
+		n.decided[i] = false
+		n.decision[i] = 0
+		n.decidedAt[i] = 0
 	}
 	for _, cr := range cfg.Crashes {
-		ps := n.parties[cr.Party]
-		ps.faulty = true
-		ps.sendBudget = cr.AfterSends
+		n.faulty[cr.Party] = true
+		n.sendBudget[cr.Party] = cr.AfterSends
 	}
 	for id, proc := range cfg.Byzantine {
-		ps := n.parties[id]
-		ps.faulty = true
-		ps.byz = true
-		ps.proc = proc
+		n.faulty[id] = true
+		n.byz[id] = true
+		n.parties[id].proc = proc
 	}
+	n.batching = cfg.Batch.Resolve() == BatchOn
 	n.now = 0
 	n.seq = 0
 	n.stats = Stats{}
@@ -341,6 +407,15 @@ func (n *Network) Reset(cfg Config) error {
 	n.maxHonestDelay = 0
 	n.pendingHonest = 0
 	n.observer = nil
+	// Batching scratch is empty between ticks by construction; clear
+	// defensively so an aborted run can never leak payload references.
+	for i := range n.pend {
+		n.pend[i].data = nil
+	}
+	n.pend = n.pend[:0]
+	n.touched = n.touched[:0]
+	n.delivTrig = n.delivTrig[:0]
+	n.deferOps = false
 	n.arenaOff = 0
 	if len(n.blocks) > 0 {
 		n.blk, n.cur = 0, n.blocks[0]
@@ -350,6 +425,37 @@ func (n *Network) Reset(cfg Config) error {
 	return nil
 }
 
+// resizeSoA (re)sizes the flat per-party state arrays and the batching
+// stage to n parties, growing capacity geometrically and recycling it
+// across runs like the party records themselves.
+func (n *Network) resizeSoA(size int) {
+	if cap(n.crashed) < size {
+		n.crashed = make([]bool, size)
+		n.faulty = make([]bool, size)
+		n.byz = make([]bool, size)
+		n.decided = make([]bool, size)
+		n.sendBudget = make([]int, size)
+		n.decision = make([]float64, size)
+		n.decidedAt = make([]Time, size)
+	}
+	n.crashed = n.crashed[:size]
+	n.faulty = n.faulty[:size]
+	n.byz = n.byz[:size]
+	n.decided = n.decided[:size]
+	n.sendBudget = n.sendBudget[:size]
+	n.decision = n.decision[:size]
+	n.decidedAt = n.decidedAt[:size]
+	if cap(n.stage) < size {
+		grown := make([][]int32, size)
+		copy(grown, n.stage[:cap(n.stage)])
+		n.stage = grown
+	}
+	n.stage = n.stage[:size]
+	for i := range n.stage {
+		n.stage[i] = n.stage[i][:0]
+	}
+}
+
 // SetProcess attaches the protocol state machine for a party. It must be
 // called for every non-Byzantine party before Run. Attaching to a Byzantine
 // party is an error: the adversarial process from the Config runs there.
@@ -357,14 +463,13 @@ func (n *Network) SetProcess(id PartyID, proc Process) error {
 	if id < 0 || int(id) >= n.cfg.N {
 		return fmt.Errorf("sim: SetProcess: party %d out of range [0,%d)", id, n.cfg.N)
 	}
-	ps := n.parties[id]
-	if ps.byz {
+	if n.byz[id] {
 		return fmt.Errorf("sim: SetProcess: party %d is Byzantine; its process comes from the config", id)
 	}
 	if proc == nil {
 		return fmt.Errorf("sim: SetProcess: nil process for party %d", id)
 	}
-	ps.proc = proc
+	n.parties[id].proc = proc
 	return nil
 }
 
@@ -385,20 +490,34 @@ func (n *Network) Party(id PartyID) Process {
 func (n *Network) Now() Time { return n.now }
 
 func (n *Network) send(from *partyState, to PartyID, data []byte) {
-	if from.crashed {
+	id := from.id
+	if n.crashed[id] {
 		return
 	}
-	if from.sendBudget == 0 {
+	if n.sendBudget[id] == 0 {
 		// The crash plan fires: this send and everything after it is lost.
-		from.crashed = true
+		n.crashed[id] = true
 		return
 	}
-	if from.sendBudget > 0 {
-		from.sendBudget--
+	if n.sendBudget[id] > 0 {
+		n.sendBudget[id]--
+	}
+	n.stats.MessagesSent++
+	n.stats.BytesSent += len(data)
+	if !n.faulty[id] {
+		n.stats.HonestMessagesSent++
+		n.stats.HonestBytesSent += len(data)
+	}
+	if n.deferOps {
+		// Batched tick in progress: record the send against the event
+		// being processed; Seq assignment and the delay draw happen in
+		// trigger order at the tick-end flush (see batch.go).
+		n.pend = append(n.pend, pendingOp{data: data, from: id, to: to, trig: n.curTrig})
+		return
 	}
 	n.seq++
 	env := Envelope{
-		From: from.id,
+		From: id,
 		To:   to,
 		Data: data,
 		Sent: n.now,
@@ -411,14 +530,8 @@ func (n *Network) send(from *partyState, to PartyID, data []byte) {
 	if delay > MaxDelayCap {
 		delay = MaxDelayCap
 	}
-	if !from.faulty && !n.parties[to].faulty && delay > n.maxHonestDelay {
+	if !n.faulty[id] && !n.faulty[to] && delay > n.maxHonestDelay {
 		n.maxHonestDelay = delay
-	}
-	n.stats.MessagesSent++
-	n.stats.BytesSent += len(data)
-	if !from.faulty {
-		n.stats.HonestMessagesSent++
-		n.stats.HonestBytesSent += len(data)
 	}
 	n.queue.Push(event{at: n.now + delay, env: env})
 }
@@ -459,8 +572,8 @@ func (n *Network) RunInto(res *Result) error {
 // runInto is the shared execution body; callers have already checkProcs'd.
 func (n *Network) runInto(res *Result) error {
 	n.pendingHonest = 0
-	for _, ps := range n.parties {
-		if !ps.faulty {
+	for i := range n.faulty {
+		if !n.faulty[i] {
 			n.pendingHonest++
 		}
 	}
@@ -473,13 +586,24 @@ func (n *Network) runInto(res *Result) error {
 		budget = n.defaultMaxEvents
 	}
 	var err error
+	if n.batching {
+		err = n.runBatched(budget)
+	} else {
+		err = n.runUnbatched(budget)
+	}
+	n.resultInto(res)
+	return err
+}
+
+// runUnbatched is the per-envelope reference loop (sim.BatchOff). The loop
+// drains the queue one virtual-time tick at a time: PopTick hands over
+// every event of the earliest tick in one batch (delays are >= 1, so
+// deliveries can never append to the tick in flight), and the inner
+// consumption runs straight through the batch in (at, Seq) order. The
+// batched loop in batch.go is pinned observably equivalent to this one.
+func (n *Network) runUnbatched(budget int) error {
+	var err error
 	events := 0
-	// The loop drains the queue one virtual-time tick at a time: PopTick
-	// hands over every event of the earliest tick in one batch (delays are
-	// >= 1, so deliveries can never append to the tick in flight), and the
-	// inner consumption runs straight through the batch without touching
-	// the queue structure — same-tick deliveries to the same party hit a
-	// warm process with no queue bookkeeping in between.
 	batch, bi := n.batch[:0], 0
 	for n.pendingHonest > 0 {
 		if bi == len(batch) {
@@ -497,10 +621,10 @@ func (n *Network) runInto(res *Result) error {
 		events++
 		ev := batch[bi]
 		bi++
-		dst := n.parties[ev.env.To]
-		if dst.crashed {
+		if n.crashed[ev.env.To] {
 			continue
 		}
+		dst := n.parties[ev.env.To]
 		if ev.timer {
 			if th, ok := dst.proc.(TimerHandler); ok {
 				th.OnTimer(ev.tag)
@@ -514,7 +638,6 @@ func (n *Network) runInto(res *Result) error {
 		}
 	}
 	n.batch = batch[:0]
-	n.resultInto(res)
 	return err
 }
 
@@ -535,13 +658,14 @@ func (n *Network) resultInto(res *Result) {
 	res.FinishTime = n.finishTime
 	res.MaxHonestDelay = n.maxHonestDelay
 	res.Stats = n.stats
-	for _, ps := range n.parties {
-		if ps.decided {
-			res.Decisions[ps.id] = ps.decision
-			res.DecidedAt[ps.id] = ps.decidedAt
+	for i := 0; i < n.cfg.N; i++ {
+		id := PartyID(i)
+		if n.decided[i] {
+			res.Decisions[id] = n.decision[i]
+			res.DecidedAt[id] = n.decidedAt[i]
 		}
-		if !ps.faulty {
-			res.Honest = append(res.Honest, ps.id)
+		if !n.faulty[i] {
+			res.Honest = append(res.Honest, id)
 		}
 	}
 }

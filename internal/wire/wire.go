@@ -46,6 +46,21 @@ const (
 var (
 	ErrShort   = errors.New("wire: message truncated")
 	ErrBadKind = errors.New("wire: unknown message kind")
+
+	// Pre-wrapped per-message-type reject errors. The decoders run on the
+	// adversarial hot path (a spam attacker makes every party reject
+	// thousands of messages per run), so the reject path must not allocate:
+	// these are built once, and errors.Is(err, ErrShort/ErrBadKind) keeps
+	// working through the wrap.
+	errBadKindByte    = fmt.Errorf("%w (leading byte outside the kind range)", ErrBadKind)
+	errShortWrapped   = fmt.Errorf("%w: wrapped", ErrShort)
+	errShortInit      = fmt.Errorf("%w: init", ErrShort)
+	errShortValue     = fmt.Errorf("%w: value", ErrShort)
+	errShortDecided   = fmt.Errorf("%w: decided", ErrShort)
+	errShortRBC       = fmt.Errorf("%w: rbc", ErrShort)
+	errBadRBCPhase    = errors.New("wire: rbc: phase outside the send/echo/ready range")
+	errShortReport    = fmt.Errorf("%w: report", ErrShort)
+	errShortReportIDs = fmt.Errorf("%w: report senders", ErrShort)
 )
 
 // Init is the adaptive-mode input announcement.
@@ -173,7 +188,7 @@ func Peek(b []byte) (Kind, error) {
 	}
 	k := Kind(b[0])
 	if k < KindInit || k > KindWrapped {
-		return 0, fmt.Errorf("%w: %d", ErrBadKind, b[0])
+		return 0, errBadKindByte
 	}
 	return k, nil
 }
@@ -194,7 +209,7 @@ func MarshalWrapped(dim uint16, inner []byte) []byte {
 // inner bytes (which alias the input).
 func UnmarshalWrapped(b []byte) (dim uint16, inner []byte, err error) {
 	if len(b) < 3 || Kind(b[0]) != KindWrapped {
-		return 0, nil, fmt.Errorf("%w: wrapped", ErrShort)
+		return 0, nil, errShortWrapped
 	}
 	return binary.LittleEndian.Uint16(b[1:]), b[3:], nil
 }
@@ -202,7 +217,7 @@ func UnmarshalWrapped(b []byte) (dim uint16, inner []byte, err error) {
 // UnmarshalInit decodes an Init message.
 func UnmarshalInit(b []byte) (Init, error) {
 	if len(b) < 9 || Kind(b[0]) != KindInit {
-		return Init{}, fmt.Errorf("%w: init", ErrShort)
+		return Init{}, errShortInit
 	}
 	return Init{Value: math.Float64frombits(binary.LittleEndian.Uint64(b[1:]))}, nil
 }
@@ -210,7 +225,7 @@ func UnmarshalInit(b []byte) (Init, error) {
 // UnmarshalValue decodes a Value message.
 func UnmarshalValue(b []byte) (Value, error) {
 	if len(b) < 17 || Kind(b[0]) != KindValue {
-		return Value{}, fmt.Errorf("%w: value", ErrShort)
+		return Value{}, errShortValue
 	}
 	return Value{
 		Round:   binary.LittleEndian.Uint32(b[1:]),
@@ -222,7 +237,7 @@ func UnmarshalValue(b []byte) (Value, error) {
 // UnmarshalDecided decodes a Decided message.
 func UnmarshalDecided(b []byte) (Decided, error) {
 	if len(b) < 9 || Kind(b[0]) != KindDecided {
-		return Decided{}, fmt.Errorf("%w: decided", ErrShort)
+		return Decided{}, errShortDecided
 	}
 	return Decided{Value: math.Float64frombits(binary.LittleEndian.Uint64(b[1:]))}, nil
 }
@@ -230,7 +245,7 @@ func UnmarshalDecided(b []byte) (Decided, error) {
 // UnmarshalRBC decodes an RBC phase message.
 func UnmarshalRBC(b []byte) (RBC, error) {
 	if len(b) < 16 || Kind(b[0]) != KindRBC {
-		return RBC{}, fmt.Errorf("%w: rbc", ErrShort)
+		return RBC{}, errShortRBC
 	}
 	m := RBC{
 		Phase:  b[1],
@@ -239,7 +254,7 @@ func UnmarshalRBC(b []byte) (RBC, error) {
 		Value:  math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
 	}
 	if m.Phase < RBCSend || m.Phase > RBCReady {
-		return RBC{}, fmt.Errorf("wire: rbc: bad phase %d", m.Phase)
+		return RBC{}, errBadRBCPhase
 	}
 	return m, nil
 }
@@ -256,11 +271,11 @@ func UnmarshalReport(b []byte) (Report, error) {
 // the returned slice as its next scratch to retain any growth.
 func UnmarshalReportInto(b []byte, scratch []uint16) (Report, error) {
 	if len(b) < ReportHeader || Kind(b[0]) != KindReport {
-		return Report{}, fmt.Errorf("%w: report", ErrShort)
+		return Report{}, errShortReport
 	}
 	count := int(binary.LittleEndian.Uint16(b[5:]))
 	if len(b) < ReportHeader+2*count {
-		return Report{}, fmt.Errorf("%w: report senders", ErrShort)
+		return Report{}, errShortReportIDs
 	}
 	senders := scratch[:0]
 	for i := 0; i < count; i++ {
