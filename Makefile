@@ -8,7 +8,7 @@ GO ?= go
 BENCH_OLD ?= BENCH_4.json
 BENCH_NEW ?= BENCH_5.json
 
-.PHONY: check vet race bench bench-compare bench-smoke bench-smoke-refresh benchmem e12-smoke
+.PHONY: check vet race bench bench-compare bench-smoke bench-smoke-refresh benchmem e12-smoke incident-replay incident-regen
 
 check:
 	$(GO) build ./...
@@ -47,6 +47,21 @@ bench-smoke-refresh:
 # protocol, ~3M messages per run, asserting full invariant success.
 e12-smoke:
 	E12_LARGE_SMOKE=1 $(GO) test -run TestE12LargeN512Smoke -v -timeout 20m ./internal/harness/
+
+# incident-replay replays every committed incident bundle in
+# testdata/incidents/ across the {heap, calendar} x {batch on, off} x
+# {1, 8 workers} matrix and diffs each run against the recorded digest.
+# Any divergence reports the episode, the matrix cell, and the first
+# divergent send sequence. Runs in well under a second; wired into CI.
+incident-replay:
+	$(GO) test -run 'TestIncidentCorpusReplayMatrix|TestCorpusMutationDetected' -count=1 -v ./internal/incident/
+
+# incident-regen re-captures the corpus from the episode definitions in
+# internal/incident/corpus.go. Use when adding an episode or after an
+# *intentional* schedule-affecting change — never to paper over an
+# unexplained divergence.
+incident-regen:
+	INCIDENT_REGEN=1 $(GO) test -run TestIncidentCorpusReplayMatrix -count=1 -v ./internal/incident/
 
 # benchmem runs the substrate micro-benchmarks with allocation accounting,
 # the numbers PERF.md tracks.

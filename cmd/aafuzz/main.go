@@ -13,15 +13,22 @@
 // contract under test: a bad scenario fails at spec time, never mid-run,
 // and a good one never drifts through the string form. -scenario-trials
 // sets that budget separately.
+//
+// -artifacts DIR turns every failing trial into a replayable incident
+// bundle (internal/incident) written under DIR, and prints the one-line
+// `aarun -replay` command that reproduces it exactly — the same
+// interleaving, send for send.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/incident"
 )
 
 func main() {
@@ -36,6 +43,7 @@ func run(args []string) error {
 	trials := fs.Int("trials", 1000, "number of randomized executions")
 	scenarioTrials := fs.Int("scenario-trials", 400, "number of randomized scenario-registry compositions")
 	seed := fs.Int64("seed", time.Now().UnixNano(), "search seed (printed for reproduction)")
+	artifacts := fs.String("artifacts", "", "directory for failing-trial incident bundles (created if needed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +59,7 @@ func run(args []string) error {
 			for _, v := range sres.Violations {
 				fmt.Println("VIOLATION:", v)
 			}
+			writeArtifacts(*artifacts, "scenario", sres.Failures)
 			return fmt.Errorf("%d scenario invariant violations", len(sres.Violations))
 		}
 	}
@@ -71,8 +80,49 @@ func run(args []string) error {
 		for _, v := range res.Violations {
 			fmt.Println("VIOLATION:", v)
 		}
+		writeArtifacts(*artifacts, "fuzz", res.Failures)
 		return fmt.Errorf("%d invariant violations", len(res.Violations))
 	}
 	fmt.Println("no invariant violations")
 	return nil
+}
+
+// writeArtifacts captures each failing trial as an incident bundle under
+// dir and prints the replay command. Artifact failures are reported but
+// never mask the violation exit: the fuzzer's verdict stands even when a
+// repro cannot be written.
+func writeArtifacts(dir, kind string, failures []harness.FuzzViolation) {
+	if dir == "" || len(failures) == 0 {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "aafuzz: artifacts dir: %v\n", err)
+		return
+	}
+	for _, v := range failures {
+		path, err := writeArtifact(dir, kind, v)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aafuzz: artifact for trial %d: %v\n", v.Trial, err)
+			continue
+		}
+		fmt.Printf("reproduce: aarun -replay %s\n", path)
+	}
+}
+
+// writeArtifact captures one violation into dir and returns the bundle
+// path.
+func writeArtifact(dir, kind string, v harness.FuzzViolation) (string, error) {
+	name := fmt.Sprintf("%s-trial-%d", kind, v.Trial)
+	b, err := incident.FromFuzz(v, name)
+	if err != nil {
+		return "", err
+	}
+	if _, err := incident.Capture(b); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+incident.BundleExt)
+	if err := incident.Save(b, path); err != nil {
+		return "", err
+	}
+	return path, nil
 }

@@ -13,6 +13,19 @@
 //
 //	aarun -model crash -scenario "splitviews+crash/n=64,t=31"
 //	aarun -model trim -scenario "skew+equivocate/n=64,t=9"
+//
+// -record FILE captures the run as a replayable incident bundle: the
+// scenario, seed, every per-send delivery delay, and a digest of the
+// outcome (see internal/incident). -replay FILE re-executes a bundle
+// through the recorded delay log and hard-fails on any divergence from the
+// recorded digest, naming the first divergent send:
+//
+//	aarun -model trim -scenario "skew+spam/n=15,t=2" -record out.bundle
+//	aarun -replay out.bundle
+//
+// Under -record, Byzantine names resolve through the scenario registry
+// (e.g. "extreme" is the range-relative ExtremeRel, as in scenario specs),
+// so the captured run is exactly the one the bundle replays.
 package main
 
 import (
@@ -20,12 +33,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/aa"
+	"repro/internal/harness"
+	"repro/internal/incident"
+	"repro/internal/scenario"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -52,8 +70,17 @@ func run(args []string) error {
 	adaptive := fs.Bool("adaptive", false, "adaptive termination (estimate spread at runtime)")
 	live := fs.Bool("live", false, "run on the goroutine runtime instead of the simulator")
 	timeout := fs.Duration("timeout", 30*time.Second, "live-run timeout")
+	record := fs.String("record", "", "capture the run into an incident bundle FILE (simulator only)")
+	replayFlag := fs.String("replay", "", "replay an incident bundle FILE and diff against its recorded digest (other flags ignored)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *replayFlag != "" {
+		return doReplay(*replayFlag)
+	}
+	if *record != "" && *live {
+		return fmt.Errorf("-record needs the deterministic simulator; drop -live")
 	}
 
 	if *scenarioFlag != "" {
@@ -99,21 +126,34 @@ func run(args []string) error {
 		return nil
 	}
 
+	crashes, err := parseCrashes(*crashFlag)
+	if err != nil {
+		return err
+	}
+	byz, err := parseByz(*byzFlag)
+	if err != nil {
+		return err
+	}
+
+	if *record != "" {
+		return doRecord(*record, cfg, *model, inputs, recordShape{
+			scenario: *scenarioFlag, sched: *schedName,
+			n: *n, t: *t, seed: *seed,
+			crashes: crashes, byz: byz,
+		})
+	}
+
 	opts := []aa.SimOption{aa.WithSeed(*seed)}
 	if *scenarioFlag != "" {
 		opts = append(opts, aa.WithScenario(*scenarioFlag))
 	} else {
 		opts = append(opts, aa.WithScheduler(*schedName))
-		crashOpts, err := parseCrashes(*crashFlag)
-		if err != nil {
-			return err
+		for _, c := range crashes {
+			opts = append(opts, aa.WithCrash(int(c.Party), c.AfterSends))
 		}
-		opts = append(opts, crashOpts...)
-		byzOpts, err := parseByz(*byzFlag)
-		if err != nil {
-			return err
+		for _, z := range byz {
+			opts = append(opts, aa.WithByzantine(int(z.Party), z.Name))
 		}
-		opts = append(opts, byzOpts...)
 	}
 
 	out, err := aa.Simulate(cfg, inputs, opts...)
@@ -154,26 +194,26 @@ func parseInputs(s string, n int, lo, hi float64) ([]float64, error) {
 	return out, nil
 }
 
-func parseCrashes(s string) ([]aa.SimOption, error) {
+func parseCrashes(s string) ([]sim.CrashPlan, error) {
 	if s == "" {
 		return nil, nil
 	}
-	var opts []aa.SimOption
+	var out []sim.CrashPlan
 	for _, part := range strings.Split(s, ",") {
 		var id, after int
 		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d:%d", &id, &after); err != nil {
 			return nil, fmt.Errorf("crash plan %q (want id:afterSends): %w", part, err)
 		}
-		opts = append(opts, aa.WithCrash(id, after))
+		out = append(out, sim.CrashPlan{Party: sim.PartyID(id), AfterSends: after})
 	}
-	return opts, nil
+	return out, nil
 }
 
-func parseByz(s string) ([]aa.SimOption, error) {
+func parseByz(s string) ([]incident.ByzRef, error) {
 	if s == "" {
 		return nil, nil
 	}
-	var opts []aa.SimOption
+	var out []incident.ByzRef
 	for _, part := range strings.Split(s, ",") {
 		fields := strings.SplitN(strings.TrimSpace(part), ":", 2)
 		if len(fields) != 2 {
@@ -183,9 +223,109 @@ func parseByz(s string) ([]aa.SimOption, error) {
 		if err != nil {
 			return nil, fmt.Errorf("byzantine assignment %q: %w", part, err)
 		}
-		opts = append(opts, aa.WithByzantine(id, fields[1]))
+		out = append(out, incident.ByzRef{Party: sim.PartyID(id), Name: fields[1]})
 	}
-	return opts, nil
+	return out, nil
+}
+
+// recordShape carries the adversary wiring -record needs to render a
+// canonical scenario string and fault overrides.
+type recordShape struct {
+	scenario string
+	sched    string
+	n, t     int
+	seed     int64
+	crashes  []sim.CrashPlan
+	byz      []incident.ByzRef
+}
+
+// doRecord captures the configured run into an incident bundle. With
+// -scenario, the spec string (t made explicit) is authoritative for the
+// adversary; otherwise a fault-free scenario is synthesized from -sched
+// and the -crash/-byz lists become explicit overrides — the flag-path
+// scheduler parameterizations match the scenario registry defaults
+// exactly, so the captured schedule is the one plain aarun would run.
+func doRecord(path string, cfg aa.Config, model string, inputs []float64, shape recordShape) error {
+	var scenStr string
+	if shape.scenario != "" {
+		spec, err := scenario.Parse(shape.scenario)
+		if err != nil {
+			return err
+		}
+		scenStr = spec.WithT(shape.t).String()
+		shape.crashes, shape.byz = nil, nil
+	} else {
+		scenStr = scenario.Spec{Sched: shape.sched, N: shape.n, T: shape.t}.String()
+	}
+	b := &incident.Bundle{
+		Name:           strings.TrimSuffix(filepath.Base(path), incident.BundleExt),
+		Scenario:       scenStr,
+		Protocol:       model,
+		Adaptive:       cfg.Adaptive,
+		Eps:            cfg.Epsilon,
+		Lo:             cfg.Lo,
+		Hi:             cfg.Hi,
+		SyncRoundTicks: sim.Time(cfg.SyncRoundTicks),
+		Seed:           shape.seed,
+		Inputs:         inputs,
+		Crashes:        shape.crashes,
+		Byz:            shape.byz,
+	}
+	rep, err := incident.Capture(b)
+	if err != nil {
+		return err
+	}
+	if err := incident.Save(b, path); err != nil {
+		return err
+	}
+	printOutcome(outcomeFromReport(rep), cfg)
+	fmt.Printf("recorded  %s (%d sends, %s)\n", path, len(b.Delays), b.Scenario)
+	fmt.Printf("replay    aarun -replay %s\n", path)
+	if !rep.OK() {
+		return fmt.Errorf("recorded run failed: %s", rep.Failure())
+	}
+	return nil
+}
+
+// doReplay re-executes a bundle against its recorded trace and digest.
+func doReplay(path string) error {
+	b, err := incident.Load(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bundle    %s (%s, %s, seed %d, %d sends)\n",
+		b.Name, b.Scenario, b.Protocol, b.Seed, len(b.Delays))
+	rep, div, err := incident.Replay(b)
+	if err != nil {
+		return err
+	}
+	printOutcome(outcomeFromReport(rep), aa.Config{Epsilon: b.Eps})
+	if div != nil {
+		return div.Error()
+	}
+	fmt.Println("replay    matches recorded digest")
+	return nil
+}
+
+// outcomeFromReport adapts a harness report for printOutcome.
+func outcomeFromReport(rep *harness.Report) *aa.Outcome {
+	out := &aa.Outcome{
+		Values:   make(map[int]float64, len(rep.Result.Decisions)),
+		Spread:   rep.FinalSpread,
+		Agreed:   rep.AgreementOK,
+		Valid:    rep.ValidityOK,
+		Rounds:   rep.Result.Rounds(),
+		Messages: rep.Result.Stats.MessagesSent,
+		Bytes:    rep.Result.Stats.BytesSent,
+		Err:      rep.RunErr,
+	}
+	if out.Err == nil && len(rep.ProtoErrs) > 0 {
+		out.Err = rep.ProtoErrs[0]
+	}
+	for id, v := range rep.Result.Decisions {
+		out.Values[int(id)] = v
+	}
+	return out
 }
 
 func printOutcome(out *aa.Outcome, cfg aa.Config) {

@@ -1,7 +1,11 @@
 package main
 
 import (
+	"errors"
+	"os"
 	"testing"
+
+	"repro/internal/incident"
 )
 
 func TestParseInputsDefault(t *testing.T) {
@@ -116,5 +120,55 @@ func TestRunRejects(t *testing.T) {
 	}
 	if err := run([]string{"-model", "crash", "-crash", "zzz"}); err == nil {
 		t.Error("malformed crash plan accepted")
+	}
+}
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/run.bundle"
+	// Flag-style adversary: synthesized scenario plus explicit overrides.
+	if err := run([]string{"-model", "crash", "-n", "7", "-t", "2", "-eps", "0.01",
+		"-sched", "splitviews", "-crash", "0:5", "-seed", "9", "-record", path}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if err := run([]string{"-replay", path}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	// Scenario-style adversary.
+	if err := run([]string{"-model", "trim", "-scenario", "skew+equivocate/n=15,t=2",
+		"-eps", "0.01", "-record", path}); err != nil {
+		t.Fatalf("scenario record: %v", err)
+	}
+	if err := run([]string{"-replay", path}); err != nil {
+		t.Fatalf("scenario replay: %v", err)
+	}
+}
+
+func TestRecordRejects(t *testing.T) {
+	path := t.TempDir() + "/run.bundle"
+	if err := run([]string{"-model", "crash", "-live", "-record", path}); err == nil {
+		t.Error("-record -live accepted")
+	}
+	if err := run([]string{"-replay", t.TempDir() + "/missing.bundle"}); err == nil {
+		t.Error("replay of a missing bundle succeeded")
+	}
+}
+
+func TestReplayDetectsTampering(t *testing.T) {
+	path := t.TempDir() + "/run.bundle"
+	if err := run([]string{"-model", "crash", "-n", "7", "-t", "2", "-eps", "0.01",
+		"-record", path}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-replay", path})
+	if !errors.Is(err, incident.ErrMalformed) {
+		t.Fatalf("tampered bundle: got %v, want ErrMalformed", err)
 	}
 }

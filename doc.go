@@ -64,6 +64,24 @@
 // reused-report path (testing.AllocsPerRun pins exactly 0 for the crash,
 // trim, and witness protocols).
 //
+// # Record/replay workflow
+//
+// Every claim above about equivalence is also enforced by data: the
+// internal/incident package defines a compact, versioned trace-bundle
+// format capturing one run bit-for-bit — canonical scenario string, seed,
+// protocol configuration, the per-send delivery log from sched.Recorder, a
+// per-send content checksum, and a digest of the observable outcome
+// (decisions, timing, message accounting, delivery-sequence hash). `aarun
+// -record out.bundle` captures a run, `aarun -replay in.bundle`
+// re-executes it and hard-fails on any divergence with the first divergent
+// send sequence, and `aafuzz -artifacts DIR` automatically emits a bundle
+// (plus its one-line replay command) for every violation it finds. The
+// committed corpus under testdata/incidents/ replays in CI across both
+// event cores, both delivery modes, and 1/8 workers (`make
+// incident-replay`), so a schedule-equivalence regression anywhere in the
+// stack surfaces with the episode name and the exact send where the
+// execution first forked.
+//
 // PERF.md records the measured before/after numbers; the BENCH_*.json
 // snapshots at the repo root (written by cmd/aabench -json, refreshed via
 // `make bench`) carry the performance trajectory across PRs.

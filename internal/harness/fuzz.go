@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -13,6 +15,40 @@ import (
 	"repro/internal/trace"
 )
 
+// FuzzByz is one Byzantine assignment in a FuzzViolation, by scenario
+// registry behavior name.
+type FuzzByz struct {
+	Party sim.PartyID
+	Name  string
+}
+
+// FuzzViolation is the structured record of one failed trial: everything
+// needed to rebuild the execution (cmd/aafuzz turns these into incident
+// bundles, the repro artifacts). Either Scenario is a full scenario string
+// (scenario-layer trials), or SchedToken names the scheduler and
+// Crashes/Byz carry the explicit fault assignments (protocol-fuzzer trials,
+// whose random crash timings are not expressible as registry fault kinds).
+// Both forms are faithful: the fuzzer draws schedulers from sched.Suite,
+// whose parameterizations are the scenario registry defaults, and heavytail
+// trials carry their alpha in the token ("heavytail:<alpha>").
+type FuzzViolation struct {
+	Trial      int
+	Desc       string
+	Failure    string
+	Proto      core.Protocol
+	N, T       int
+	Eps        float64
+	Lo, Hi     float64
+	Adaptive   bool
+	SchedToken string
+	Scenario   string
+	Seed       int64
+	MaxEvents  int
+	Inputs     []float64
+	Crashes    []sim.CrashPlan
+	Byz        []FuzzByz
+}
+
 // FuzzResult summarizes a randomized adversarial search.
 type FuzzResult struct {
 	// Trials is the number of executions performed.
@@ -20,6 +56,8 @@ type FuzzResult struct {
 	// Violations describes every invariant violation found (empty on a
 	// healthy protocol suite).
 	Violations []string
+	// Failures carries the structured form of Violations, index-aligned.
+	Failures []FuzzViolation
 	// ByProtocol counts trials per protocol.
 	ByProtocol map[string]int
 	// Rounds and Messages summarize the per-trial execution costs.
@@ -58,6 +96,7 @@ func Fuzz(trials int, seed int64) (*FuzzResult, error) {
 		if bad {
 			res.Violations = append(res.Violations,
 				fmt.Sprintf("trial %d: %s: %s", i, desc, rep.Failure()))
+			res.Failures = append(res.Failures, violationFrom(i, desc, rep, spec))
 		}
 	}
 	res.Rounds = trace.Summarize(rounds)
@@ -108,9 +147,13 @@ func randomSpec(rng *rand.Rand) (Spec, bool, string) {
 	}
 
 	scheds := sched.Suite(n, t)
+	// The heavytail token carries its alpha ("heavytail:<alpha>") so a
+	// violation record resolves through the scenario registry to the same
+	// distribution; FormatFloat 'g'/-1 round-trips the float exactly.
+	alpha := 1.2 + rng.Float64()
 	scheds = append(scheds, sched.Named{
-		Name:      "heavytail",
-		Scheduler: &sched.HeavyTail{Base: 1, Alpha: 1.2 + rng.Float64(), Cap: 400},
+		Name:      "heavytail:" + strconv.FormatFloat(alpha, 'g', -1, 64),
+		Scheduler: &sched.HeavyTail{Base: 1, Alpha: alpha, Cap: 400},
 	})
 	sc := scheds[rng.Intn(len(scheds))]
 
@@ -147,6 +190,35 @@ func randomSpec(rng *rand.Rand) (Spec, bool, string) {
 	return spec, adaptive, desc
 }
 
+// violationFrom snapshots a failed trial's full configuration. Byzantine
+// behaviors are recorded by name (sorted by party), which resolves back
+// through the scenario registry: the fuzzer assigns behaviors from
+// fault.Suite, whose instances the registry registers verbatim.
+func violationFrom(trial int, desc string, rep *Report, spec Spec) FuzzViolation {
+	v := FuzzViolation{
+		Trial:      trial,
+		Desc:       desc,
+		Failure:    rep.Failure(),
+		Proto:      spec.Params.Protocol,
+		N:          spec.Params.N,
+		T:          spec.Params.T,
+		Eps:        spec.Params.Eps,
+		Lo:         spec.Params.Lo,
+		Hi:         spec.Params.Hi,
+		Adaptive:   spec.Params.Adaptive,
+		SchedToken: spec.Scheduler.Name,
+		Seed:       spec.Seed,
+		MaxEvents:  spec.MaxEvents,
+		Inputs:     append([]float64(nil), spec.Inputs...),
+		Crashes:    append([]sim.CrashPlan(nil), spec.Crashes...),
+	}
+	for id, b := range spec.Byz {
+		v.Byz = append(v.Byz, FuzzByz{Party: id, Name: b.Name()})
+	}
+	sort.Slice(v.Byz, func(i, j int) bool { return v.Byz[i].Party < v.Byz[j].Party })
+	return v
+}
+
 // ScenarioFuzzResult summarizes a scenario-layer fuzz campaign: the
 // registry contracts (parse → re-parse round-trips, invalid compositions
 // rejected at spec time) plus end-to-end runs of randomly composed valid
@@ -158,6 +230,9 @@ type ScenarioFuzzResult struct {
 	// invariant violation (empty on a healthy tree).
 	Runs       int
 	Violations []string
+	// Failures carries the structured form of Violations, index-aligned;
+	// each record's Scenario field is the full spec string.
+	Failures []FuzzViolation
 }
 
 // FuzzScenarios fuzzes the scenario layer. Phase one drives random (often
@@ -190,6 +265,11 @@ func FuzzScenarios(trials int, seed int64) (*ScenarioFuzzResult, error) {
 		if !rep.OK() {
 			res.Violations = append(res.Violations,
 				fmt.Sprintf("scenario %s seed=%d: %s", scen, spec.Seed, rep.Failure()))
+			v := violationFrom(i, scen.String(), rep, spec)
+			v.Scenario = scen.WithT(p.T).String()
+			v.SchedToken = ""
+			v.Crashes, v.Byz = nil, nil
+			res.Failures = append(res.Failures, v)
 		}
 	}
 	return res, nil

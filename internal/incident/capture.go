@@ -1,0 +1,316 @@
+package incident
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/harness"
+	"repro/internal/scenario"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// sendSum checksums a send's observable content: endpoints, send time, and
+// payload bytes (FNV-1a). The result is forced nonzero so a dense array can
+// use zero for "no send recorded at this sequence".
+func sendSum(env sim.Envelope, now sim.Time) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ uint32(v&0xff)) * prime32
+			v >>= 8
+		}
+	}
+	mix(uint64(env.From))
+	mix(uint64(env.To))
+	mix(uint64(now))
+	mix(uint64(len(env.Data)))
+	for _, c := range env.Data {
+		h = (h ^ uint32(c)) * prime32
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// digester is the Spec.Observer that folds every delivery into a running
+// hash. Observer callbacks replay in identical order across batch modes
+// (see sim.Config.Batch), so the hash is mode-invariant.
+type digester struct {
+	deliveries int64
+	hash       uint64
+}
+
+func (d *digester) observe(now sim.Time, env sim.Envelope) {
+	const prime64 = 1099511628211
+	h := d.hash
+	if h == 0 {
+		h = 14695981039346656037 // FNV-1a offset basis
+	}
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(now))
+	mix(uint64(env.From))
+	mix(uint64(env.To))
+	mix(env.Seq)
+	mix(uint64(len(env.Data)))
+	for _, c := range env.Data {
+		h = (h ^ uint64(c)) * prime64
+	}
+	d.hash = h
+	d.deliveries++
+}
+
+// captureProbe wraps the real scheduler during capture: it records delays
+// (via an embedded recorder chain) and the per-send content checksum.
+type captureProbe struct {
+	rec  *sched.Recorder
+	sums []uint32
+}
+
+func (p *captureProbe) Delay(env sim.Envelope, now sim.Time, rng *rand.Rand) sim.Time {
+	d := p.rec.Delay(env, now, rng)
+	for uint64(len(p.sums)) <= env.Seq {
+		p.sums = append(p.sums, 0)
+	}
+	p.sums[env.Seq] = sendSum(env, now)
+	return d
+}
+
+// Capture executes the run a bundle describes and fills in its trace
+// (Delays, SendSums) and Digest. The bundle's config fields (Scenario,
+// Protocol, Seed, Inputs, fault overrides, ...) must already be set; any
+// prior trace content is replaced. The run's own report is returned so
+// callers can print or inspect the outcome.
+//
+// Note that Capture resolves Byzantine names through the scenario registry,
+// and the captured run is the one the bundle will replay — the whole loop
+// is self-consistent by construction.
+func Capture(b *Bundle) (*harness.Report, error) {
+	spec, err := b.spec()
+	if err != nil {
+		return nil, err
+	}
+	probe := &captureProbe{rec: sched.NewRecorder(spec.Scheduler.Scheduler)}
+	spec.Scheduler.Scheduler = probe
+	dig := &digester{}
+	spec.Observer = dig.observe
+	rep, err := harness.Run(spec)
+	if err != nil {
+		return nil, fmt.Errorf("incident: capture: %w", err)
+	}
+	b.Delays = probe.rec.Dense()
+	b.SendSums = probe.sums
+	if len(b.SendSums) < len(b.Delays) {
+		b.SendSums = append(b.SendSums, make([]uint32, len(b.Delays)-len(b.SendSums))...)
+	}
+	b.Digest = digestOf(rep, dig.deliveries, dig.hash)
+	return rep, nil
+}
+
+// FromFuzz builds an un-captured bundle from a fuzzer violation record.
+// Scenario-layer violations carry a full scenario string; protocol-fuzzer
+// violations carry a scheduler token plus explicit fault assignments,
+// which become the bundle's overrides. Capture the returned bundle to
+// fill in its trace and digest.
+func FromFuzz(v harness.FuzzViolation, name string) (*Bundle, error) {
+	tok, err := ProtoToken(v.Proto)
+	if err != nil {
+		return nil, err
+	}
+	scen := v.Scenario
+	if scen == "" {
+		scen = scenario.Spec{Sched: v.SchedToken, N: v.N, T: v.T}.String()
+	}
+	b := &Bundle{
+		Name:      name,
+		Scenario:  scen,
+		Protocol:  tok,
+		Adaptive:  v.Adaptive,
+		Eps:       v.Eps,
+		Lo:        v.Lo,
+		Hi:        v.Hi,
+		Seed:      v.Seed,
+		MaxEvents: v.MaxEvents,
+		Inputs:    append([]float64(nil), v.Inputs...),
+		Crashes:   append([]sim.CrashPlan(nil), v.Crashes...),
+	}
+	for _, z := range v.Byz {
+		b.Byz = append(b.Byz, ByzRef{Party: z.Party, Name: z.Name})
+	}
+	if err := b.Validate(); err != nil {
+		return nil, fmt.Errorf("incident: violation %q does not lower to a bundle: %w", v.Desc, err)
+	}
+	return b, nil
+}
+
+// NoDivergentSend is Divergence.FirstBadSend's value when every recorded
+// send matched (the divergence was caught by the digest instead, e.g. a
+// missing delivery).
+const NoDivergentSend = math.MaxUint64
+
+// Divergence describes how a replay differed from the recorded execution.
+type Divergence struct {
+	// FirstBadSend is the lowest send sequence whose content checksum
+	// differed from the recording (or which the recording does not
+	// contain), or NoDivergentSend if sends matched.
+	FirstBadSend uint64
+	// Mismatches lists human-readable field-level diffs.
+	Mismatches []string
+}
+
+// Error renders the divergence as an error wrapping ErrDivergence.
+func (d *Divergence) Error() error {
+	if d == nil {
+		return nil
+	}
+	first := "none"
+	if d.FirstBadSend != NoDivergentSend {
+		first = fmt.Sprintf("%d", d.FirstBadSend)
+	}
+	return fmt.Errorf("%w: first divergent send seq=%s; %d field mismatches: %v",
+		ErrDivergence, first, len(d.Mismatches), d.Mismatches)
+}
+
+// replayProbe replays recorded delays and verifies every send against the
+// recorded checksums, tracking the first divergent sequence.
+type replayProbe struct {
+	delays   []sim.Time
+	sums     []uint32
+	fallback sim.Time
+	firstBad uint64
+	sends    uint64
+}
+
+func (p *replayProbe) Delay(env sim.Envelope, now sim.Time, _ *rand.Rand) sim.Time {
+	p.sends++
+	bad := env.Seq >= uint64(len(p.sums)) ||
+		p.sums[env.Seq] == 0 ||
+		p.sums[env.Seq] != sendSum(env, now)
+	if bad && env.Seq < p.firstBad {
+		p.firstBad = env.Seq
+	}
+	if env.Seq < uint64(len(p.delays)) {
+		if d := p.delays[env.Seq]; d != 0 {
+			return d
+		}
+	}
+	return p.fallback
+}
+
+// Prepared is a bundle lowered to a runnable replay spec. Run the Spec
+// (harness.Run, or harness.RunAll for a matrix) and hand the report to
+// Diff. Each Prepared must be used for exactly one run: the probe and
+// digest accumulate state.
+type Prepared struct {
+	Spec   harness.Spec
+	bundle *Bundle
+	probe  *replayProbe
+	dig    *digester
+}
+
+// Prepare lowers the bundle for replay: the spec's scheduler is replaced
+// by the recorded delay log (with send verification) and the observer by a
+// fresh digester.
+func Prepare(b *Bundle) (*Prepared, error) {
+	spec, err := b.spec()
+	if err != nil {
+		return nil, err
+	}
+	probe := &replayProbe{
+		delays:   b.Delays,
+		sums:     b.SendSums,
+		fallback: 1,
+		firstBad: NoDivergentSend,
+	}
+	spec.Scheduler = sched.Named{Name: "replay:" + b.Scenario, Scheduler: probe}
+	dig := &digester{}
+	spec.Observer = dig.observe
+	return &Prepared{Spec: spec, bundle: b, probe: probe, dig: dig}, nil
+}
+
+// Diff compares the finished replay against the recorded digest. A nil
+// return means the replay was equivalent in every observable.
+func (p *Prepared) Diff(rep *harness.Report) *Divergence {
+	div := &Divergence{FirstBadSend: p.probe.firstBad}
+	add := func(format string, args ...any) {
+		div.Mismatches = append(div.Mismatches, fmt.Sprintf(format, args...))
+	}
+	want, got := &p.bundle.Digest, digestOf(rep, p.dig.deliveries, p.dig.hash)
+	recordedSends := uint64(0)
+	for _, s := range p.bundle.SendSums {
+		if s != 0 {
+			recordedSends++
+		}
+	}
+	if p.probe.sends != recordedSends {
+		add("sends: recorded %d, replayed %d", recordedSends, p.probe.sends)
+	}
+	if len(got.Decisions) != len(want.Decisions) {
+		add("decisions: recorded %d, replayed %d", len(want.Decisions), len(got.Decisions))
+	} else {
+		for i := range want.Decisions {
+			w, g := want.Decisions[i], got.Decisions[i]
+			if w != g {
+				add("decision[party %d]: recorded (%v at %d), replayed (party %d, %v at %d)",
+					w.Party, w.Value, w.At, g.Party, g.Value, g.At)
+			}
+		}
+	}
+	if got.FinishTime != want.FinishTime {
+		add("finish time: recorded %d, replayed %d", want.FinishTime, got.FinishTime)
+	}
+	if got.MaxHonestDelay != want.MaxHonestDelay {
+		add("max honest delay: recorded %d, replayed %d", want.MaxHonestDelay, got.MaxHonestDelay)
+	}
+	if got.MessagesSent != want.MessagesSent {
+		add("messages sent: recorded %d, replayed %d", want.MessagesSent, got.MessagesSent)
+	}
+	if got.MessagesDelivered != want.MessagesDelivered {
+		add("messages delivered: recorded %d, replayed %d", want.MessagesDelivered, got.MessagesDelivered)
+	}
+	if got.BytesSent != want.BytesSent {
+		add("bytes sent: recorded %d, replayed %d", want.BytesSent, got.BytesSent)
+	}
+	if got.Deliveries != want.Deliveries {
+		add("deliveries: recorded %d, replayed %d", want.Deliveries, got.Deliveries)
+	}
+	if got.DeliveryHash != want.DeliveryHash {
+		add("delivery hash: recorded %#x, replayed %#x", want.DeliveryHash, got.DeliveryHash)
+	}
+	if got.RunErr != want.RunErr {
+		add("run verdict: recorded %d, replayed %d", want.RunErr, got.RunErr)
+	}
+	if got.ProtoErrs != want.ProtoErrs {
+		add("protocol errors: recorded %d, replayed %d", want.ProtoErrs, got.ProtoErrs)
+	}
+	if div.FirstBadSend == NoDivergentSend && len(div.Mismatches) == 0 {
+		return nil
+	}
+	return div
+}
+
+// Replay re-executes a bundle and diffs it against the recorded digest. A
+// nil Divergence means an exact match. The error return covers failures to
+// run at all (invalid bundle, harness error), not divergence.
+func Replay(b *Bundle) (*harness.Report, *Divergence, error) {
+	prep, err := Prepare(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := harness.Run(prep.Spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("incident: replay: %w", err)
+	}
+	return rep, prep.Diff(rep), nil
+}

@@ -1,0 +1,103 @@
+package incident
+
+import "repro/internal/harness"
+
+// Episodes returns the committed incident corpus as un-captured bundle
+// configurations: six named adversarial episodes chosen to pin the
+// simulator paths that past perf refactors (calendar queue, context
+// recycling, batched tick delivery) had to re-prove equivalent ad hoc.
+// `INCIDENT_REGEN=1 go test ./internal/incident/` re-captures them into
+// testdata/incidents/; the replay-matrix test re-runs the committed
+// bundles on every event core × delivery mode × engine parallelism.
+//
+// Episode configurations are append-only in spirit: changing one rewrites
+// a committed trace, which is exactly the kind of silent history edit the
+// corpus exists to prevent. Add new episodes instead.
+func Episodes() []*Bundle {
+	return []*Bundle{
+		{
+			// Two extreme-value Byzantine parties under split views try to
+			// drag the trimmed hull past the honest range: outputs hug the
+			// hull edge without crossing it. Any regression in trim-order
+			// or quorum assembly shows up as a decision shift here first.
+			Name:     "near-miss-validity",
+			Scenario: "splitviews+extreme/n=15,t=2",
+			Protocol: ProtoTrim,
+			Eps:      1e-2,
+			Lo:       0,
+			Hi:       1,
+			Seed:     101,
+			Inputs:   harness.OutlierInputs(15, 0, 1),
+		},
+		{
+			// Adaptive termination with spam flooding under a skewed
+			// schedule: the horizon is estimated from an initial exchange
+			// while a spammer inflates traffic, stressing the adaptive
+			// round-horizon piggybacking.
+			Name:     "adaptive-horizon-spam",
+			Scenario: "skew+spam/n=15,t=2",
+			Protocol: ProtoTrim,
+			Adaptive: true,
+			Eps:      1e-2,
+			Lo:       0,
+			Hi:       1,
+			Seed:     202,
+			Inputs:   harness.UniformInputs(15, 0, 1, 2025),
+		},
+		{
+			// A deliberately tiny event budget aborts a dense n=32 run in
+			// the middle of a batched tick: the abort must happen after the
+			// same delivery in every mode (budget-tripping ticks run the
+			// reference loop).
+			Name:      "budget-abort-mid-tick",
+			Scenario:  "random/n=32,t=5",
+			Protocol:  ProtoCrash,
+			Eps:       1e-3,
+			Lo:        0,
+			Hi:        1,
+			Seed:      303,
+			MaxEvents: 2000,
+			Inputs:    harness.LinearInputs(32, 0, 1),
+		},
+		{
+			// Lock-step delivery at n=24 makes every tick dense, so the
+			// last decision lands mid-tick: the batched core's mid-tick
+			// completion repair must cut off at exactly the recorded
+			// delivery.
+			Name:     "mid-tick-completion",
+			Scenario: "sync/n=24,t=3",
+			Protocol: ProtoCrash,
+			Eps:      1e-2,
+			Lo:       0,
+			Hi:       1,
+			Seed:     404,
+			Inputs:   harness.LinearInputs(24, 0, 1),
+		},
+		{
+			// Maximum fault bound (n=2t+2) with bimodal inputs under split
+			// views: the slowest provable contraction, the most rounds per
+			// unit of progress, and the heaviest quorum-boundary traffic.
+			Name:     "worst-case-contraction",
+			Scenario: "splitviews/n=16,t=7",
+			Protocol: ProtoCrash,
+			Eps:      1e-2,
+			Lo:       0,
+			Hi:       1,
+			Seed:     505,
+			Inputs:   harness.BimodalInputs(16, 0, 1),
+		},
+		{
+			// Composite fault mix at the largest corpus size: crashes and
+			// equivocators alternating across five fault slots under a
+			// partitioned schedule, trim protocol at its resilience floor.
+			Name:     "crash-equivocate-large-n",
+			Scenario: "partition+crash+equivocate/n=36,t=5",
+			Protocol: ProtoTrim,
+			Eps:      1e-1,
+			Lo:       0,
+			Hi:       1,
+			Seed:     606,
+			Inputs:   harness.LinearInputs(36, 0, 1),
+		},
+	}
+}

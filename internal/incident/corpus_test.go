@@ -1,0 +1,149 @@
+package incident
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+func corpusDir() string {
+	return filepath.Join("..", "..", "testdata", "incidents")
+}
+
+// TestIncidentCorpusReplayMatrix is the CI regression gate: every committed
+// bundle must replay with zero divergence across {calendar, heap} event
+// cores × batch {on, off} × engine parallelism {1, 8}. A regression in any
+// equivalence-sensitive path (send sequencing, rng draw order, mid-tick
+// completion, stats repair, trim/quorum logic) perturbs some episode's
+// schedule and fails here with the episode name, the matrix cell, and the
+// first divergent send sequence.
+//
+// Set INCIDENT_REGEN=1 to re-capture the corpus from the episode
+// definitions before the matrix runs (used when an episode is added, never
+// to paper over a divergence).
+func TestIncidentCorpusReplayMatrix(t *testing.T) {
+	dir := corpusDir()
+	if os.Getenv("INCIDENT_REGEN") != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, ep := range Episodes() {
+			rep, err := Capture(ep)
+			if err != nil {
+				t.Fatalf("capture %s: %v", ep.Name, err)
+			}
+			t.Logf("captured %s: %d sends, verdict %q", ep.Name, len(ep.Delays), rep.Failure())
+			if err := Save(ep, filepath.Join(dir, ep.Name+BundleExt)); err != nil {
+				t.Fatalf("save %s: %v", ep.Name, err)
+			}
+		}
+	}
+
+	bundles, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading corpus: %v (run with INCIDENT_REGEN=1 to generate)", err)
+	}
+	if want := len(Episodes()); len(bundles) != want {
+		t.Fatalf("corpus has %d bundles, episode list has %d", len(bundles), want)
+	}
+
+	defer harness.SetEventCore(sim.CoreDefault)
+	defer harness.SetBatching(sim.BatchDefault)
+	defer harness.SetParallelism(0)
+	for _, core := range []sim.EventCore{sim.CoreCalendar, sim.CoreHeap} {
+		for _, batch := range []sim.BatchMode{sim.BatchOn, sim.BatchOff} {
+			for _, workers := range []int{1, 8} {
+				cell := fmt.Sprintf("core=%v batch=%v workers=%d", core, batch, workers)
+				harness.SetEventCore(core)
+				harness.SetBatching(batch)
+				harness.SetParallelism(workers)
+
+				prepared := make([]*Prepared, len(bundles))
+				specs := make([]harness.Spec, len(bundles))
+				for i, b := range bundles {
+					p, err := Prepare(b)
+					if err != nil {
+						t.Fatalf("%s: prepare %s: %v", cell, b.Name, err)
+					}
+					prepared[i] = p
+					specs[i] = p.Spec
+				}
+				reps, err := harness.RunAll(specs)
+				if err != nil {
+					t.Fatalf("%s: %v", cell, err)
+				}
+				for i, rep := range reps {
+					if div := prepared[i].Diff(rep); div != nil {
+						t.Errorf("%s: %s: %v", cell, bundles[i].Name, div.Error())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCorpusMutationDetected mutates a committed bundle in memory and
+// asserts the replay matrix would catch it: the diff must name the first
+// divergent send sequence.
+func TestCorpusMutationDetected(t *testing.T) {
+	bundles, err := LoadDir(corpusDir())
+	if err != nil {
+		t.Skipf("no corpus: %v", err)
+	}
+	// Pick the all-honest contraction episode: every mid-run message there
+	// feeds a quorum, so stretching one delay must shift downstream sends
+	// and pin a first divergent sequence. (In byz-heavy episodes a mutated
+	// spam delay can replay clean — a message the recorded run never
+	// delivered stays undelivered when pushed even later.)
+	var b *Bundle
+	for _, cand := range bundles {
+		if cand.Name == "worst-case-contraction" {
+			b = cand
+			break
+		}
+	}
+	if b == nil {
+		t.Fatal("corpus is missing the worst-case-contraction episode")
+	}
+	seq := -1
+	for i := len(b.Delays) / 3; i < len(b.Delays); i++ {
+		if b.Delays[i] != 0 {
+			seq = i
+			break
+		}
+	}
+	if seq < 0 {
+		t.Fatalf("%s has no recorded delays past the first third", b.Name)
+	}
+	b.Delays[seq] += 5000
+
+	_, div, err := Replay(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div == nil {
+		t.Fatalf("%s: mutated delay at seq %d replayed without divergence", b.Name, seq)
+	}
+	if div.FirstBadSend == NoDivergentSend {
+		t.Fatalf("%s: divergence without a first bad send: %v", b.Name, div.Error())
+	}
+	t.Logf("%s: mutation at seq %d detected: %v", b.Name, seq, div.Error())
+}
+
+// TestCorpusEpisodeNamesUnique guards the regeneration path.
+func TestCorpusEpisodeNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ep := range Episodes() {
+		if ep.Name == "" || seen[ep.Name] {
+			t.Fatalf("episode name %q empty or duplicated", ep.Name)
+		}
+		seen[ep.Name] = true
+		if err := ep.Validate(); err != nil {
+			t.Errorf("episode %s invalid before capture: %v", ep.Name, err)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Package incident implements the record/replay corpus: a compact,
+// versioned trace-bundle format that captures everything needed to
+// re-execute one simulated run bit-for-bit — the canonical scenario string,
+// the seed and protocol configuration, the per-send delivery log from
+// sched.Recorder, a per-send content checksum, and a digest of the
+// execution's observable outcome (decisions, timing, message accounting,
+// and the full delivery sequence hash).
+//
+// A bundle is captured with Capture (wired into `aarun -record` and the
+// aafuzz failure-artifact path), persisted with Save/Load, and re-executed
+// with Replay, which drives the run through sched.Replay and diffs every
+// observable against the recorded digest. Any divergence — a send whose
+// content differs, a missing delivery, a moved decision — is reported with
+// the first divergent send sequence, which is the exact point to set a
+// breakpoint on. The committed corpus under testdata/incidents/ replays in
+// CI across {heap, calendar} event cores × batch on/off × parallelism 1/8,
+// turning every future perf refactor's equivalence argument into data.
+package incident
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/harness"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// Version is the current bundle format version. Decode rejects any other
+// version with ErrVersion; the format is append-only within a version.
+const Version uint16 = 1
+
+// Sentinel errors.
+var (
+	// ErrMalformed indicates a structurally invalid bundle: bad magic,
+	// impossible lengths, trailing garbage, or semantic contradictions
+	// (e.g. inputs not matching the scenario's n). Truncation and checksum
+	// failures wrap it.
+	ErrMalformed = errors.New("incident: malformed bundle")
+	// ErrTruncated wraps ErrMalformed: the bundle ends mid-field.
+	ErrTruncated = fmt.Errorf("%w: truncated", ErrMalformed)
+	// ErrCorrupt wraps ErrMalformed: the payload checksum does not match.
+	ErrCorrupt = fmt.Errorf("%w: checksum mismatch", ErrMalformed)
+	// ErrVersion indicates a well-formed header with an unsupported format
+	// version — the reader is too old or too new for the bundle.
+	ErrVersion = errors.New("incident: unsupported bundle version")
+	// ErrDivergence indicates a replayed execution that does not match the
+	// bundle's recorded digest.
+	ErrDivergence = errors.New("incident: replay diverged from recorded digest")
+)
+
+// Protocol tokens, matching aarun's -model flag vocabulary.
+const (
+	ProtoCrash   = "crash"
+	ProtoTrim    = "trim"
+	ProtoWitness = "witness"
+	ProtoSync    = "sync"
+)
+
+// ProtoToken renders a core.Protocol as its bundle token.
+func ProtoToken(p core.Protocol) (string, error) {
+	switch p {
+	case core.ProtoCrash:
+		return ProtoCrash, nil
+	case core.ProtoByzTrim:
+		return ProtoTrim, nil
+	case core.ProtoWitness:
+		return ProtoWitness, nil
+	case core.ProtoSync:
+		return ProtoSync, nil
+	default:
+		return "", fmt.Errorf("incident: unknown protocol %v", p)
+	}
+}
+
+// protoFromToken is the inverse of ProtoToken.
+func protoFromToken(tok string) (core.Protocol, error) {
+	switch tok {
+	case ProtoCrash:
+		return core.ProtoCrash, nil
+	case ProtoTrim:
+		return core.ProtoByzTrim, nil
+	case ProtoWitness:
+		return core.ProtoWitness, nil
+	case ProtoSync:
+		return core.ProtoSync, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown protocol token %q", ErrMalformed, tok)
+	}
+}
+
+// ByzRef names a Byzantine assignment by scenario-registry behavior key.
+type ByzRef struct {
+	Party sim.PartyID
+	Name  string
+}
+
+// Decision is one party's recorded output.
+type Decision struct {
+	Party sim.PartyID
+	Value float64
+	At    sim.Time
+}
+
+// Digest summarizes everything observable about an execution. Replay
+// recomputes it and diffs field by field.
+type Digest struct {
+	// Decisions lists every party that decided, ascending by party.
+	Decisions []Decision
+	// FinishTime and MaxHonestDelay are the run's timing observables.
+	FinishTime     sim.Time
+	MaxHonestDelay sim.Time
+	// Message accounting, from sim.Stats.
+	MessagesSent      int64
+	MessagesDelivered int64
+	BytesSent         int64
+	// Deliveries counts observer callbacks; DeliveryHash chains an FNV-1a
+	// hash over every delivery (time, from, to, seq, payload) in observer
+	// order, so any reordering or payload change is caught even when the
+	// counts agree.
+	Deliveries   int64
+	DeliveryHash uint64
+	// RunErr encodes the simulator verdict: 0 ok, 1 stalled, 2 event
+	// budget, 3 other.
+	RunErr uint8
+	// ProtoErrs counts internal protocol errors across parties.
+	ProtoErrs int64
+}
+
+// Run-error codes for Digest.RunErr.
+const (
+	RunOK uint8 = iota
+	RunStalled
+	RunEventBudget
+	RunOtherErr
+)
+
+func runErrCode(err error) uint8 {
+	switch {
+	case err == nil:
+		return RunOK
+	case errors.Is(err, sim.ErrStalled):
+		return RunStalled
+	case errors.Is(err, sim.ErrEventBudget):
+		return RunEventBudget
+	default:
+		return RunOtherErr
+	}
+}
+
+// Bundle is one replayable incident. The Scenario string is authoritative
+// for n, t, and the delivery schedule; Crashes/Byz, when non-empty, replace
+// the scenario's fault derivation (the fuzzer's random crash timings are
+// not expressible as registry fault kinds), in which case the scenario
+// string must carry no fault tokens.
+type Bundle struct {
+	// Name labels the incident (the testdata corpus uses episode names;
+	// the fuzzer uses "fuzz-trial-<i>").
+	Name string
+	// Scenario is the canonical scenario.Spec string with explicit n and t,
+	// e.g. "splitviews/n=16,t=7" or "skew+spam/n=15,t=2".
+	Scenario string
+	// Protocol is the protocol token (see ProtoToken).
+	Protocol string
+	// Adaptive selects adaptive termination.
+	Adaptive bool
+	// Eps, Lo, Hi are the precision and promised input range.
+	Eps, Lo, Hi float64
+	// ExtraRounds adds round-budget slack.
+	ExtraRounds int
+	// SyncRoundTicks is the lock-step round length (sync protocol only).
+	SyncRoundTicks sim.Time
+	// Seed drives all run randomness.
+	Seed int64
+	// MaxEvents overrides the simulator event budget; 0 means default.
+	MaxEvents int
+	// Inputs holds one input per party.
+	Inputs []float64
+	// Crashes, when non-empty, is an explicit crash plan overriding the
+	// scenario's fault tokens.
+	Crashes []sim.CrashPlan
+	// Byz, when non-empty, is an explicit Byzantine assignment (by registry
+	// behavior name) overriding the scenario's fault tokens.
+	Byz []ByzRef
+	// Delays is the recorded per-send delivery log, dense by send sequence
+	// (sched.Recorder.Dense). Zero entries mean "unrecorded".
+	Delays []sim.Time
+	// SendSums holds a per-send content checksum, dense by send sequence,
+	// so replay can name the first send whose bytes diverge. Zero entries
+	// mean "unrecorded" (sums are forced nonzero when present).
+	SendSums []uint32
+	// Digest is the recorded outcome replays are diffed against.
+	Digest Digest
+}
+
+// caps bound decoded bundles so a hostile file cannot balloon memory.
+const (
+	maxStringLen = 1 << 12
+	maxInputs    = 1 << 16
+	maxFaults    = 1 << 16
+	maxDecisions = 1 << 16
+	maxSends     = 1 << 26
+)
+
+// Validate checks semantic soundness: the scenario parses with explicit n
+// and t, the protocol parameters are runnable, fault overrides are in
+// range and resolvable, and the trace arrays are mutually consistent.
+func (b *Bundle) Validate() error {
+	scen, p, err := b.resolveConfig()
+	if err != nil {
+		return err
+	}
+	if len(b.Inputs) != p.N {
+		return fmt.Errorf("%w: %d inputs for n=%d", ErrMalformed, len(b.Inputs), p.N)
+	}
+	if (len(b.Crashes) > 0 || len(b.Byz) > 0) && len(scen.Faults) > 0 {
+		return fmt.Errorf("%w: scenario %q carries fault tokens alongside explicit fault overrides", ErrMalformed, b.Scenario)
+	}
+	if len(b.Crashes)+len(b.Byz) > p.T {
+		return fmt.Errorf("%w: %d explicit faults exceed t=%d", ErrMalformed, len(b.Crashes)+len(b.Byz), p.T)
+	}
+	seen := map[sim.PartyID]bool{}
+	for _, c := range b.Crashes {
+		if c.Party < 0 || int(c.Party) >= p.N {
+			return fmt.Errorf("%w: crash party %d out of range [0,%d)", ErrMalformed, c.Party, p.N)
+		}
+		if c.AfterSends < 0 {
+			return fmt.Errorf("%w: crash party %d has negative send budget", ErrMalformed, c.Party)
+		}
+		if seen[c.Party] {
+			return fmt.Errorf("%w: party %d assigned two faults", ErrMalformed, c.Party)
+		}
+		seen[c.Party] = true
+	}
+	for _, z := range b.Byz {
+		if z.Party < 0 || int(z.Party) >= p.N {
+			return fmt.Errorf("%w: byzantine party %d out of range [0,%d)", ErrMalformed, z.Party, p.N)
+		}
+		if seen[z.Party] {
+			return fmt.Errorf("%w: party %d assigned two faults", ErrMalformed, z.Party)
+		}
+		seen[z.Party] = true
+		kind, ok := scenario.Fault(z.Name)
+		if !ok || kind.Behavior == nil {
+			return fmt.Errorf("%w: unknown byzantine behavior %q", ErrMalformed, z.Name)
+		}
+	}
+	if len(b.SendSums) != len(b.Delays) {
+		return fmt.Errorf("%w: %d send sums for %d delays", ErrMalformed, len(b.SendSums), len(b.Delays))
+	}
+	for seq, d := range b.Delays {
+		if d < 0 || d > sim.MaxDelayCap {
+			return fmt.Errorf("%w: delay %d at seq %d outside [0,%d]", ErrMalformed, d, seq, sim.MaxDelayCap)
+		}
+	}
+	if b.MaxEvents < 0 {
+		return fmt.Errorf("%w: negative event budget", ErrMalformed)
+	}
+	return nil
+}
+
+// resolveConfig parses the scenario and assembles protocol parameters.
+func (b *Bundle) resolveConfig() (scenario.Spec, core.Params, error) {
+	scen, err := scenario.Parse(b.Scenario)
+	if err != nil {
+		return scenario.Spec{}, core.Params{}, fmt.Errorf("%w: scenario: %v", ErrMalformed, err)
+	}
+	if scen.T == scenario.TUnset {
+		return scenario.Spec{}, core.Params{}, fmt.Errorf("%w: scenario %q must carry an explicit t", ErrMalformed, b.Scenario)
+	}
+	proto, err := protoFromToken(b.Protocol)
+	if err != nil {
+		return scenario.Spec{}, core.Params{}, err
+	}
+	p := core.Params{
+		Protocol:      proto,
+		N:             scen.N,
+		T:             scen.T,
+		Eps:           b.Eps,
+		Lo:            b.Lo,
+		Hi:            b.Hi,
+		Adaptive:      b.Adaptive,
+		ExtraRounds:   b.ExtraRounds,
+		RoundDuration: b.SyncRoundTicks,
+	}
+	if err := p.Validate(); err != nil {
+		return scenario.Spec{}, core.Params{}, fmt.Errorf("%w: params: %v", ErrMalformed, err)
+	}
+	return scen, p, nil
+}
+
+// spec lowers the bundle to an executable harness.Spec. Explicit fault
+// overrides replace the scenario-derived assignments.
+func (b *Bundle) spec() (harness.Spec, error) {
+	if err := b.Validate(); err != nil {
+		return harness.Spec{}, err
+	}
+	scen, p, err := b.resolveConfig()
+	if err != nil {
+		return harness.Spec{}, err
+	}
+	spec, err := harness.SpecFrom(p, b.Inputs, scen, b.Seed)
+	if err != nil {
+		return harness.Spec{}, fmt.Errorf("%w: lower: %v", ErrMalformed, err)
+	}
+	spec.MaxEvents = b.MaxEvents
+	if len(b.Crashes) > 0 || len(b.Byz) > 0 {
+		spec.Crashes = append([]sim.CrashPlan(nil), b.Crashes...)
+		spec.Byz = nil
+		if len(b.Byz) > 0 {
+			spec.Byz = make(map[sim.PartyID]fault.Behavior, len(b.Byz))
+			for _, z := range b.Byz {
+				kind, _ := scenario.Fault(z.Name)
+				spec.Byz[z.Party] = kind.Behavior
+			}
+		}
+	}
+	return spec, nil
+}
+
+// digestOf summarizes a finished run plus the delivery trace the digester
+// observed.
+func digestOf(rep *harness.Report, deliveries int64, hash uint64) Digest {
+	d := Digest{
+		FinishTime:        rep.Result.FinishTime,
+		MaxHonestDelay:    rep.Result.MaxHonestDelay,
+		MessagesSent:      int64(rep.Result.Stats.MessagesSent),
+		MessagesDelivered: int64(rep.Result.Stats.MessagesDelivered),
+		BytesSent:         int64(rep.Result.Stats.BytesSent),
+		Deliveries:        deliveries,
+		DeliveryHash:      hash,
+		RunErr:            runErrCode(rep.RunErr),
+		ProtoErrs:         int64(len(rep.ProtoErrs)),
+	}
+	for id, v := range rep.Result.Decisions {
+		d.Decisions = append(d.Decisions, Decision{Party: id, Value: v, At: rep.Result.DecidedAt[id]})
+	}
+	sortDecisions(d.Decisions)
+	return d
+}
+
+func sortDecisions(ds []Decision) {
+	// Insertion sort: decision lists are n-sized and this runs once per
+	// capture/replay.
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j].Party < ds[j-1].Party; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}

@@ -67,6 +67,14 @@ func RegisterFault(name string, k FaultKind) {
 	faults[name] = k
 }
 
+// Fault looks up a registered fault kind by name. Consumers outside the
+// spec grammar (e.g. internal/incident resolving a bundle's explicit
+// Byzantine assignments) use this instead of reaching into the registry.
+func Fault(name string) (FaultKind, bool) {
+	k, ok := faults[name]
+	return k, ok
+}
+
 // SchedulerNames returns every registered scheduler key, sorted.
 func SchedulerNames() []string {
 	out := make([]string, 0, len(schedulers))

@@ -3,7 +3,6 @@ package sched
 import (
 	"math"
 	"math/rand"
-	"sync"
 
 	"repro/internal/sim"
 )
@@ -18,18 +17,25 @@ import (
 //	... run, observe failure ...
 //	replay := sched.NewReplay(rec.Log(), fallbackDelay)
 //	... re-run with extra instrumentation, same interleaving ...
+//
+// The log is a dense slice indexed by send sequence: the simulator allocates
+// sequence numbers contiguously from zero, and batched tick delivery flushes
+// deferred sends in exactly the unbatched trigger order, so the sequence a
+// Recorder observes is identical across batch modes. A zero entry means "no
+// send recorded at that sequence" (timer events consume no sequence numbers,
+// and real delays are always >= 1). A run drives its scheduler from a single
+// goroutine, so the Recorder is deliberately lock-free; parallel sweeps give
+// each run its own Recorder instance, which keeps them race-free.
 type Recorder struct {
 	inner sim.Scheduler
-
-	mu  sync.Mutex
-	log map[uint64]sim.Time
+	log   []sim.Time
 }
 
 var _ sim.Scheduler = (*Recorder)(nil)
 
 // NewRecorder wraps inner.
 func NewRecorder(inner sim.Scheduler) *Recorder {
-	return &Recorder{inner: inner, log: make(map[uint64]sim.Time)}
+	return &Recorder{inner: inner}
 }
 
 // Delay implements sim.Scheduler.
@@ -41,20 +47,31 @@ func (r *Recorder) Delay(env sim.Envelope, now sim.Time, rng *rand.Rand) sim.Tim
 	if d > sim.MaxDelayCap {
 		d = sim.MaxDelayCap
 	}
-	r.mu.Lock()
+	for uint64(len(r.log)) <= env.Seq {
+		r.log = append(r.log, 0)
+	}
 	r.log[env.Seq] = d
-	r.mu.Unlock()
 	return d
 }
 
-// Log returns a copy of the recorded delays.
+// Log returns a copy of the recorded delays as a map, for callers that want
+// sparse lookup semantics. Unrecorded sequences are absent.
 func (r *Recorder) Log() map[uint64]sim.Time {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	out := make(map[uint64]sim.Time, len(r.log))
-	for k, v := range r.log {
-		out[k] = v
+	for seq, d := range r.log {
+		if d != 0 {
+			out[uint64(seq)] = d
+		}
 	}
+	return out
+}
+
+// Dense returns a copy of the recorded delays as a dense slice indexed by
+// send sequence. A zero entry means no delay was recorded for that sequence.
+// This is the compact form persisted in incident bundles.
+func (r *Recorder) Dense() []sim.Time {
+	out := make([]sim.Time, len(r.log))
+	copy(out, r.log)
 	return out
 }
 
@@ -62,28 +79,45 @@ func (r *Recorder) Log() map[uint64]sim.Time {
 // the recorded log (possible when the re-run diverges, e.g. extra
 // instrumentation traffic) get the fallback delay.
 type Replay struct {
-	log      map[uint64]sim.Time
+	log      []sim.Time
 	fallback sim.Time
 }
 
 var _ sim.Scheduler = (*Replay)(nil)
 
-// NewReplay builds a replay scheduler from a recorded log.
+// NewReplay builds a replay scheduler from a recorded map log.
 func NewReplay(log map[uint64]sim.Time, fallback sim.Time) *Replay {
+	var max uint64
+	for seq := range log {
+		if seq >= max {
+			max = seq + 1
+		}
+	}
+	dense := make([]sim.Time, max)
+	for seq, d := range log {
+		dense[seq] = d
+	}
+	return NewReplayDense(dense, fallback)
+}
+
+// NewReplayDense builds a replay scheduler from a dense log indexed by send
+// sequence (zero entries mean "unrecorded" and fall back). The slice is
+// copied, so the caller may keep mutating its own.
+func NewReplayDense(log []sim.Time, fallback sim.Time) *Replay {
 	if fallback < 1 {
 		fallback = 1
 	}
-	cp := make(map[uint64]sim.Time, len(log))
-	for k, v := range log {
-		cp[k] = v
-	}
+	cp := make([]sim.Time, len(log))
+	copy(cp, log)
 	return &Replay{log: cp, fallback: fallback}
 }
 
 // Delay implements sim.Scheduler.
 func (r *Replay) Delay(env sim.Envelope, _ sim.Time, _ *rand.Rand) sim.Time {
-	if d, ok := r.log[env.Seq]; ok {
-		return d
+	if env.Seq < uint64(len(r.log)) {
+		if d := r.log[env.Seq]; d != 0 {
+			return d
+		}
 	}
 	return r.fallback
 }

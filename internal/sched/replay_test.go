@@ -33,6 +33,31 @@ func buildRun(t *testing.T, scheduler sim.Scheduler, seed int64) *sim.Result {
 	return res
 }
 
+// buildRunN assembles a crash-protocol network of the given size and batch
+// mode over the given scheduler.
+func buildRunN(t *testing.T, n int, scheduler sim.Scheduler, seed int64, batch sim.BatchMode) *sim.Result {
+	t.Helper()
+	p := core.Params{Protocol: core.ProtoCrash, N: n, T: (n - 1) / 2, Eps: 1e-3, Lo: 0, Hi: 1}
+	net, err := sim.New(sim.Config{N: n, Scheduler: scheduler, Seed: seed, Batch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		proc, err := core.NewAsyncAA(p, float64(i)/float64(n-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.SetProcess(sim.PartyID(i), proc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func TestRecordReplayReproducesExecution(t *testing.T) {
 	rec := NewRecorder(&UniformRandom{Min: 1, Max: 20})
 	original := buildRun(t, rec, 42)
@@ -52,6 +77,81 @@ func TestRecordReplayReproducesExecution(t *testing.T) {
 		if replayed.Decisions[id] != v {
 			t.Errorf("party %d decided %v vs %v", id, v, replayed.Decisions[id])
 		}
+	}
+}
+
+// TestRecorderBatchModeIdentity pins the batch-awareness contract: a run
+// dense enough to trigger batched tick delivery (n=24 synchronous, so every
+// tick carries hundreds of deliveries) records byte-for-byte the same delay
+// log under batch on and batch off, and a log recorded in either mode
+// replays the execution exactly in the other. This holds because batched
+// delivery defers sends as trigger-ordered pending ops and assigns sequence
+// numbers and scheduler draws at flush in exactly the unbatched order.
+func TestRecorderBatchModeIdentity(t *testing.T) {
+	const n, seed = 24, 77
+	sched := &UniformRandom{Min: 1, Max: 9}
+
+	recOff := NewRecorder(sched)
+	resOff := buildRunN(t, n, recOff, seed, sim.BatchOff)
+	recOn := NewRecorder(sched)
+	resOn := buildRunN(t, n, recOn, seed, sim.BatchOn)
+
+	logOff, logOn := recOff.Dense(), recOn.Dense()
+	if len(logOff) != len(logOn) {
+		t.Fatalf("log length %d (batch off) vs %d (batch on)", len(logOff), len(logOn))
+	}
+	if len(logOff) == 0 {
+		t.Fatal("empty recorded log")
+	}
+	for seq := range logOff {
+		if logOff[seq] != logOn[seq] {
+			t.Fatalf("seq %d: delay %d (batch off) vs %d (batch on)", seq, logOff[seq], logOn[seq])
+		}
+	}
+	if resOff.Stats != resOn.Stats {
+		t.Errorf("stats %+v vs %+v", resOff.Stats, resOn.Stats)
+	}
+
+	// Cross-replay: a log recorded under batch off drives a batch-on run
+	// (and vice versa) to the identical execution.
+	crossOn := buildRunN(t, n, NewReplayDense(logOff, 1), seed+1, sim.BatchOn)
+	crossOff := buildRunN(t, n, NewReplayDense(logOn, 1), seed+2, sim.BatchOff)
+	for _, pair := range []struct {
+		name string
+		got  *sim.Result
+	}{{"off-log under batch on", crossOn}, {"on-log under batch off", crossOff}} {
+		if pair.got.FinishTime != resOff.FinishTime {
+			t.Errorf("%s: finish time %d vs %d", pair.name, pair.got.FinishTime, resOff.FinishTime)
+		}
+		if pair.got.Stats != resOff.Stats {
+			t.Errorf("%s: stats %+v vs %+v", pair.name, pair.got.Stats, resOff.Stats)
+		}
+		for id, v := range resOff.Decisions {
+			if pair.got.Decisions[id] != v {
+				t.Errorf("%s: party %d decided %v vs %v", pair.name, id, pair.got.Decisions[id], v)
+			}
+		}
+	}
+}
+
+func TestRecorderDenseLog(t *testing.T) {
+	rec := NewRecorder(NewSynchronous(4))
+	rng := rand.New(rand.NewSource(1))
+	rec.Delay(sim.Envelope{Seq: 0}, 0, rng)
+	rec.Delay(sim.Envelope{Seq: 2}, 0, rng)
+	dense := rec.Dense()
+	if len(dense) != 3 || dense[0] != 4 || dense[1] != 0 || dense[2] != 4 {
+		t.Fatalf("dense log %v", dense)
+	}
+	// Dense returns a copy.
+	dense[0] = 99
+	if rec.Dense()[0] != 4 {
+		t.Error("dense log not copied")
+	}
+	// The map view skips unrecorded sequences.
+	m := rec.Log()
+	if len(m) != 2 || m[0] != 4 || m[2] != 4 {
+		t.Fatalf("map log %v", m)
 	}
 }
 
