@@ -5,10 +5,10 @@
 # the race detector.
 
 GO ?= go
-BENCH_OLD ?= BENCH_4.json
-BENCH_NEW ?= BENCH_5.json
+BENCH_OLD ?= BENCH_5.json
+BENCH_NEW ?= BENCH_7.json
 
-.PHONY: check vet race bench bench-compare bench-smoke bench-smoke-refresh benchmem e12-smoke incident-replay incident-regen
+.PHONY: check vet race bench bench-compare bench-smoke bench-smoke-refresh benchmem e12-smoke incident-replay incident-regen livenet-soak
 
 check:
 	$(GO) build ./...
@@ -62,6 +62,14 @@ incident-replay:
 # unexplained divergence.
 incident-regen:
 	INCIDENT_REGEN=1 $(GO) test -run TestIncidentCorpusReplayMatrix -count=1 -v ./internal/incident/
+
+# livenet-soak runs the real-goroutine transport under the race detector
+# with injected loss, duplication, jitter, and flapping parties, reliable
+# transport on: the run must converge with no hung senders. Seeded and
+# wall-clock-bounded (completes in a few seconds); gated behind
+# LIVENET_SOAK=1 so default test runs stay fast.
+livenet-soak:
+	LIVENET_SOAK=1 $(GO) test -race -run TestLivenetSoak -count=1 -v ./internal/livenet/
 
 # benchmem runs the substrate micro-benchmarks with allocation accounting,
 # the numbers PERF.md tracks.

@@ -17,6 +17,16 @@
 // Use Simulate to run a protocol on the deterministic discrete-event
 // simulator under a chosen adversary, or RunLive to run it on a real
 // goroutine-per-party runtime with channel transports.
+//
+// Both runtimes can degrade the network — per-send Bernoulli loss and
+// duplication, regional outages, and flapping parties (scenario axes
+// "loss:P"/"dup:P"/"outage:k:start:len"/"flap:len" under Simulate,
+// LiveOptions fields under RunLive) — and both can wrap every party in an
+// ack/retransmit reliable transport (WithReliable / LiveOptions.Reliable)
+// that heals the damage by retransmission. The Outcome's Dropped, Duped,
+// and Retransmits counters report what the network did; a live timeout
+// returns the partial Outcome alongside the error instead of discarding
+// the progress.
 package aa
 
 import (

@@ -215,6 +215,59 @@ func TestRunLive(t *testing.T) {
 	}
 }
 
+func TestSimulateReliableSurvivesLoss(t *testing.T) {
+	// The raw transport stalls under sustained loss; WithReliable heals it
+	// by retransmission — the E13 resilience claim through the public API.
+	cfg := Config{Model: ModelCrash, N: 16, T: 3, Epsilon: 1e-2, Lo: 0, Hi: 100}
+	inputs := make([]float64, 16)
+	for i := range inputs {
+		inputs[i] = float64(i) * 100 / 15
+	}
+	const scen = "random+loss:0.1/n=16,t=3"
+	raw, err := Simulate(cfg, inputs, WithSeed(7), WithScenario(scen), WithMaxEvents(20_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.OK() {
+		t.Fatal("raw transport converged under 10% loss; loss axis not applied?")
+	}
+	rel, err := Simulate(cfg, inputs, WithSeed(7), WithScenario(scen), WithMaxEvents(20_000_000), WithReliable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.OK() {
+		t.Fatalf("reliable transport failed under 10%% loss: %+v", rel.Err)
+	}
+	if rel.Dropped == 0 {
+		t.Error("loss axis dropped nothing")
+	}
+	if rel.Retransmits == 0 {
+		t.Error("reliable transport never retransmitted under loss")
+	}
+}
+
+func TestRunLivePartialOutcomeOnTimeout(t *testing.T) {
+	cfg := Config{Model: ModelCrash, N: 5, T: 2, Epsilon: 1e-3, Lo: 0, Hi: 1}
+	inputs := []float64{0, 0.25, 0.5, 0.75, 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	// 60% raw loss cannot converge: the timeout must surface the partial
+	// outcome (drop counters, any decisions) alongside the error.
+	out, err := RunLive(ctx, cfg, inputs, LiveOptions{Seed: 9, Loss: 0.6})
+	if err == nil {
+		t.Fatal("expected a timeout error under 60% raw loss")
+	}
+	if out == nil {
+		t.Fatal("timeout discarded the partial outcome")
+	}
+	if out.Dropped == 0 {
+		t.Error("loss injection dropped nothing")
+	}
+	if !errors.Is(out.Err, err) && out.Err == nil {
+		t.Error("partial outcome does not carry the error")
+	}
+}
+
 func TestModelString(t *testing.T) {
 	for m, want := range map[Model]string{
 		ModelCrash:            "crash",

@@ -27,7 +27,15 @@ type Outcome struct {
 	Rounds float64
 	// Messages and Bytes count everything sent during the run.
 	Messages, Bytes int
-	// Err carries a liveness failure (stall / event-budget), if any.
+	// Dropped and Duped count messages the network's loss/duplication
+	// axes removed or repeated; zero unless the run injected them.
+	Dropped, Duped int
+	// Retransmits counts reliable-transport retransmissions; zero unless
+	// the run used the reliable transport (WithReliable / LiveOptions).
+	Retransmits int
+	// Err carries a liveness failure (stall / event-budget / timeout), if
+	// any. A live timeout still fills the rest of the Outcome with the
+	// partial progress made before the deadline.
 	Err error
 }
 
@@ -70,6 +78,7 @@ type simSettings struct {
 	byz       map[sim.PartyID]fault.Behavior
 	maxEvents int
 	scenario  *scenario.Spec
+	reliable  bool
 }
 
 // SimOption customizes Simulate.
@@ -129,6 +138,18 @@ func WithByzantine(party int, behavior string) SimOption {
 func WithMaxEvents(n int) SimOption {
 	return func(s *simSettings) error {
 		s.maxEvents = n
+		return nil
+	}
+}
+
+// WithReliable wraps every honest party in the ack/retransmit transport
+// (internal/relnet): sequence-numbered frames, exponential-backoff
+// retransmission, and receive-side dedup. This is what lets a run survive
+// the lossy scenario axes ("loss:P", "outage:…", "flap:…") that stall the
+// raw transport; without those axes it only adds framing overhead.
+func WithReliable() SimOption {
+	return func(s *simSettings) error {
+		s.reliable = true
 		return nil
 	}
 }
@@ -245,6 +266,7 @@ func Simulate(c Config, inputs []float64, opts ...SimOption) (*Outcome, error) {
 			MaxEvents: settings.maxEvents,
 		}
 	}
+	spec.Reliable = settings.reliable
 	rep, err := harness.Run(spec)
 	if err != nil {
 		return nil, err
@@ -257,8 +279,11 @@ func Simulate(c Config, inputs []float64, opts ...SimOption) (*Outcome, error) {
 		Rounds:   rep.Result.Rounds(),
 		Messages: rep.Result.Stats.MessagesSent,
 		Bytes:    rep.Result.Stats.BytesSent,
-		Err:      rep.RunErr,
+		Dropped:  int(rep.Result.Stats.MessagesDropped),
+		Duped:    int(rep.Result.Stats.MessagesDuped),
 	}
+	out.Retransmits = int(rep.Transport.Retransmits)
+	out.Err = rep.RunErr
 	if out.Err == nil && len(rep.ProtoErrs) > 0 {
 		out.Err = rep.ProtoErrs[0]
 	}

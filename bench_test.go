@@ -1,5 +1,5 @@
 // Benchmark harness: one benchmark per evaluation artifact (experiments
-// E1–E12 in DESIGN.md — every table and figure), plus micro-benchmarks of
+// E1–E13 in DESIGN.md — every table and figure), plus micro-benchmarks of
 // the substrates. Each experiment benchmark regenerates its table per
 // iteration; run with -v to see a rendered table. cmd/aabench prints all
 // tables with more seeds.
@@ -123,6 +123,12 @@ func BenchmarkE12LargeN(b *testing.B) {
 	runExperiment(b, func() (*trace.Table, error) {
 		return harness.E12LargeNSizes([]int{32, 64})
 	})
+}
+
+// BenchmarkE13Resilience regenerates Table E13 (lossy-network resilience:
+// raw vs reliable transport under loss/dup/outage/flap).
+func BenchmarkE13Resilience(b *testing.B) {
+	runExperiment(b, harness.E13Resilience)
 }
 
 // --- micro-benchmarks of the substrates and a single protocol run ---

@@ -1,4 +1,4 @@
-// Command aabench regenerates every evaluation artifact (experiments E1–E11
+// Command aabench regenerates every evaluation artifact (experiments E1–E13
 // in DESIGN.md) and prints them as aligned tables, optionally also writing
 // CSV files and a machine-readable benchmark snapshot. This is the
 // one-command reproduction of the paper's claims; EXPERIMENTS.md records a

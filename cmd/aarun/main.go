@@ -14,6 +14,13 @@
 //	aarun -model crash -scenario "splitviews+crash/n=64,t=31"
 //	aarun -model trim -scenario "skew+equivocate/n=64,t=9"
 //
+// The lossy-network axes compose the same way, and -reliable wraps every
+// party in the ack/retransmit transport that survives them (on the live
+// runtime, -loss/-dup inject wall-clock loss directly):
+//
+//	aarun -model crash -scenario "random+loss:0.05+dup:0.1/n=16,t=3" -reliable
+//	aarun -model crash -n 5 -t 2 -live -loss 0.1 -reliable
+//
 // -record FILE captures the run as a replayable incident bundle: the
 // scenario, seed, every per-send delivery delay, and a digest of the
 // outcome (see internal/incident). -replay FILE re-executes a bundle
@@ -68,8 +75,11 @@ func run(args []string) error {
 	crashFlag := fs.String("crash", "", "crash plans id:afterSends,id:afterSends,...")
 	byzFlag := fs.String("byz", "", "byzantine assignments id:behavior,... (silent|extreme|equivocate|spam|amplifier)")
 	adaptive := fs.Bool("adaptive", false, "adaptive termination (estimate spread at runtime)")
+	reliable := fs.Bool("reliable", false, "wrap parties in the ack/retransmit transport (survives loss/outage/flap)")
 	live := fs.Bool("live", false, "run on the goroutine runtime instead of the simulator")
 	timeout := fs.Duration("timeout", 30*time.Second, "live-run timeout")
+	loss := fs.Float64("loss", 0, "live-run per-send drop probability in [0,1)")
+	dup := fs.Float64("dup", 0, "live-run per-send duplication probability in [0,1)")
 	record := fs.String("record", "", "capture the run into an incident bundle FILE (simulator only)")
 	replayFlag := fs.String("replay", "", "replay an incident bundle FILE and diff against its recorded digest (other flags ignored)")
 	if err := fs.Parse(args); err != nil {
@@ -118,8 +128,17 @@ func run(args []string) error {
 	if *live {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
-		out, err := aa.RunLive(ctx, cfg, inputs, aa.LiveOptions{Seed: *seed})
+		out, err := aa.RunLive(ctx, cfg, inputs, aa.LiveOptions{
+			Seed:     *seed,
+			Loss:     *loss,
+			Dup:      *dup,
+			Reliable: *reliable,
+		})
 		if err != nil {
+			// A timeout still reports the partial progress before failing.
+			if out != nil {
+				printOutcome(out, cfg)
+			}
 			return err
 		}
 		printOutcome(out, cfg)
@@ -140,10 +159,14 @@ func run(args []string) error {
 			scenario: *scenarioFlag, sched: *schedName,
 			n: *n, t: *t, seed: *seed,
 			crashes: crashes, byz: byz,
+			reliable: *reliable,
 		})
 	}
 
 	opts := []aa.SimOption{aa.WithSeed(*seed)}
+	if *reliable {
+		opts = append(opts, aa.WithReliable())
+	}
 	if *scenarioFlag != "" {
 		opts = append(opts, aa.WithScenario(*scenarioFlag))
 	} else {
@@ -237,6 +260,7 @@ type recordShape struct {
 	seed     int64
 	crashes  []sim.CrashPlan
 	byz      []incident.ByzRef
+	reliable bool
 }
 
 // doRecord captures the configured run into an incident bundle. With
@@ -270,6 +294,7 @@ func doRecord(path string, cfg aa.Config, model string, inputs []float64, shape 
 		Inputs:         inputs,
 		Crashes:        shape.crashes,
 		Byz:            shape.byz,
+		Reliable:       shape.reliable,
 	}
 	rep, err := incident.Capture(b)
 	if err != nil {
@@ -310,14 +335,17 @@ func doReplay(path string) error {
 // outcomeFromReport adapts a harness report for printOutcome.
 func outcomeFromReport(rep *harness.Report) *aa.Outcome {
 	out := &aa.Outcome{
-		Values:   make(map[int]float64, len(rep.Result.Decisions)),
-		Spread:   rep.FinalSpread,
-		Agreed:   rep.AgreementOK,
-		Valid:    rep.ValidityOK,
-		Rounds:   rep.Result.Rounds(),
-		Messages: rep.Result.Stats.MessagesSent,
-		Bytes:    rep.Result.Stats.BytesSent,
-		Err:      rep.RunErr,
+		Values:      make(map[int]float64, len(rep.Result.Decisions)),
+		Spread:      rep.FinalSpread,
+		Agreed:      rep.AgreementOK,
+		Valid:       rep.ValidityOK,
+		Rounds:      rep.Result.Rounds(),
+		Messages:    rep.Result.Stats.MessagesSent,
+		Bytes:       rep.Result.Stats.BytesSent,
+		Dropped:     int(rep.Result.Stats.MessagesDropped),
+		Duped:       int(rep.Result.Stats.MessagesDuped),
+		Retransmits: int(rep.Transport.Retransmits),
+		Err:         rep.RunErr,
 	}
 	if out.Err == nil && len(rep.ProtoErrs) > 0 {
 		out.Err = rep.ProtoErrs[0]
@@ -346,6 +374,12 @@ func printOutcome(out *aa.Outcome, cfg aa.Config) {
 	fmt.Printf("messages  %d\n", out.Messages)
 	if out.Bytes > 0 {
 		fmt.Printf("bytes     %d\n", out.Bytes)
+	}
+	if out.Dropped > 0 || out.Duped > 0 {
+		fmt.Printf("lossy     %d dropped, %d duplicated\n", out.Dropped, out.Duped)
+	}
+	if out.Retransmits > 0 {
+		fmt.Printf("reliable  %d retransmits\n", out.Retransmits)
 	}
 	if out.Err != nil {
 		fmt.Printf("error     %v\n", out.Err)

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/relnet"
 	"repro/internal/sim"
 )
 
@@ -81,6 +82,10 @@ type RunContext struct {
 	// run, for trajectory sampling (diameter only — identity irrelevant).
 	est []sim.Estimator
 	byz map[sim.PartyID]sim.Process
+	// rel pools reliable-transport wrappers (Spec.Reliable); relUsed is
+	// how many the current run attached, for the post-run stats sweep.
+	rel     []*relnet.Proc
+	relUsed int
 
 	// Observer state for trajectory/trace runs. obsFn caches the observer
 	// closure (one bound-method value per context, not one per run); the
@@ -260,6 +265,7 @@ func (c *RunContext) run(spec Spec, rep *Report) error {
 	}
 	net := c.net
 	c.est = c.est[:0]
+	c.relUsed = 0
 	for i := 0; i < p.N; i++ {
 		id := sim.PartyID(i)
 		if _, isByz := spec.Byz[id]; isByz {
@@ -268,6 +274,19 @@ func (c *RunContext) run(spec Spec, rep *Report) error {
 		proc, err := c.party(p, i, spec.Inputs[i])
 		if err != nil {
 			return fmt.Errorf("harness: party %d: %w", i, err)
+		}
+		if spec.Reliable {
+			// Wrap the honest party in the ack/retransmit transport. The
+			// wrapper forwards Estimate/Err to the protocol underneath, so
+			// trajectory sampling and the protocol-error sweep below see
+			// through it.
+			if len(c.rel) == c.relUsed {
+				c.rel = append(c.rel, relnet.Wrap(proc))
+			} else {
+				c.rel[c.relUsed].Reset(proc)
+			}
+			proc = c.rel[c.relUsed]
+			c.relUsed++
 		}
 		if err := net.SetProcess(id, proc); err != nil {
 			return err
@@ -317,6 +336,15 @@ func (c *RunContext) run(spec Spec, rep *Report) error {
 				}
 			}
 		}
+	}
+	rep.Transport = relnet.Stats{}
+	for _, w := range c.rel[:c.relUsed] {
+		s := w.TransportStats()
+		rep.Transport.DataSent += s.DataSent
+		rep.Transport.Retransmits += s.Retransmits
+		rep.Transport.AcksSent += s.AcksSent
+		rep.Transport.DupsSuppressed += s.DupsSuppressed
+		rep.Transport.GiveUps += s.GiveUps
 	}
 	rep.check(spec)
 	return nil

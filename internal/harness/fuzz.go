@@ -40,6 +40,7 @@ type FuzzViolation struct {
 	Eps        float64
 	Lo, Hi     float64
 	Adaptive   bool
+	Reliable   bool
 	SchedToken string
 	Scenario   string
 	Seed       int64
@@ -206,6 +207,7 @@ func violationFrom(trial int, desc string, rep *Report, spec Spec) FuzzViolation
 		Lo:         spec.Params.Lo,
 		Hi:         spec.Params.Hi,
 		Adaptive:   spec.Params.Adaptive,
+		Reliable:   spec.Reliable,
 		SchedToken: spec.Scheduler.Name,
 		Seed:       spec.Seed,
 		MaxEvents:  spec.MaxEvents,
@@ -250,12 +252,21 @@ func FuzzScenarios(trials int, seed int64) (*ScenarioFuzzResult, error) {
 	}
 	rng := rand.New(rand.NewSource(seed ^ 0x5CE9A410))
 	for i := 0; i < trials/4; i++ {
-		p, scen := randomRunnableScenario(rng)
+		p, scen, reliable := randomRunnableScenario(rng)
 		spec, err := SpecFrom(p, LinearInputs(p.N, p.Lo, p.Hi), scen, rng.Int63())
 		if err != nil {
 			// A composition that passed scenario.Validate must lower
 			// cleanly; anything else is a registry/harness contract break.
 			return res, fmt.Errorf("scenario %s failed to lower: %w", scen, err)
+		}
+		spec.Reliable = reliable
+		for _, f := range scen.Faults {
+			if scenario.IsNetFault(f) {
+				// Lossy axes trade messages for retransmissions; give the
+				// run the same headroom the E13 resilience sweep uses.
+				spec.MaxEvents = 20_000_000
+				break
+			}
 		}
 		rep, err := Run(spec)
 		if err != nil {
@@ -276,8 +287,12 @@ func FuzzScenarios(trials int, seed int64) (*ScenarioFuzzResult, error) {
 }
 
 // randomRunnableScenario composes a random valid scenario and a protocol
-// configured to tolerate its fault mix.
-func randomRunnableScenario(rng *rand.Rand) (core.Params, scenario.Spec) {
+// configured to tolerate its fault mix. The third result reports whether
+// the run needs the reliable transport: destructive network axes (loss,
+// outage, flap) are only survivable with retransmission, while duplication
+// alone is harmless to the crash protocol (receive-side processing is
+// idempotent there) and so sometimes runs raw.
+func randomRunnableScenario(rng *rand.Rand) (core.Params, scenario.Spec, bool) {
 	scheds := scenario.SchedulerNames()
 	byz := scenario.ByzSuite()
 	crashKinds := []string{"crash", "crashinit"}
@@ -304,5 +319,23 @@ func randomRunnableScenario(rng *rand.Rand) (core.Params, scenario.Spec) {
 	for k := rng.Intn(p.T + 1); k > 0; k-- {
 		scen.Faults = append(scen.Faults, faultPool[rng.Intn(len(faultPool))])
 	}
-	return p, scen
+	var reliable bool
+	if rng.Intn(3) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			scen.Faults = append(scen.Faults, fmt.Sprintf("loss:0.0%d", 1+rng.Intn(9)))
+			reliable = true
+		case 1:
+			scen.Faults = append(scen.Faults, fmt.Sprintf("dup:0.%d", 1+rng.Intn(3)))
+			reliable = p.Protocol != core.ProtoCrash
+		case 2:
+			scen.Faults = append(scen.Faults,
+				fmt.Sprintf("outage:1:%d:%d", 20+rng.Intn(41), 30+rng.Intn(51)))
+			reliable = true
+		default:
+			scen.Faults = append(scen.Faults, fmt.Sprintf("flap:%d", 20+rng.Intn(61)))
+			reliable = true
+		}
+	}
+	return p, scen, reliable
 }

@@ -1,6 +1,6 @@
 // Package harness assembles protocols, scenarios, and input generators
 // into runnable experiments, checks the agreement/validity invariants
-// after every run, and implements the experiment drivers (E1–E12 in
+// after every run, and implements the experiment drivers (E1–E13 in
 // DESIGN.md) behind cmd/aabench and the root benchmark suite.
 //
 // Adversary wiring is declarative: drivers enumerate scenario.Spec values
@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/relnet"
 	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -56,6 +57,12 @@ type Spec struct {
 	Observer func(now sim.Time, env sim.Envelope)
 	// MaxEvents overrides the simulator's default event budget.
 	MaxEvents int
+	// Reliable wraps every honest party in the ack/retransmit transport
+	// (internal/relnet): payloads are framed, retransmitted with backoff
+	// until acked, and deduplicated on receive — the configuration that
+	// survives the lossy-network scenario axes (loss/dup/outage/flap).
+	// Byzantine parties stay raw (an adversary owes no acks).
+	Reliable bool
 	// allowOverfault disables the faults<=T guard; only the resilience
 	// overload experiment sets it, to demonstrate what breaks past the
 	// bound.
@@ -87,6 +94,10 @@ type Report struct {
 	AgreementOK bool
 	// Trajectory holds diameter samples if requested.
 	Trajectory []TrajPoint
+	// Transport aggregates the reliable-transport counters (retransmits,
+	// acks, dedup suppressions, give-ups) across the honest parties when
+	// the spec ran with Reliable set; zero otherwise.
+	Transport relnet.Stats
 }
 
 // OK reports overall success: live, valid, and ε-agreed.

@@ -71,20 +71,44 @@ func (d *digester) observe(now sim.Time, env sim.Envelope) {
 	d.deliveries++
 }
 
-// captureProbe wraps the real scheduler during capture: it records delays
-// (via an embedded recorder chain) and the per-send content checksum.
+// captureProbe wraps the real scheduler during capture: it records the
+// full network fate of every send — delay, drop verdict, duplication —
+// plus the per-send content checksum. It implements sim.FateScheduler, so
+// the simulator routes every send through Fate whether or not the wrapped
+// scheduler decides drops/dups; for a fate-free scheduler the recorded
+// fates are plain delays and the run is byte-identical to the historical
+// Delay-only capture path.
 type captureProbe struct {
-	rec  *sched.Recorder
-	sums []uint32
+	inner  sim.Scheduler
+	delays []sim.Time
+	sums   []uint32
+	drops  []uint64
+	dups   []Dup
 }
 
+var _ sim.FateScheduler = (*captureProbe)(nil)
+
 func (p *captureProbe) Delay(env sim.Envelope, now sim.Time, rng *rand.Rand) sim.Time {
-	d := p.rec.Delay(env, now, rng)
-	for uint64(len(p.sums)) <= env.Seq {
+	return p.Fate(env, now, rng).Delay
+}
+
+func (p *captureProbe) Fate(env sim.Envelope, now sim.Time, rng *rand.Rand) sim.Fate {
+	f := sim.FateOf(p.inner, env, now, rng)
+	for uint64(len(p.delays)) <= env.Seq {
+		p.delays = append(p.delays, 0)
 		p.sums = append(p.sums, 0)
 	}
+	p.delays[env.Seq] = f.Delay
 	p.sums[env.Seq] = sendSum(env, now)
-	return d
+	// The simulator hands out send sequences in ascending order, so the
+	// fate lists are strictly ascending by construction (Validate pins it).
+	if f.Drop {
+		p.drops = append(p.drops, env.Seq)
+	}
+	if f.DupExtra > 0 {
+		p.dups = append(p.dups, Dup{Seq: env.Seq, Extra: f.DupExtra})
+	}
+	return f
 }
 
 // Capture executes the run a bundle describes and fills in its trace
@@ -101,7 +125,7 @@ func Capture(b *Bundle) (*harness.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	probe := &captureProbe{rec: sched.NewRecorder(spec.Scheduler.Scheduler)}
+	probe := &captureProbe{inner: spec.Scheduler.Scheduler}
 	spec.Scheduler.Scheduler = probe
 	dig := &digester{}
 	spec.Observer = dig.observe
@@ -109,11 +133,10 @@ func Capture(b *Bundle) (*harness.Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("incident: capture: %w", err)
 	}
-	b.Delays = probe.rec.Dense()
+	b.Delays = probe.delays
 	b.SendSums = probe.sums
-	if len(b.SendSums) < len(b.Delays) {
-		b.SendSums = append(b.SendSums, make([]uint32, len(b.Delays)-len(b.SendSums))...)
-	}
+	b.Drops = probe.drops
+	b.Dups = probe.dups
 	b.Digest = digestOf(rep, dig.deliveries, dig.hash)
 	return rep, nil
 }
@@ -137,6 +160,7 @@ func FromFuzz(v harness.FuzzViolation, name string) (*Bundle, error) {
 		Scenario:  scen,
 		Protocol:  tok,
 		Adaptive:  v.Adaptive,
+		Reliable:  v.Reliable,
 		Eps:       v.Eps,
 		Lo:        v.Lo,
 		Hi:        v.Hi,
@@ -182,17 +206,26 @@ func (d *Divergence) Error() error {
 		ErrDivergence, first, len(d.Mismatches), d.Mismatches)
 }
 
-// replayProbe replays recorded delays and verifies every send against the
-// recorded checksums, tracking the first divergent sequence.
+// replayProbe replays recorded network fates — delays plus the recorded
+// drop/dup decisions — and verifies every send against the recorded
+// checksums, tracking the first divergent sequence.
 type replayProbe struct {
 	delays   []sim.Time
 	sums     []uint32
+	drops    map[uint64]struct{}
+	dups     map[uint64]sim.Time
 	fallback sim.Time
 	firstBad uint64
 	sends    uint64
 }
 
-func (p *replayProbe) Delay(env sim.Envelope, now sim.Time, _ *rand.Rand) sim.Time {
+var _ sim.FateScheduler = (*replayProbe)(nil)
+
+func (p *replayProbe) Delay(env sim.Envelope, now sim.Time, rng *rand.Rand) sim.Time {
+	return p.Fate(env, now, rng).Delay
+}
+
+func (p *replayProbe) Fate(env sim.Envelope, now sim.Time, _ *rand.Rand) sim.Fate {
 	p.sends++
 	bad := env.Seq >= uint64(len(p.sums)) ||
 		p.sums[env.Seq] == 0 ||
@@ -200,12 +233,19 @@ func (p *replayProbe) Delay(env sim.Envelope, now sim.Time, _ *rand.Rand) sim.Ti
 	if bad && env.Seq < p.firstBad {
 		p.firstBad = env.Seq
 	}
+	f := sim.Fate{Delay: p.fallback}
 	if env.Seq < uint64(len(p.delays)) {
 		if d := p.delays[env.Seq]; d != 0 {
-			return d
+			f.Delay = d
 		}
 	}
-	return p.fallback
+	if _, ok := p.drops[env.Seq]; ok {
+		f.Drop = true
+	}
+	if extra, ok := p.dups[env.Seq]; ok {
+		f.DupExtra = extra
+	}
+	return f
 }
 
 // Prepared is a bundle lowered to a runnable replay spec. Run the Spec
@@ -232,6 +272,18 @@ func Prepare(b *Bundle) (*Prepared, error) {
 		sums:     b.SendSums,
 		fallback: 1,
 		firstBad: NoDivergentSend,
+	}
+	if len(b.Drops) > 0 {
+		probe.drops = make(map[uint64]struct{}, len(b.Drops))
+		for _, seq := range b.Drops {
+			probe.drops[seq] = struct{}{}
+		}
+	}
+	if len(b.Dups) > 0 {
+		probe.dups = make(map[uint64]sim.Time, len(b.Dups))
+		for _, dup := range b.Dups {
+			probe.dups[dup.Seq] = dup.Extra
+		}
 	}
 	spec.Scheduler = sched.Named{Name: "replay:" + b.Scenario, Scheduler: probe}
 	dig := &digester{}
@@ -281,6 +333,12 @@ func (p *Prepared) Diff(rep *harness.Report) *Divergence {
 	}
 	if got.BytesSent != want.BytesSent {
 		add("bytes sent: recorded %d, replayed %d", want.BytesSent, got.BytesSent)
+	}
+	if got.MessagesDropped != want.MessagesDropped {
+		add("messages dropped: recorded %d, replayed %d", want.MessagesDropped, got.MessagesDropped)
+	}
+	if got.MessagesDuped != want.MessagesDuped {
+		add("messages duped: recorded %d, replayed %d", want.MessagesDuped, got.MessagesDuped)
 	}
 	if got.Deliveries != want.Deliveries {
 		add("deliveries: recorded %d, replayed %d", want.Deliveries, got.Deliveries)

@@ -37,7 +37,11 @@ func (e *encoder) str(s string) {
 	e.buf = append(e.buf, s...)
 }
 
-// Encode serializes the bundle. The bundle must validate.
+// Encode serializes the bundle. The bundle must validate. Bundles with no
+// network-fate data encode as version 1, byte-identical to the historical
+// format; fate data (drops, dups, the reliable flag, nonzero digest
+// drop/dup counters) switches to version 2, which appends the fate record
+// after the digest.
 func Encode(b *Bundle) ([]byte, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
@@ -48,6 +52,10 @@ func Encode(b *Bundle) ([]byte, error) {
 	if len(b.Delays) > maxSends {
 		return nil, fmt.Errorf("%w: %d sends exceed cap", ErrMalformed, len(b.Delays))
 	}
+	version := uint16(1)
+	if b.fated() {
+		version = versionFated
+	}
 	e := &encoder{buf: make([]byte, 0, 64+8*len(b.Inputs)+3*len(b.Delays)+4*len(b.SendSums))}
 	e.str(b.Name)
 	e.str(b.Scenario)
@@ -55,6 +63,9 @@ func Encode(b *Bundle) ([]byte, error) {
 	var flags uint8
 	if b.Adaptive {
 		flags |= 1
+	}
+	if b.Reliable {
+		flags |= 2
 	}
 	e.u8(flags)
 	e.f64(b.Eps)
@@ -102,10 +113,23 @@ func Encode(b *Bundle) ([]byte, error) {
 	e.u64(d.DeliveryHash)
 	e.u8(d.RunErr)
 	e.uvar(uint64(d.ProtoErrs))
+	if version >= versionFated {
+		e.uvar(uint64(len(b.Drops)))
+		for _, seq := range b.Drops {
+			e.uvar(seq)
+		}
+		e.uvar(uint64(len(b.Dups)))
+		for _, dup := range b.Dups {
+			e.uvar(dup.Seq)
+			e.uvar(uint64(dup.Extra))
+		}
+		e.uvar(uint64(d.MessagesDropped))
+		e.uvar(uint64(d.MessagesDuped))
+	}
 
 	out := make([]byte, 0, 6+len(e.buf)+4)
 	out = append(out, bundleMagic[:]...)
-	out = binary.LittleEndian.AppendUint16(out, Version)
+	out = binary.LittleEndian.AppendUint16(out, version)
 	out = append(out, e.buf...)
 	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(e.buf))
 	return out, nil
@@ -240,8 +264,9 @@ func Decode(data []byte) (*Bundle, error) {
 	if [4]byte(data[:4]) != bundleMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrMalformed)
 	}
-	if v := binary.LittleEndian.Uint16(data[4:6]); v != Version {
-		return nil, fmt.Errorf("%w: got version %d, support %d", ErrVersion, v, Version)
+	version := binary.LittleEndian.Uint16(data[4:6])
+	if version < 1 || version > Version {
+		return nil, fmt.Errorf("%w: got version %d, support 1..%d", ErrVersion, version, Version)
 	}
 	payload := data[6 : len(data)-4]
 	wantCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
@@ -255,10 +280,15 @@ func Decode(data []byte) (*Bundle, error) {
 	b.Scenario = d.str()
 	b.Protocol = d.str()
 	flags := d.u8()
-	if flags > 1 {
+	knownFlags := uint8(1)
+	if version >= versionFated {
+		knownFlags |= 2
+	}
+	if flags&^knownFlags != 0 {
 		d.fail(fmt.Errorf("%w: unknown flag bits %#x", ErrMalformed, flags))
 	}
 	b.Adaptive = flags&1 != 0
+	b.Reliable = flags&2 != 0
 	b.Eps = d.f64()
 	b.Lo = d.f64()
 	b.Hi = d.f64()
@@ -318,6 +348,22 @@ func Decode(data []byte) (*Bundle, error) {
 	b.Digest.DeliveryHash = d.u64()
 	b.Digest.RunErr = d.u8()
 	b.Digest.ProtoErrs = int64(d.uvar())
+	if version >= versionFated {
+		if n := d.count(maxSends, "drop"); d.err == nil && n > 0 {
+			b.Drops = make([]uint64, n)
+			for i := range b.Drops {
+				b.Drops[i] = d.uvar()
+			}
+		}
+		if n := d.count(maxSends, "dup"); d.err == nil && n > 0 {
+			b.Dups = make([]Dup, n)
+			for i := range b.Dups {
+				b.Dups[i] = Dup{Seq: d.uvar(), Extra: d.timeField("dup extra delay")}
+			}
+		}
+		b.Digest.MessagesDropped = int64(d.uvar())
+		b.Digest.MessagesDuped = int64(d.uvar())
+	}
 	if d.err != nil {
 		return nil, d.err
 	}

@@ -99,5 +99,40 @@ func Episodes() []*Bundle {
 			Seed:     606,
 			Inputs:   harness.LinearInputs(36, 0, 1),
 		},
+		{
+			// Heavy Bernoulli loss plus duplication with the reliable
+			// transport: every drop and dup decision is part of the recorded
+			// fate log (bundle format v2), and the ack/retransmit sublayer's
+			// recovery traffic is part of the digest. Any change to the fate
+			// draw order, the relnet framing, or the retransmit schedule
+			// shifts the delivery hash here first.
+			Name:      "loss-heavy-convergence",
+			Scenario:  "random+loss:0.1+dup:0.05/n=16,t=3",
+			Protocol:  ProtoCrash,
+			Eps:       1e-2,
+			Lo:        0,
+			Hi:        1,
+			Seed:      707,
+			MaxEvents: 20_000_000,
+			Reliable:  true,
+			Inputs:    harness.BimodalInputs(16, 0, 1),
+		},
+		{
+			// A correlated regional blackout overlapping staggered flap
+			// windows on the raw transport: the run loses messages to two
+			// distinct virtual-time windows and stalls with partial
+			// decisions. The recorded digest pins the stall verdict and the
+			// exact drop set, so replay proves degradation is deterministic,
+			// not incidental.
+			Name:      "regional-outage-flap",
+			Scenario:  "random+flap:60+outage:4:50:100/n=16,t=3",
+			Protocol:  ProtoCrash,
+			Eps:       1e-2,
+			Lo:        0,
+			Hi:        1,
+			Seed:      808,
+			MaxEvents: 20_000_000,
+			Inputs:    harness.LinearInputs(16, 0, 1),
+		},
 	}
 }

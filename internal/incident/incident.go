@@ -28,9 +28,17 @@ import (
 	"repro/internal/sim"
 )
 
-// Version is the current bundle format version. Decode rejects any other
-// version with ErrVersion; the format is append-only within a version.
-const Version uint16 = 1
+// Version is the current bundle format version. Decode accepts versions 1
+// and 2 and rejects anything else with ErrVersion; the format is
+// append-only within a version. Version 2 appends the network-fate record
+// (dropped and duplicated send sequences, the reliable-transport flag, and
+// the drop/dup counters in the digest); Encode still emits version 1 for
+// bundles without fate data, so the pre-existing corpus re-encodes
+// byte-identically.
+const Version uint16 = 2
+
+// versionFated is the first version carrying the network-fate record.
+const versionFated uint16 = 2
 
 // Sentinel errors.
 var (
@@ -116,6 +124,12 @@ type Digest struct {
 	MessagesSent      int64
 	MessagesDelivered int64
 	BytesSent         int64
+	// MessagesDropped and MessagesDuped count the network-fate decisions
+	// (loss/dup/outage/flap axes); version-2 bundles record them so a
+	// replay that drops or duplicates differently is named directly rather
+	// than only through downstream accounting drift.
+	MessagesDropped int64
+	MessagesDuped   int64
 	// Deliveries counts observer callbacks; DeliveryHash chains an FNV-1a
 	// hash over every delivery (time, from, to, seq, payload) in observer
 	// order, so any reordering or payload change is caught even when the
@@ -191,8 +205,33 @@ type Bundle struct {
 	// so replay can name the first send whose bytes diverge. Zero entries
 	// mean "unrecorded" (sums are forced nonzero when present).
 	SendSums []uint32
+	// Drops lists the send sequences the network dropped (loss/outage/flap
+	// axes), strictly ascending. Replay re-applies them verbatim, so the
+	// recorded loss episode reproduces bit-for-bit.
+	Drops []uint64
+	// Dups lists the send sequences the network duplicated, strictly
+	// ascending by sequence, each with the recorded extra delay of the
+	// second copy.
+	Dups []Dup
+	// Reliable records that the run wrapped honest parties in the
+	// ack/retransmit transport (harness.Spec.Reliable).
+	Reliable bool
 	// Digest is the recorded outcome replays are diffed against.
 	Digest Digest
+}
+
+// Dup records one network-duplicated send: the second copy of send Seq
+// arrived Extra ticks after the first.
+type Dup struct {
+	Seq   uint64
+	Extra sim.Time
+}
+
+// fated reports whether the bundle carries version-2 fate data and must
+// encode as version 2.
+func (b *Bundle) fated() bool {
+	return len(b.Drops) > 0 || len(b.Dups) > 0 || b.Reliable ||
+		b.Digest.MessagesDropped != 0 || b.Digest.MessagesDuped != 0
 }
 
 // caps bound decoded bundles so a hostile file cannot balloon memory.
@@ -215,8 +254,15 @@ func (b *Bundle) Validate() error {
 	if len(b.Inputs) != p.N {
 		return fmt.Errorf("%w: %d inputs for n=%d", ErrMalformed, len(b.Inputs), p.N)
 	}
-	if (len(b.Crashes) > 0 || len(b.Byz) > 0) && len(scen.Faults) > 0 {
-		return fmt.Errorf("%w: scenario %q carries fault tokens alongside explicit fault overrides", ErrMalformed, b.Scenario)
+	// Only party-fault tokens conflict with explicit overrides; network-fault
+	// axes (loss/dup/outage/flap) live in the scheduler and compose freely
+	// with the fuzzer's explicit crash plans.
+	if len(b.Crashes) > 0 || len(b.Byz) > 0 {
+		for _, f := range scen.Faults {
+			if !scenario.IsNetFault(f) {
+				return fmt.Errorf("%w: scenario %q carries party-fault tokens alongside explicit fault overrides", ErrMalformed, b.Scenario)
+			}
+		}
 	}
 	if len(b.Crashes)+len(b.Byz) > p.T {
 		return fmt.Errorf("%w: %d explicit faults exceed t=%d", ErrMalformed, len(b.Crashes)+len(b.Byz), p.T)
@@ -253,6 +299,25 @@ func (b *Bundle) Validate() error {
 	for seq, d := range b.Delays {
 		if d < 0 || d > sim.MaxDelayCap {
 			return fmt.Errorf("%w: delay %d at seq %d outside [0,%d]", ErrMalformed, d, seq, sim.MaxDelayCap)
+		}
+	}
+	for i, seq := range b.Drops {
+		if i > 0 && seq <= b.Drops[i-1] {
+			return fmt.Errorf("%w: drop seqs not strictly ascending at index %d", ErrMalformed, i)
+		}
+		if seq >= uint64(len(b.Delays)) || b.Delays[seq] == 0 {
+			return fmt.Errorf("%w: dropped seq %d has no recorded send", ErrMalformed, seq)
+		}
+	}
+	for i, dup := range b.Dups {
+		if i > 0 && dup.Seq <= b.Dups[i-1].Seq {
+			return fmt.Errorf("%w: dup seqs not strictly ascending at index %d", ErrMalformed, i)
+		}
+		if dup.Seq >= uint64(len(b.Delays)) || b.Delays[dup.Seq] == 0 {
+			return fmt.Errorf("%w: duplicated seq %d has no recorded send", ErrMalformed, dup.Seq)
+		}
+		if dup.Extra < 1 || dup.Extra > sim.MaxDelayCap {
+			return fmt.Errorf("%w: dup extra delay %d at seq %d outside [1,%d]", ErrMalformed, dup.Extra, dup.Seq, sim.MaxDelayCap)
 		}
 	}
 	if b.MaxEvents < 0 {
@@ -306,6 +371,7 @@ func (b *Bundle) spec() (harness.Spec, error) {
 		return harness.Spec{}, fmt.Errorf("%w: lower: %v", ErrMalformed, err)
 	}
 	spec.MaxEvents = b.MaxEvents
+	spec.Reliable = b.Reliable
 	if len(b.Crashes) > 0 || len(b.Byz) > 0 {
 		spec.Crashes = append([]sim.CrashPlan(nil), b.Crashes...)
 		spec.Byz = nil
@@ -329,6 +395,8 @@ func digestOf(rep *harness.Report, deliveries int64, hash uint64) Digest {
 		MessagesSent:      int64(rep.Result.Stats.MessagesSent),
 		MessagesDelivered: int64(rep.Result.Stats.MessagesDelivered),
 		BytesSent:         int64(rep.Result.Stats.BytesSent),
+		MessagesDropped:   int64(rep.Result.Stats.MessagesDropped),
+		MessagesDuped:     int64(rep.Result.Stats.MessagesDuped),
 		Deliveries:        deliveries,
 		DeliveryHash:      hash,
 		RunErr:            runErrCode(rep.RunErr),

@@ -7,7 +7,19 @@
 //
 // Each party's process is driven by a single goroutine, so process
 // implementations need no internal locking (the same single-threaded
-// contract the simulator provides).
+// contract the simulator provides). Timer callbacks are serialized onto the
+// same goroutine through a dedicated per-party timer channel, which is
+// never shed.
+//
+// The network degrades gracefully rather than wedging: senders never block
+// (a full inbox sheds its oldest data item, counted per party; a delivery
+// that still cannot land within SendTimeout is abandoned, counted), the
+// loss/dup/flap options inject wall-clock network faults for soak testing,
+// and Reliable routes every send through the ack/retransmit transport
+// (internal/relnet) — the same sublayer the simulator's lossy scenario
+// axes exercise deterministically. When the context expires the partial
+// Result (who decided, who degraded, every transport counter) is returned
+// alongside ErrTimeout instead of being discarded.
 package livenet
 
 import (
@@ -19,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/relnet"
 	"repro/internal/sim"
 )
 
@@ -31,48 +44,146 @@ type Options struct {
 	// Tick converts protocol timer ticks (sim.Time) to wall time
 	// (default 1ms per tick).
 	Tick time.Duration
-	// Seed drives jitter randomness.
+	// Seed drives jitter and fault-injection randomness (per-party seeded
+	// sources, drawn only on the owning goroutine).
 	Seed int64
 	// WaitFor is how many parties must decide before the run completes
 	// (default: all).
 	WaitFor int
-	// InboxDepth is the per-party channel buffer (default 4096).
+	// InboxDepth is the per-party channel buffer (default 4096). When a
+	// data inbox is full the oldest queued item is shed (counted in
+	// Result.Shed) so that senders never block.
 	InboxDepth int
+	// SendTimeout bounds how long an in-flight delivery may contend for
+	// inbox space before it is abandoned (default 50ms, counted in
+	// Result.SendTimeouts). Senders themselves return immediately either
+	// way; the timeout applies to the delivery goroutine.
+	SendTimeout time.Duration
+	// Loss is the per-send probability that the network silently drops
+	// the message (counted in Result.Dropped).
+	Loss float64
+	// Dup is the per-send probability that the network delivers a second
+	// copy of the message after additional jitter (counted in
+	// Result.Duped).
+	Dup float64
+	// FlapParties makes parties 0..FlapParties-1 go dark (all their
+	// inbound and outbound traffic dropped) for one staggered wall-clock
+	// window each, then resume with their in-memory state intact — the
+	// live analogue of the simulator's "flap" scenario axis.
+	FlapParties int
+	// FlapAfter is when the first flap window opens (default 50ms).
+	FlapAfter time.Duration
+	// FlapStagger separates consecutive parties' windows (default 50ms).
+	FlapStagger time.Duration
+	// FlapLen is each window's length (default 100ms).
+	FlapLen time.Duration
+	// Reliable wraps every process in the ack/retransmit transport
+	// (internal/relnet), so lost and duplicated frames are retransmitted
+	// and deduplicated exactly as in the simulator's reliable runs.
+	Reliable bool
 }
 
-// Result of a live run.
+// Result of a live run. On ErrTimeout the Result still carries the partial
+// progress: every decision that landed, who never decided, and the full
+// degradation counters.
 type Result struct {
 	// Decisions maps party index to output for every party that decided.
 	Decisions map[sim.PartyID]float64
-	// Elapsed is the wall time from start to the WaitFor-th decision.
+	// Undecided lists the parties with no decision, ascending.
+	Undecided []sim.PartyID
+	// Elapsed is the wall time from start to the WaitFor-th decision (or
+	// to context expiry).
 	Elapsed time.Duration
-	// Messages counts point-to-point sends.
+	// Messages counts point-to-point sends (including retransmissions).
 	Messages int64
+	// Dropped counts sends the injected loss and flap faults discarded.
+	Dropped int64
+	// Duped counts injected duplicate deliveries.
+	Duped int64
+	// Shed counts data items discarded from full inboxes to keep senders
+	// unblocked.
+	Shed int64
+	// SendTimeouts counts deliveries abandoned after SendTimeout of inbox
+	// contention.
+	SendTimeouts int64
+	// Degraded lists the parties that lost traffic to shedding or send
+	// timeouts on their inbox, ascending. A run can degrade and still
+	// converge — that is the point of the reliable transport.
+	Degraded []sim.PartyID
+	// Transport aggregates the ack/retransmit counters across parties
+	// when the run used Options.Reliable; zero otherwise.
+	Transport relnet.Stats
 }
 
 // ErrTimeout is returned when the context expires before enough parties
-// decide.
+// decide. The accompanying Result is still valid partial progress.
 var ErrTimeout = errors.New("livenet: context done before enough parties decided")
 
 type item struct {
-	from  sim.PartyID
-	data  []byte
-	timer bool
-	tag   uint64
+	from sim.PartyID
+	data []byte
+	tag  uint64 // timer channel only
 }
 
 type network struct {
-	opts     Options
-	inboxes  []chan item
-	ctx      context.Context
-	cancel   context.CancelFunc
-	messages atomic.Int64
+	opts    Options
+	start   time.Time
+	inboxes []chan item // data; shed-oldest on overflow
+	timers  []chan item // timer callbacks; never shed
+	ctx     context.Context
+	cancel  context.CancelFunc
+
+	messages     atomic.Int64
+	dropped      atomic.Int64
+	duped        atomic.Int64
+	shed         []atomic.Int64 // per recipient
+	sendTimeouts []atomic.Int64 // per recipient
 
 	mu        sync.Mutex
 	decisions map[sim.PartyID]float64
 	want      int
 	doneCh    chan struct{}
 	doneOnce  sync.Once
+}
+
+// dark reports whether a party is inside its flap window at time t.
+func (n *network) dark(id sim.PartyID, t time.Time) bool {
+	if int(id) >= n.opts.FlapParties {
+		return false
+	}
+	open := n.opts.FlapAfter + time.Duration(id)*n.opts.FlapStagger
+	since := t.Sub(n.start)
+	return since >= open && since < open+n.opts.FlapLen
+}
+
+// deliverData lands one message in a party's inbox without ever blocking a
+// sender: it runs on the delivery timer's goroutine, sheds the oldest
+// queued item when the inbox is full, and gives up (counted) if the inbox
+// is still contended after SendTimeout.
+func (n *network) deliverData(to sim.PartyID, msg item) {
+	ch := n.inboxes[to]
+	deadline := time.NewTimer(n.opts.SendTimeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case ch <- msg:
+			return
+		case <-n.ctx.Done():
+			return
+		case <-deadline.C:
+			n.sendTimeouts[to].Add(1)
+			return
+		default:
+		}
+		// Inbox full: shed the oldest data item to make room. Timer
+		// callbacks live on their own channel, so nothing protocol-fatal
+		// is ever discarded here.
+		select {
+		case <-ch:
+			n.shed[to].Add(1)
+		default:
+		}
+	}
 }
 
 type liveAPI struct {
@@ -87,26 +198,38 @@ func (a *liveAPI) ID() sim.PartyID  { return a.id }
 func (a *liveAPI) N() int           { return len(a.net.inboxes) }
 func (a *liveAPI) Rand() *rand.Rand { return a.rng }
 
+func (a *liveAPI) jitter() time.Duration {
+	if a.net.opts.MaxJitter <= 0 {
+		return 0
+	}
+	return time.Duration(a.rng.Int63n(int64(a.net.opts.MaxJitter)))
+}
+
 func (a *liveAPI) Send(to sim.PartyID, data []byte) {
-	if to < 0 || int(to) >= len(a.net.inboxes) {
+	net := a.net
+	if to < 0 || int(to) >= len(net.inboxes) {
 		return
 	}
-	a.net.messages.Add(1)
-	// Copy so the sender may reuse its buffer after Send returns.
+	net.messages.Add(1)
+	if net.opts.Loss > 0 && a.rng.Float64() < net.opts.Loss {
+		net.dropped.Add(1)
+		return
+	}
+	if now := time.Now(); net.dark(a.id, now) || net.dark(to, now) {
+		net.dropped.Add(1)
+		return
+	}
+	// Copy so the sender may reuse its buffer after Send returns. A
+	// duplicated delivery shares the copy: deliveries are read-only.
 	buf := make([]byte, len(data))
 	copy(buf, data)
 	msg := item{from: a.id, data: buf}
-	jitter := time.Duration(0)
-	if a.net.opts.MaxJitter > 0 {
-		jitter = time.Duration(a.rng.Int63n(int64(a.net.opts.MaxJitter)))
+	time.AfterFunc(a.jitter(), func() { net.deliverData(to, msg) })
+	if net.opts.Dup > 0 && a.rng.Float64() < net.opts.Dup {
+		net.duped.Add(1)
+		extra := a.jitter() + a.jitter()
+		time.AfterFunc(extra, func() { net.deliverData(to, msg) })
 	}
-	net := a.net
-	time.AfterFunc(jitter, func() {
-		select {
-		case net.inboxes[to] <- msg:
-		case <-net.ctx.Done():
-		}
-	})
 }
 
 func (a *liveAPI) Multicast(data []byte) {
@@ -120,8 +243,10 @@ func (a *liveAPI) SetTimer(delay sim.Time, tag uint64) {
 	id := a.id
 	d := time.Duration(delay) * net.opts.Tick
 	time.AfterFunc(d, func() {
+		// Timers are never shed; the timer goroutine may wait for space,
+		// but no protocol sender is ever behind this channel.
 		select {
-		case net.inboxes[id] <- item{timer: true, tag: tag}:
+		case net.timers[id] <- item{tag: tag}:
 		case <-net.ctx.Done():
 		}
 	})
@@ -141,7 +266,8 @@ func (a *liveAPI) Decide(value float64) {
 }
 
 // Run drives the processes until WaitFor of them decide or the context
-// expires. Each process is owned by exactly one goroutine.
+// expires. Each process is owned by exactly one goroutine. On context
+// expiry the partial Result is returned together with ErrTimeout.
 func Run(ctx context.Context, procs []sim.Process, opts Options) (*Result, error) {
 	if len(procs) == 0 {
 		return nil, errors.New("livenet: no processes")
@@ -163,23 +289,53 @@ func Run(ctx context.Context, procs []sim.Process, opts Options) (*Result, error
 	if opts.InboxDepth <= 0 {
 		opts.InboxDepth = 4096
 	}
+	if opts.SendTimeout <= 0 {
+		opts.SendTimeout = 50 * time.Millisecond
+	}
+	if opts.FlapParties > len(procs) {
+		opts.FlapParties = len(procs)
+	}
+	if opts.FlapAfter <= 0 {
+		opts.FlapAfter = 50 * time.Millisecond
+	}
+	if opts.FlapStagger <= 0 {
+		opts.FlapStagger = 50 * time.Millisecond
+	}
+	if opts.FlapLen <= 0 {
+		opts.FlapLen = 100 * time.Millisecond
+	}
+
+	var rel []*relnet.Proc
+	if opts.Reliable {
+		rel = make([]*relnet.Proc, len(procs))
+		wrapped := make([]sim.Process, len(procs))
+		for i, p := range procs {
+			rel[i] = relnet.Wrap(p)
+			wrapped[i] = rel[i]
+		}
+		procs = wrapped
+	}
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	net := &network{
-		opts:      opts,
-		inboxes:   make([]chan item, len(procs)),
-		ctx:       runCtx,
-		cancel:    cancel,
-		decisions: make(map[sim.PartyID]float64, len(procs)),
-		want:      opts.WaitFor,
-		doneCh:    make(chan struct{}),
+		opts:         opts,
+		inboxes:      make([]chan item, len(procs)),
+		timers:       make([]chan item, len(procs)),
+		ctx:          runCtx,
+		cancel:       cancel,
+		shed:         make([]atomic.Int64, len(procs)),
+		sendTimeouts: make([]atomic.Int64, len(procs)),
+		decisions:    make(map[sim.PartyID]float64, len(procs)),
+		want:         opts.WaitFor,
+		doneCh:       make(chan struct{}),
 	}
 	for i := range net.inboxes {
 		net.inboxes[i] = make(chan item, opts.InboxDepth)
+		net.timers[i] = make(chan item, opts.InboxDepth)
 	}
 
-	start := time.Now()
+	net.start = time.Now()
 	var wg sync.WaitGroup
 	for i, proc := range procs {
 		wg.Add(1)
@@ -195,13 +351,11 @@ func Run(ctx context.Context, procs []sim.Process, opts Options) (*Result, error
 				select {
 				case <-runCtx.Done():
 					return
-				case it := <-net.inboxes[id]:
-					if it.timer {
-						if th, ok := p.(sim.TimerHandler); ok {
-							th.OnTimer(it.tag)
-						}
-						continue
+				case it := <-net.timers[id]:
+					if th, ok := p.(sim.TimerHandler); ok {
+						th.OnTimer(it.tag)
 					}
+				case it := <-net.inboxes[id]:
 					p.Deliver(it.from, it.data)
 				}
 			}
@@ -214,7 +368,7 @@ func Run(ctx context.Context, procs []sim.Process, opts Options) (*Result, error
 	case <-ctx.Done():
 		err = fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(net.start)
 	cancel()
 	wg.Wait()
 
@@ -224,9 +378,31 @@ func Run(ctx context.Context, procs []sim.Process, opts Options) (*Result, error
 		Decisions: make(map[sim.PartyID]float64, len(net.decisions)),
 		Elapsed:   elapsed,
 		Messages:  net.messages.Load(),
+		Dropped:   net.dropped.Load(),
+		Duped:     net.duped.Load(),
 	}
 	for id, v := range net.decisions {
 		res.Decisions[id] = v
+	}
+	for i := range procs {
+		id := sim.PartyID(i)
+		if _, ok := net.decisions[id]; !ok {
+			res.Undecided = append(res.Undecided, id)
+		}
+		shed, timedOut := net.shed[i].Load(), net.sendTimeouts[i].Load()
+		res.Shed += shed
+		res.SendTimeouts += timedOut
+		if shed > 0 || timedOut > 0 {
+			res.Degraded = append(res.Degraded, id)
+		}
+	}
+	for _, r := range rel {
+		ts := r.TransportStats()
+		res.Transport.DataSent += ts.DataSent
+		res.Transport.Retransmits += ts.Retransmits
+		res.Transport.AcksSent += ts.AcksSent
+		res.Transport.DupsSuppressed += ts.DupsSuppressed
+		res.Transport.GiveUps += ts.GiveUps
 	}
 	return res, err
 }

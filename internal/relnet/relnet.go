@@ -1,0 +1,356 @@
+// Package relnet is the reliable-transport sublayer: an ack/retransmit
+// wrapper that turns a lossy network (the loss/dup/outage/flap scenario
+// axes, or a real network behind internal/livenet) back into the
+// reliable channels the approximate-agreement protocols assume.
+//
+// A relnet.Proc wraps any sim.Process. Outbound payloads are framed with
+// a per-link sequence number and retransmitted on an exponential-backoff
+// schedule (with rng jitter from the party's seeded source) until the
+// receiver acknowledges them or the retry budget is exhausted; inbound
+// frames are acknowledged and deduplicated (watermark + sparse set), so
+// the inner process sees every honest payload exactly once no matter how
+// often the network drops or duplicates it. Frames from senders that do
+// not speak the framing (Byzantine raw traffic) pass through untouched.
+//
+// The wrapper is runtime-agnostic: it uses only the sim.API surface
+// (Send, SetTimer, Rand), so the same code runs under the deterministic
+// simulator — where E-tables sweep raw vs reliable transport under loss
+// — and as the livenet send path. All retransmit timing comes from
+// API.SetTimer and all jitter from API.Rand, never wall clock, so
+// simulated runs capture and replay bit-for-bit (see internal/incident).
+package relnet
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Frame leader bytes. The protocol wire dialect (internal/wire) starts
+// messages with kind bytes 1..6, so the leaders cannot collide with
+// honest unframed traffic; raw bytes that happen to start with a leader
+// can only come from a Byzantine sender, which could forge whole frames
+// anyway.
+const (
+	frameData = 0xA7
+	frameAck  = 0xA8
+)
+
+// Retransmission schedule: the first retry fires after about baseRTO
+// ticks (plus jitter in [0, baseRTO/2]), each subsequent retry doubles
+// the timeout, and after maxRetries unacknowledged attempts the packet
+// is abandoned (GiveUps). 32 ticks comfortably covers every built-in
+// scheduler's common delays (1..25), so acked packets rarely retransmit.
+const (
+	baseRTO    sim.Time = 32
+	maxRetries          = 8
+)
+
+// timerTagBit marks the wrapper's own retransmit timers; inner-process
+// timer tags pass through SetTimer unmodified and must not set it (the
+// protocols here use small tags).
+const timerTagBit uint64 = 1 << 63
+
+// Stats counts the wrapper's transport work for one run.
+type Stats struct {
+	// DataSent counts first-copy data frames sent.
+	DataSent int64
+	// Retransmits counts retry copies sent after a timeout.
+	Retransmits int64
+	// AcksSent counts acknowledgement frames sent.
+	AcksSent int64
+	// DupsSuppressed counts received data frames dropped by dedup
+	// (network duplicates and retransmissions of already-acked frames).
+	DupsSuppressed int64
+	// GiveUps counts packets abandoned after the retry budget.
+	GiveUps int64
+}
+
+// packet is one unacknowledged outbound payload.
+type packet struct {
+	to      sim.PartyID
+	seq     uint64
+	payload []byte // owned copy; reused via the free list
+	tries   int
+	acked   bool
+}
+
+// rcvLink is the per-source dedup state: every seq <= watermark has been
+// delivered, plus a sparse set of delivered seqs above it.
+type rcvLink struct {
+	watermark uint64
+	above     map[uint64]struct{}
+}
+
+// Proc is the reliable-transport wrapper. It implements sim.Process (and
+// TimerHandler) toward the runtime and sim.API toward the inner process.
+// Create with Wrap, or recycle an existing one with Reset.
+type Proc struct {
+	inner sim.Process
+	api   sim.API
+
+	nextSeq []uint64           // per-destination next link seq (1-based)
+	out     map[uint64]*packet // outstanding, keyed by link key (to, seq)
+	rcv     []rcvLink          // per-source dedup
+	free    []*packet          // recycled packet records
+
+	timers map[uint64]uint64 // retransmit timer id -> link key
+	nextID uint64
+
+	buf   []byte // frame scratch (Send paths)
+	stats Stats
+}
+
+var (
+	_ sim.Process      = (*Proc)(nil)
+	_ sim.TimerHandler = (*Proc)(nil)
+	_ sim.API          = (*Proc)(nil)
+	_ sim.Estimator    = (*Proc)(nil)
+)
+
+// Wrap builds a reliable-transport wrapper around a process.
+func Wrap(inner sim.Process) *Proc {
+	p := &Proc{}
+	p.Reset(inner)
+	return p
+}
+
+// Reset re-arms the wrapper around a (possibly different) inner process,
+// recycling its link state, packet records, and scratch — the pool-
+// friendly contract harness run contexts rely on.
+func (p *Proc) Reset(inner sim.Process) {
+	p.inner = inner
+	p.api = nil
+	p.nextSeq = p.nextSeq[:0]
+	if p.out == nil {
+		p.out = make(map[uint64]*packet)
+	}
+	for k, pk := range p.out {
+		p.recycle(pk)
+		delete(p.out, k)
+	}
+	for i := range p.rcv {
+		p.rcv[i].watermark = 0
+		clear(p.rcv[i].above)
+	}
+	p.rcv = p.rcv[:0]
+	if p.timers == nil {
+		p.timers = make(map[uint64]uint64)
+	}
+	clear(p.timers)
+	p.nextID = 0
+	p.stats = Stats{}
+}
+
+// Inner returns the wrapped process (the harness reads protocol state —
+// estimator, error surface — through it).
+func (p *Proc) Inner() sim.Process { return p.inner }
+
+// TransportStats returns the wrapper's transport counters.
+func (p *Proc) TransportStats() Stats { return p.stats }
+
+func (p *Proc) recycle(pk *packet) {
+	pk.payload = pk.payload[:0]
+	pk.tries = 0
+	pk.acked = false
+	p.free = append(p.free, pk)
+}
+
+func linkKey(to sim.PartyID, seq uint64) uint64 {
+	// Link seqs are per-destination counters; 2^48 sends per link is far
+	// beyond any run, so the key packs without collision.
+	return uint64(to)<<48 | seq&(1<<48-1)
+}
+
+// --- sim.Process toward the runtime ---
+
+// Init implements sim.Process: the wrapper captures the real API and
+// hands itself to the inner process as its API.
+func (p *Proc) Init(api sim.API) {
+	p.api = api
+	p.inner.Init(p)
+}
+
+// Deliver implements sim.Process: parse the frame, ack and dedup data,
+// retire acked packets, and pass raw (unframed) traffic through.
+func (p *Proc) Deliver(from sim.PartyID, data []byte) {
+	if len(data) >= 2 {
+		switch data[0] {
+		case frameData:
+			if seq, n := binary.Uvarint(data[1:]); n > 0 && seq > 0 {
+				p.deliverData(from, seq, data[1+n:])
+				return
+			}
+		case frameAck:
+			if seq, n := binary.Uvarint(data[1:]); n > 0 && seq > 0 && 1+n == len(data) {
+				p.deliverAck(from, seq)
+				return
+			}
+		}
+	}
+	// Not a frame this layer produced: a Byzantine sender talking the
+	// protocol dialect directly. Hand it through unchanged.
+	p.inner.Deliver(from, data)
+}
+
+func (p *Proc) deliverData(from sim.PartyID, seq uint64, payload []byte) {
+	// Always ack, even duplicates: the previous ack may have been lost.
+	p.buf = append(p.buf[:0], frameAck)
+	p.buf = binary.AppendUvarint(p.buf, seq)
+	p.stats.AcksSent++
+	p.api.Send(from, p.buf)
+
+	for int(from) >= len(p.rcv) {
+		p.rcv = append(p.rcv, rcvLink{})
+	}
+	link := &p.rcv[from]
+	if seq <= link.watermark {
+		p.stats.DupsSuppressed++
+		return
+	}
+	if link.above == nil {
+		link.above = make(map[uint64]struct{})
+	}
+	if _, dup := link.above[seq]; dup {
+		p.stats.DupsSuppressed++
+		return
+	}
+	link.above[seq] = struct{}{}
+	for {
+		if _, ok := link.above[link.watermark+1]; !ok {
+			break
+		}
+		link.watermark++
+		delete(link.above, link.watermark)
+	}
+	p.inner.Deliver(from, payload)
+}
+
+func (p *Proc) deliverAck(from sim.PartyID, seq uint64) {
+	key := linkKey(from, seq)
+	if pk, ok := p.out[key]; ok {
+		// Mark rather than delete: the pending retransmit timer still
+		// references the key and retires the record when it fires.
+		pk.acked = true
+	}
+}
+
+// OnTimer implements sim.TimerHandler: retransmit timers (tag bit set)
+// are handled here; everything else belongs to the inner process.
+func (p *Proc) OnTimer(tag uint64) {
+	if tag&timerTagBit == 0 {
+		if th, ok := p.inner.(sim.TimerHandler); ok {
+			th.OnTimer(tag)
+		}
+		return
+	}
+	key, ok := p.timers[tag&^timerTagBit]
+	if !ok {
+		return
+	}
+	delete(p.timers, tag&^timerTagBit)
+	pk, ok := p.out[key]
+	if !ok {
+		return
+	}
+	if pk.acked {
+		delete(p.out, key)
+		p.recycle(pk)
+		return
+	}
+	if pk.tries > maxRetries {
+		p.stats.GiveUps++
+		delete(p.out, key)
+		p.recycle(pk)
+		return
+	}
+	p.stats.Retransmits++
+	p.sendFrame(pk)
+}
+
+// sendFrame (re)transmits a packet and arms its next retransmit timer
+// with exponential backoff and seeded jitter.
+func (p *Proc) sendFrame(pk *packet) {
+	p.buf = append(p.buf[:0], frameData)
+	p.buf = binary.AppendUvarint(p.buf, pk.seq)
+	p.buf = append(p.buf, pk.payload...)
+	p.api.Send(pk.to, p.buf)
+
+	rto := baseRTO << pk.tries
+	rto += sim.Time(p.api.Rand().Int63n(int64(baseRTO/2) + 1))
+	pk.tries++
+	p.nextID++
+	p.timers[p.nextID] = linkKey(pk.to, pk.seq)
+	p.api.SetTimer(rto, timerTagBit|p.nextID)
+}
+
+// --- sim.API toward the inner process ---
+
+// ID implements sim.API.
+func (p *Proc) ID() sim.PartyID { return p.api.ID() }
+
+// N implements sim.API.
+func (p *Proc) N() int { return p.api.N() }
+
+// Rand implements sim.API.
+func (p *Proc) Rand() *rand.Rand { return p.api.Rand() }
+
+// Decide implements sim.API.
+func (p *Proc) Decide(value float64) { p.api.Decide(value) }
+
+// SetTimer implements sim.API, passing inner-process timers through.
+func (p *Proc) SetTimer(delay sim.Time, tag uint64) { p.api.SetTimer(delay, tag) }
+
+// Send implements sim.API: frame the payload with the link's next seq,
+// record it for retransmission, and transmit the first copy.
+func (p *Proc) Send(to sim.PartyID, data []byte) {
+	for int(to) >= len(p.nextSeq) {
+		p.nextSeq = append(p.nextSeq, 0)
+	}
+	p.nextSeq[to]++
+	seq := p.nextSeq[to]
+
+	var pk *packet
+	if n := len(p.free); n > 0 {
+		pk = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		pk = &packet{}
+	}
+	pk.to = to
+	pk.seq = seq
+	pk.payload = append(pk.payload[:0], data...)
+	p.out[linkKey(to, seq)] = pk
+
+	p.stats.DataSent++
+	p.sendFrame(pk)
+}
+
+// Multicast implements sim.API. Frames carry per-link sequence numbers,
+// so a multicast expands into per-destination sends (same order as the
+// simulator's own expansion: ascending party ID).
+func (p *Proc) Multicast(data []byte) {
+	for to := 0; to < p.api.N(); to++ {
+		p.Send(sim.PartyID(to), data)
+	}
+}
+
+// --- protocol-state passthrough for the harness ---
+
+// Estimate implements sim.Estimator by reading through to the inner
+// process (reporting "no estimate" when it is not an estimator).
+func (p *Proc) Estimate() (float64, bool) {
+	if e, ok := p.inner.(sim.Estimator); ok {
+		return e.Estimate()
+	}
+	return 0, false
+}
+
+// Err surfaces the inner process's protocol error, if it tracks one.
+func (p *Proc) Err() error {
+	if e, ok := p.inner.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}

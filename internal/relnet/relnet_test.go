@@ -1,0 +1,173 @@
+package relnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// chatterProc multicasts k distinct payloads at Init and records every
+// delivery it sees, keyed by (sender, payload index). It never decides, so
+// a run ends when the event queue drains — i.e. when every packet has been
+// delivered, acked, and retired (or given up on).
+type chatterProc struct {
+	k    int
+	got  map[[2]int]int // {from, index} -> deliveries seen
+	junk int            // deliveries that were not chatter payloads
+}
+
+func (c *chatterProc) Init(api sim.API) {
+	for i := 0; i < c.k; i++ {
+		api.Multicast([]byte{byte(api.ID()), byte(i)})
+	}
+}
+
+func (c *chatterProc) Deliver(from sim.PartyID, data []byte) {
+	if len(data) != 2 || sim.PartyID(data[0]) != from {
+		c.junk++
+		return
+	}
+	if c.got == nil {
+		c.got = make(map[[2]int]int)
+	}
+	c.got[[2]int{int(from), int(data[1])}]++
+}
+
+// runChatter executes n relnet-wrapped chatter processes under the given
+// scheduler and returns the wrappers for inspection.
+func runChatter(t *testing.T, n, k int, seed int64, scheduler sim.Scheduler) ([]*Proc, []*chatterProc) {
+	t.Helper()
+	inner := make([]*chatterProc, n)
+	wrapped := make([]*Proc, n)
+	net, err := sim.New(sim.Config{N: n, Scheduler: scheduler, Seed: seed, MaxEvents: 5_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		inner[i] = &chatterProc{k: k}
+		wrapped[i] = Wrap(inner[i])
+		if err := net.SetProcess(sim.PartyID(i), wrapped[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Nobody decides, so the run "stalls" by design once the queue drains;
+	// any other verdict is a real failure.
+	if _, err := net.Run(); err != sim.ErrStalled {
+		t.Fatalf("run verdict = %v, want ErrStalled (quiescent drain)", err)
+	}
+	return wrapped, inner
+}
+
+// TestExactlyOnceUnderLossAndDup is the transport's core property: under
+// seeded Bernoulli loss and duplication, every payload reaches every
+// recipient exactly once — retransmission heals the drops, receive-side
+// dedup absorbs both network duplicates and redundant retransmissions —
+// and the retransmit traffic stays inside the per-packet backoff budget.
+func TestExactlyOnceUnderLossAndDup(t *testing.T) {
+	const n, k = 6, 8
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			var scheduler sim.Scheduler = &sched.UniformRandom{Min: 1, Max: 10}
+			scheduler = &sched.Loss{Inner: scheduler, P: 0.2}
+			scheduler = &sched.Dup{Inner: scheduler, P: 0.2, MaxExtra: 20}
+			wrapped, inner := runChatter(t, n, k, seed, scheduler)
+
+			var total Stats
+			for i, w := range wrapped {
+				st := w.TransportStats()
+				total.DataSent += st.DataSent
+				total.Retransmits += st.Retransmits
+				total.DupsSuppressed += st.DupsSuppressed
+				total.GiveUps += st.GiveUps
+				if st.DataSent != int64(k*n) {
+					t.Errorf("party %d sent %d data frames, want %d", i, st.DataSent, k*n)
+				}
+			}
+			if total.GiveUps != 0 {
+				t.Fatalf("%d packets abandoned; retry budget must absorb 20%% loss", total.GiveUps)
+			}
+			// Every packet is transmitted at most 1 + maxRetries times.
+			if cap := total.DataSent * maxRetries; total.Retransmits > cap {
+				t.Errorf("retransmits %d exceed per-packet budget cap %d", total.Retransmits, cap)
+			}
+			if total.Retransmits == 0 {
+				t.Error("20% loss produced no retransmissions")
+			}
+			if total.DupsSuppressed == 0 {
+				t.Error("20% duplication produced no dedup suppressions")
+			}
+			for i, c := range inner {
+				if c.junk != 0 {
+					t.Errorf("party %d saw %d unframed deliveries", i, c.junk)
+				}
+				for from := 0; from < n; from++ {
+					for idx := 0; idx < k; idx++ {
+						if got := c.got[[2]int{from, idx}]; got != 1 {
+							t.Fatalf("party %d got payload (%d,%d) %d times, want exactly once",
+								i, from, idx, got)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRawPassthrough pins the framing escape hatch: traffic that does not
+// carry the relnet frame leaders reaches the inner process untouched (the
+// Byzantine path), and framed traffic from a wrapper arrives unframed.
+func TestRawPassthrough(t *testing.T) {
+	inner := &chatterProc{}
+	p := Wrap(inner)
+	p.Init(&nullAPI{n: 2})
+	raw := []byte{3, 1, 4, 1, 5}
+	p.Deliver(1, raw)
+	if inner.junk != 1 {
+		t.Fatalf("raw delivery did not pass through (junk=%d)", inner.junk)
+	}
+}
+
+// TestResetRecycles pins the pooling contract: a reset wrapper carries no
+// link state into its next run.
+func TestResetRecycles(t *testing.T) {
+	a := &chatterProc{}
+	p := Wrap(a)
+	api := &nullAPI{n: 2}
+	p.Init(api)
+	p.Send(1, []byte{9, 9})
+	if len(p.out) != 1 || p.nextSeq[1] != 1 {
+		t.Fatalf("send not tracked: out=%d nextSeq=%v", len(p.out), p.nextSeq)
+	}
+	b := &chatterProc{}
+	p.Reset(b)
+	if p.Inner() != b {
+		t.Fatal("Reset did not swap the inner process")
+	}
+	if len(p.out) != 0 || len(p.nextSeq) != 0 || len(p.timers) != 0 || p.stats != (Stats{}) {
+		t.Fatalf("Reset leaked state: out=%d nextSeq=%v timers=%d stats=%+v",
+			len(p.out), p.nextSeq, len(p.timers), p.stats)
+	}
+}
+
+// nullAPI satisfies sim.API for direct wrapper unit tests.
+type nullAPI struct {
+	n   int
+	rng *rand.Rand
+}
+
+func (a *nullAPI) ID() sim.PartyID { return 0 }
+func (a *nullAPI) N() int          { return a.n }
+func (a *nullAPI) Rand() *rand.Rand {
+	if a.rng == nil {
+		a.rng = rand.New(rand.NewSource(1))
+	}
+	return a.rng
+}
+func (a *nullAPI) Send(sim.PartyID, []byte)  {}
+func (a *nullAPI) Multicast([]byte)          {}
+func (a *nullAPI) SetTimer(sim.Time, uint64) {}
+func (a *nullAPI) Decide(float64)            {}

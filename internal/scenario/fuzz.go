@@ -35,6 +35,29 @@ func Random(rng *rand.Rand) Spec {
 	for k := rng.Intn(4); k > 0; k-- {
 		s.Faults = append(s.Faults, kinds[rng.Intn(len(kinds))])
 	}
+	// Network-fault axes ride the same "+" list; arguments range from
+	// plausible through boundary-invalid (p=0, k=0, negative windows) to
+	// raw garbage, because rejection at spec time is the contract.
+	if rng.Intn(3) == 0 {
+		nets := NetFaultNames()
+		tok := nets[rng.Intn(len(nets))]
+		switch rng.Intn(3) {
+		case 0:
+			// Bare token: registry defaults.
+		case 1:
+			switch tok {
+			case "loss", "dup":
+				tok += fmt.Sprintf(":0.%02d", rng.Intn(100)) // 0.00 is invalid
+			case "outage":
+				tok += fmt.Sprintf(":%d:%d:%d", rng.Intn(6), rng.Intn(100)-5, rng.Intn(100)-5)
+			case "flap":
+				tok += fmt.Sprintf(":%d", rng.Intn(100)-5)
+			}
+		default:
+			tok += ":" + []string{"x", "-1", "1.5", "0:0", "2"}[rng.Intn(5)]
+		}
+		s.Faults = append(s.Faults, tok)
+	}
 	return s
 }
 

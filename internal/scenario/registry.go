@@ -27,9 +27,17 @@ type FaultKind struct {
 	Crash func(n, t, slot int) sim.CrashPlan
 }
 
+// NetFaultBuilder wraps a run's scheduler with one network-fault axis
+// (loss, dup, outage, flap) for an n-party run with fault bound t. arg is
+// the token's ":<value>" suffix ("" when absent). Unlike FaultKind, a
+// network fault occupies no fault slot: it degrades the transport, not a
+// party's protocol state.
+type NetFaultBuilder func(n, t int, arg string, inner sim.Scheduler) (sim.Scheduler, error)
+
 var (
 	schedulers = map[string]SchedulerBuilder{}
 	faults     = map[string]FaultKind{}
+	netFaults  = map[string]NetFaultBuilder{}
 )
 
 // specMetachars are the bytes the spec grammar reserves; a registered name
@@ -67,6 +75,32 @@ func RegisterFault(name string, k FaultKind) {
 	faults[name] = k
 }
 
+// RegisterNetFault adds a network-fault axis to the registry. Its name
+// must not collide with a party fault: both appear in the same "+" list.
+func RegisterNetFault(name string, b NetFaultBuilder) {
+	if name == "" || b == nil {
+		panic("scenario: RegisterNetFault: empty name or nil builder")
+	}
+	if strings.ContainsAny(name, specMetachars) {
+		panic(fmt.Sprintf("scenario: net fault name %q contains spec grammar characters (%q)", name, specMetachars))
+	}
+	if _, dup := netFaults[name]; dup {
+		panic("scenario: duplicate net fault " + name)
+	}
+	if _, dup := faults[name]; dup {
+		panic("scenario: net fault " + name + " collides with a party fault")
+	}
+	netFaults[name] = b
+}
+
+// IsNetFault reports whether a fault token (base name, or name:arg) names
+// a registered network-fault axis.
+func IsNetFault(token string) bool {
+	base, _, _ := strings.Cut(token, ":")
+	_, ok := netFaults[base]
+	return ok
+}
+
 // Fault looks up a registered fault kind by name. Consumers outside the
 // spec grammar (e.g. internal/incident resolving a bundle's explicit
 // Byzantine assignments) use this instead of reaching into the registry.
@@ -89,6 +123,16 @@ func SchedulerNames() []string {
 func FaultNames() []string {
 	out := make([]string, 0, len(faults))
 	for name := range faults {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NetFaultNames returns every registered network-fault key, sorted.
+func NetFaultNames() []string {
+	out := make([]string, 0, len(netFaults))
+	for name := range netFaults {
 		out = append(out, name)
 	}
 	sort.Strings(out)
@@ -126,6 +170,20 @@ func floatArg(arg string, def float64) (float64, error) {
 	v, err := strconv.ParseFloat(arg, 64)
 	if err != nil || v <= 0 {
 		return 0, fmt.Errorf("scenario: bad numeric argument %q", arg)
+	}
+	return v, nil
+}
+
+// probArg parses an optional probability argument in (0, 1), returning
+// def when absent. 0 would be a no-op axis (omit the token instead) and
+// 1 a total blackout, so both are rejected at spec time.
+func probArg(arg string, def float64) (float64, error) {
+	if arg == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(arg, 64)
+	if err != nil || v <= 0 || v >= 1 {
+		return 0, fmt.Errorf("scenario: bad probability argument %q (want 0 < p < 1)", arg)
 	}
 	return v, nil
 }
@@ -237,4 +295,65 @@ func init() {
 	RegisterFault("equivocate", FaultKind{Behavior: fault.Equivocate{Stretch: 2}})
 	RegisterFault("spam", FaultKind{Behavior: fault.Spam{}})
 	RegisterFault("amplifier", FaultKind{Behavior: fault.Amplifier{Push: 1}})
+
+	// The lossy-network axes. These wrap the spec's scheduler (they occupy
+	// no fault slots) and compose in token order: in "random+loss:0.05+dup:0.1"
+	// the base delay is drawn first, then loss rolls, then dup — the fixed
+	// rng-draw order the determinism contract (sim.FateScheduler) requires.
+	RegisterNetFault("loss", func(_, _ int, arg string, inner sim.Scheduler) (sim.Scheduler, error) {
+		p, err := probArg(arg, 0.05)
+		if err != nil {
+			return nil, err
+		}
+		return &sched.Loss{Inner: inner, P: p}, nil
+	})
+	RegisterNetFault("dup", func(_, _ int, arg string, inner sim.Scheduler) (sim.Scheduler, error) {
+		p, err := probArg(arg, 0.05)
+		if err != nil {
+			return nil, err
+		}
+		return &sched.Dup{Inner: inner, P: p, MaxExtra: 20}, nil
+	})
+	// "outage[:k:start:len]" blacks out the LAST k parties (a region
+	// disjoint from the fault slots at 0..t-1, so outages stack with
+	// crash/byz compositions) for the window [start, start+len).
+	RegisterNetFault("outage", func(n, _ int, arg string, inner sim.Scheduler) (sim.Scheduler, error) {
+		k, start, length := max(1, n/4), sim.Time(50), sim.Time(100)
+		if arg != "" {
+			parts := strings.Split(arg, ":")
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("scenario: outage argument %q (want k:start:len)", arg)
+			}
+			kk, err := strconv.Atoi(parts[0])
+			if err != nil || kk < 1 || kk > n {
+				return nil, fmt.Errorf("scenario: outage region size %q out of range [1, n=%d]", parts[0], n)
+			}
+			st, err := strconv.ParseInt(parts[1], 10, 64)
+			if err != nil || st < 0 {
+				return nil, fmt.Errorf("scenario: bad outage start %q", parts[1])
+			}
+			ln, err := strconv.ParseInt(parts[2], 10, 64)
+			if err != nil || ln < 1 {
+				return nil, fmt.Errorf("scenario: bad outage length %q", parts[2])
+			}
+			k, start, length = kk, sim.Time(st), sim.Time(ln)
+		}
+		return &fault.Outage{
+			Inner: inner,
+			First: sim.PartyID(n - k),
+			Last:  sim.PartyID(n - 1),
+			Start: start,
+			Len:   length,
+		}, nil
+	})
+	// "flap[:len]" takes each fault slot (parties 0..t-1) dark for one
+	// len-tick window apiece, staggered in time; the party resumes with
+	// its pre-outage state, unlike a sim.CrashPlan crash.
+	RegisterNetFault("flap", func(_, t int, arg string, inner sim.Scheduler) (sim.Scheduler, error) {
+		length, err := timeArg(arg, 60)
+		if err != nil {
+			return nil, err
+		}
+		return &fault.Flap{Inner: inner, Slots: t, Base: 40, Stagger: 60, Len: length}, nil
+	})
 }

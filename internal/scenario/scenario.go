@@ -14,10 +14,22 @@
 // harness (cmd/aafuzz) pins this, along with the guarantee that invalid
 // combinations fail at spec time, never mid-run.
 //
-// Fault composition: a spec with T fault slots assigns Faults[i mod
-// len(Faults)] to party i for i < T, so "crash" alone crashes all T slots,
-// and "crash+equivocate" alternates the two kinds across them. Crash kinds
-// become sim.CrashPlans; Byzantine kinds become replacement processes.
+// Fault composition: a spec with T fault slots assigns its party-fault
+// kinds cyclically to parties 0..T-1, so "crash" alone crashes all T
+// slots, and "crash+equivocate" alternates the two kinds across them.
+// Crash kinds become sim.CrashPlans; Byzantine kinds become replacement
+// processes.
+//
+// Network faults: the "+" list also accepts lossy-network axes — "loss:P"
+// (per-send Bernoulli drop), "dup:P" (duplicate delivery at a later
+// tick), "outage:k:start:len" (correlated blackout of the last k parties
+// over a virtual-time window), and "flap:len" (each fault slot goes dark
+// for one staggered window, then resumes with its pre-outage state).
+// These occupy no fault slots: they wrap the spec's scheduler as
+// sim.FateScheduler layers, composing in token order after the base
+// delay draw. All drop/dup decisions come from the run's seeded
+// scheduler rng (never wall clock), so lossy runs capture and replay
+// bit-for-bit like every other scenario (see internal/incident).
 //
 // The registry (registry.go) maps scheduler and fault names to factories
 // and is extensible via RegisterScheduler / RegisterFault; the built-ins
@@ -41,8 +53,10 @@ type Spec struct {
 	// Sched is the scheduler registry key, optionally with a ":<arg>"
 	// parameter suffix (e.g. "sync:5").
 	Sched string
-	// Faults are fault registry keys, assigned cyclically to the T fault
-	// slots (parties 0..T-1). Empty means a fault-free run.
+	// Faults are fault registry keys: party faults are assigned cyclically
+	// to the T fault slots (parties 0..T-1), while network-fault tokens
+	// ("loss:0.05", "dup:0.1", "outage:4:50:100", "flap:60") wrap the
+	// scheduler and occupy no slot. Empty means a fault-free run.
 	Faults []string
 	// N is the number of parties.
 	N int
@@ -136,8 +150,27 @@ func (s Spec) schedKey() (name, arg string) {
 	return name, arg
 }
 
-// validateShape checks everything except the scheduler argument: registry
-// membership and the run shape.
+// partyFaults returns the fault tokens that occupy fault slots — every
+// token that is not a registered network-fault axis. When no net tokens
+// are present the spec's own slice is returned without allocating.
+func (s Spec) partyFaults() []string {
+	for i, f := range s.Faults {
+		if IsNetFault(f) {
+			out := make([]string, 0, len(s.Faults)-1)
+			out = append(out, s.Faults[:i]...)
+			for _, g := range s.Faults[i+1:] {
+				if !IsNetFault(g) {
+					out = append(out, g)
+				}
+			}
+			return out
+		}
+	}
+	return s.Faults
+}
+
+// validateShape checks everything except the scheduler and net-fault
+// arguments: registry membership and the run shape.
 func (s Spec) validateShape() error {
 	name, _ := s.schedKey()
 	if _, ok := schedulers[name]; !ok {
@@ -147,32 +180,53 @@ func (s Spec) validateShape() error {
 	if s.N < 1 {
 		return fmt.Errorf("scenario: %s: n = %d, need >= 1", s.Sched, s.N)
 	}
+	// Network-fault tokens occupy no fault slots, so only party faults
+	// count against T (and a net-only composition is fine with t unset).
+	party := 0
+	for _, f := range s.Faults {
+		if IsNetFault(f) {
+			continue // the ":<arg>" suffix is validated when the wrapper builds
+		}
+		if _, ok := faults[f]; !ok {
+			return fmt.Errorf("scenario: unknown fault %q (have %s; net faults: %s)",
+				f, strings.Join(FaultNames(), ", "), strings.Join(NetFaultNames(), ", "))
+		}
+		party++
+	}
 	if s.T != TUnset {
 		if s.T < 0 || s.T >= s.N {
 			return fmt.Errorf("scenario: %s: t = %d out of range [0, n=%d)", s.Sched, s.T, s.N)
 		}
-		if len(s.Faults) > s.T {
-			return fmt.Errorf("scenario: %s: %d fault kinds for %d fault slots", s.Sched, len(s.Faults), s.T)
+		if party > s.T {
+			return fmt.Errorf("scenario: %s: %d fault kinds for %d fault slots", s.Sched, party, s.T)
 		}
-	} else if len(s.Faults) > 0 {
+	} else if party > 0 {
 		return fmt.Errorf("scenario: %s: faults need an explicit t", s.Sched)
-	}
-	for _, f := range s.Faults {
-		if _, ok := faults[f]; !ok {
-			return fmt.Errorf("scenario: unknown fault %q (have %s)",
-				f, strings.Join(FaultNames(), ", "))
-		}
 	}
 	return nil
 }
 
 // buildScheduler instantiates the spec's scheduler with the given fault
-// bound, validating the ":<arg>" suffix in the process.
+// bound, validating the ":<arg>" suffixes in the process. Network-fault
+// tokens wrap the base scheduler in token order (the first listed is the
+// innermost layer), fixing the per-send rng draw order the determinism
+// contract requires.
 func (s Spec) buildScheduler(t int) (sched.Named, error) {
 	name, arg := s.schedKey()
 	scheduler, err := schedulers[name](s.N, t, arg)
 	if err != nil {
 		return sched.Named{}, err
+	}
+	for _, f := range s.Faults {
+		base, narg, _ := strings.Cut(f, ":")
+		build, ok := netFaults[base]
+		if !ok {
+			continue
+		}
+		scheduler, err = build(s.N, t, narg, scheduler)
+		if err != nil {
+			return sched.Named{}, err
+		}
 	}
 	return sched.Named{Name: s.Sched, Scheduler: scheduler}, nil
 }
@@ -219,14 +273,17 @@ func (s Spec) Resolve() (*Resolved, error) {
 		return nil, err
 	}
 	res := &Resolved{Scheduler: named}
-	if len(s.Faults) > 0 {
+	// Network-fault tokens live inside the scheduler wrapper stack built
+	// above; only party faults fill the cyclic slot assignment.
+	pf := s.partyFaults()
+	if len(pf) > 0 {
 		// Count the slot split up front so both containers are allocated
 		// exactly once at their final size (spec resolution runs once per
 		// enumerated engine run; see the run-context recycling notes in
 		// internal/harness).
 		crashSlots := 0
 		for slot := 0; slot < s.T; slot++ {
-			if faults[s.Faults[slot%len(s.Faults)]].Crash != nil {
+			if faults[pf[slot%len(pf)]].Crash != nil {
 				crashSlots++
 			}
 		}
@@ -237,8 +294,8 @@ func (s Spec) Resolve() (*Resolved, error) {
 			res.Byz = make(map[sim.PartyID]fault.Behavior, byzSlots)
 		}
 	}
-	for slot := 0; slot < s.T && len(s.Faults) > 0; slot++ {
-		kind := faults[s.Faults[slot%len(s.Faults)]]
+	for slot := 0; slot < s.T && len(pf) > 0; slot++ {
+		kind := faults[pf[slot%len(pf)]]
 		if kind.Crash != nil {
 			res.Crashes = append(res.Crashes, kind.Crash(s.N, s.T, slot))
 		} else {

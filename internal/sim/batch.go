@@ -419,21 +419,47 @@ func (n *Network) flushPending(maxTrig int32) {
 	n.pend = n.pend[:0]
 }
 
-// scheduleSend assigns the next Seq, draws the scheduler delay, and queues
-// one deferred send — the tail of the unbatched send path, executed at
-// flush time in the unbatched order.
+// scheduleSend assigns the next Seq, draws the scheduler decision, and
+// queues the send — the single tail of both the unbatched send path and
+// the batched flush, so the Seq/rng streams and any lossy-network fates
+// are identical across delivery modes. When the scheduler is a
+// FateScheduler the send can be dropped (no event queued) or duplicated
+// (a second event at Delay+DupExtra sharing the envelope); a plain
+// Scheduler takes the original delay-only path.
 func (n *Network) scheduleSend(from, to PartyID, data []byte) {
 	n.seq++
 	env := Envelope{From: from, To: to, Data: data, Sent: n.now, Seq: n.seq}
-	delay := n.cfg.Scheduler.Delay(env, n.now, n.rng)
-	if delay < 1 {
-		delay = 1
+	if n.fate == nil {
+		delay := n.cfg.Scheduler.Delay(env, n.now, n.rng)
+		if delay < 1 {
+			delay = 1
+		}
+		if delay > MaxDelayCap {
+			delay = MaxDelayCap
+		}
+		if !n.faulty[from] && !n.faulty[to] && delay > n.maxHonestDelay {
+			n.maxHonestDelay = delay
+		}
+		n.queue.Push(event{at: n.now + delay, env: env})
+		return
 	}
-	if delay > MaxDelayCap {
-		delay = MaxDelayCap
+	f := FateOf(n.fate, env, n.now, n.rng)
+	if f.Drop {
+		// Dropped sends never feed MaxHonestDelay: round complexity is
+		// measured on messages the network actually delivers.
+		n.stats.MessagesDropped++
+		return
 	}
-	if !n.faulty[from] && !n.faulty[to] && delay > n.maxHonestDelay {
-		n.maxHonestDelay = delay
+	if !n.faulty[from] && !n.faulty[to] && f.Delay > n.maxHonestDelay {
+		n.maxHonestDelay = f.Delay
 	}
-	n.queue.Push(event{at: n.now + delay, env: env})
+	n.queue.Push(event{at: n.now + f.Delay, env: env})
+	if f.DupExtra > 0 {
+		// The duplicate shares the envelope (Seq and payload): arena
+		// payload blocks are recycled only at Reset, so the bytes stay
+		// valid for the later delivery. The extra lag is not an honest
+		// delay — the primary copy already bounds eventual delivery.
+		n.stats.MessagesDuped++
+		n.queue.Push(event{at: n.now + f.Delay + f.DupExtra, env: env})
+	}
 }

@@ -19,6 +19,14 @@ type Stats struct {
 	HonestMessagesSent int
 	// HonestBytesSent sums wire sizes of honest sends.
 	HonestBytesSent int
+	// MessagesDropped counts sends suppressed by a lossy-network fate
+	// (loss/outage/flap axes). Dropped sends are still counted in
+	// MessagesSent — the sender paid for them — but never delivered.
+	MessagesDropped int
+	// MessagesDuped counts sends for which the scheduler queued a second
+	// delivery of the same envelope (dup axis). Each duplicate that
+	// arrives also increments MessagesDelivered.
+	MessagesDuped int
 }
 
 // Result summarizes a finished execution.
@@ -109,6 +117,7 @@ type Network struct {
 	queue      eventQueue
 	queueCore  EventCore // resolved core the queue implements
 	batch      []event   // reusable same-tick delivery batch (Run loop)
+	fate       FateScheduler // cfg.Scheduler when it decides drops/dups; nil otherwise
 	rng        *rand.Rand
 	now        Time
 	seq        uint64
@@ -337,6 +346,10 @@ func (n *Network) Reset(cfg Config) error {
 		return err
 	}
 	n.cfg = cfg
+	// Resolve the lossy-network extension once: per-send type assertions
+	// would put an interface check on the hot path for the common
+	// (fate-free) case.
+	n.fate, _ = cfg.Scheduler.(FateScheduler)
 	if core := cfg.Core.Resolve(); n.queue == nil || core != n.queueCore {
 		n.queue = newEventQueue(core)
 		n.queueCore = core
@@ -515,25 +528,7 @@ func (n *Network) send(from *partyState, to PartyID, data []byte) {
 		n.pend = append(n.pend, pendingOp{data: data, from: id, to: to, trig: n.curTrig})
 		return
 	}
-	n.seq++
-	env := Envelope{
-		From: id,
-		To:   to,
-		Data: data,
-		Sent: n.now,
-		Seq:  n.seq,
-	}
-	delay := n.cfg.Scheduler.Delay(env, n.now, n.rng)
-	if delay < 1 {
-		delay = 1
-	}
-	if delay > MaxDelayCap {
-		delay = MaxDelayCap
-	}
-	if !n.faulty[id] && !n.faulty[to] && delay > n.maxHonestDelay {
-		n.maxHonestDelay = delay
-	}
-	n.queue.Push(event{at: n.now + delay, env: env})
+	n.scheduleSend(id, to, data)
 }
 
 // Run executes the simulation until every honest party has decided, the
