@@ -5,10 +5,10 @@
 # the race detector.
 
 GO ?= go
-BENCH_OLD ?= BENCH_5.json
-BENCH_NEW ?= BENCH_7.json
+BENCH_OLD ?= BENCH_7.json
+BENCH_NEW ?= BENCH_8.json
 
-.PHONY: check vet race bench bench-compare bench-smoke bench-smoke-refresh benchmem e12-smoke incident-replay incident-regen livenet-soak
+.PHONY: check vet race bench bench-compare bench-smoke bench-smoke-refresh benchmem e12-smoke e12-xl incident-replay incident-regen livenet-soak
 
 check:
 	$(GO) build ./...
@@ -17,6 +17,7 @@ check:
 
 race:
 	$(GO) test -race -run 'TestEngine|TestMapOrdered|TestRunAll|TestSetParallelism|TestSmoke|TestCoreEquivalenceTraces|TestRunContext' ./internal/harness/
+	$(GO) test -race -run 'TestShard' ./internal/sim/
 
 # bench regenerates the committed benchmark snapshot. Seeds are kept small
 # so the refresh stays in the tens of seconds; the snapshot records the
@@ -48,6 +49,13 @@ bench-smoke-refresh:
 e12-smoke:
 	E12_LARGE_SMOKE=1 $(GO) test -run TestE12LargeN512Smoke -v -timeout 20m ./internal/harness/
 
+# e12-xl exercises the n=1024 scale axis the intra-run sharding layer
+# unlocks: the reduced E12-XL slice (E12XLSizes([]int{1024})) at shards=4,
+# ~10M messages per fault-free run, asserting full invariant success.
+# The full n=4096 sweep lives in the committed BENCH snapshot (aabench -xl).
+e12-xl:
+	E12_XL_SMOKE=1 $(GO) test -run TestE12XL1024Smoke -v -timeout 30m ./internal/harness/
+
 # incident-replay replays every committed incident bundle in
 # testdata/incidents/ across the {heap, calendar} x {batch on, off} x
 # {1, 8 workers} matrix and diffs each run against the recorded digest.
@@ -74,4 +82,4 @@ livenet-soak:
 # benchmem runs the substrate micro-benchmarks with allocation accounting,
 # the numbers PERF.md tracks.
 benchmem:
-	$(GO) test -run '^$$' -bench 'BenchmarkApproxFuncs|BenchmarkContractionSearch|BenchmarkWire|BenchmarkSimLoop|BenchmarkScenarioE12|BenchmarkRunReused' -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkApproxFuncs|BenchmarkContractionSearch|BenchmarkWire|BenchmarkSimLoop|BenchmarkScenarioE12|BenchmarkRunReused|BenchmarkShardedTick' -benchmem .

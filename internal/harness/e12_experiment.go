@@ -82,3 +82,53 @@ func E12LargeNSizes(sizes []int) (*trace.Table, error) {
 	}
 	return tbl, nil
 }
+
+// E12XL is the extra-large-n slice that the intra-run sharding layer exists
+// for: n ∈ {1024, 4096}. It is not part of the default Experiments()
+// registry — a single n=4096 run pushes ~170M messages, far past the CI and
+// equivalence-matrix budgets — and is reached through aabench -xl (the
+// committed BENCH snapshots carry its rows) and the reduced `make e12-xl`
+// CI slice, which runs E12XLSizes([]int{1024}) at shards=4.
+func E12XL() (*trace.Table, error) {
+	return E12XLSizes([]int{1024, 4096})
+}
+
+// E12XLSizes is E12XL with a custom size sweep. The scenario slice is
+// deliberately thin — one fault-free and one crash-storm row per size on
+// two schedulers — because at these sizes each row is minutes of sequential
+// work; breadth lives in E12LargeN, this sweep measures scale.
+func E12XLSizes(sizes []int) (*trace.Table, error) {
+	tbl := trace.NewTable("E12-XL: sharded large-n scaling slice (crash-aa at (n-1)/2, eps=1e-3, bimodal inputs over [0,1])",
+		"scenario", "protocol", "virt-rounds", "msgs", "deliveries", "final-spread", "ok")
+
+	crashT := func(n int) int { return (n - 1) / 2 }
+	scale := scenario.Cross([]string{"random", "splitviews"}, [][]string{nil, {"crash"}}, sizes, crashT)
+
+	rows := make([]scenario.Spec, 0, len(scale))
+	specs := make([]Spec, 0, len(scale))
+	for _, scen := range scale {
+		p := core.Params{Protocol: core.ProtoCrash, N: scen.N, T: scen.T, Eps: 1e-3, Lo: 0, Hi: 1}
+		spec, err := SpecFrom(p, BimodalInputs(scen.N, 0, 1), scen, 17)
+		if err != nil {
+			return nil, err
+		}
+		// ~170M messages for one fault-free n=4096 run; the budget scales
+		// with the largest size requested.
+		spec.MaxEvents = 400_000_000
+		rows = append(rows, scen)
+		specs = append(specs, spec)
+	}
+
+	reps, err := RunAllLabeled(specs, func(i int) string { return "E12-XL " + rows[i].String() })
+	if err != nil {
+		return nil, err
+	}
+	for i, scen := range rows {
+		rep := reps[i]
+		tbl.AddRow(scen.String(), core.ProtoCrash.String(),
+			trace.F(rep.Result.Rounds()), trace.I(rep.Result.Stats.MessagesSent),
+			trace.I(rep.Result.Stats.MessagesDelivered), trace.F(rep.FinalSpread),
+			trace.B(rep.OK()))
+	}
+	return tbl, nil
+}

@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// This file pins intra-run sharding (sim.Config.Shards, SetSharding) at the
+// experiment level: byte-identical E1–E13 tables across shard counts
+// {1, 2, 4, 8}, on both event cores, with batching on and off — the
+// experiment-level form of the trace equivalence pinned in internal/sim.
+// Sharding composes with the engine's run-level parallelism, so the matrix
+// also runs one sharded cell at eight workers.
+
+// renderSharded renders the experiment set (E12 reduced) with the given
+// shard count, event core, batch mode, and worker count.
+func renderSharded(t *testing.T, shards int, eventCore sim.EventCore, mode sim.BatchMode, workers int) map[string]string {
+	t.Helper()
+	SetSharding(shards)
+	SetEventCore(eventCore)
+	SetBatching(mode)
+	SetParallelism(workers)
+	defer SetSharding(0)
+	defer SetEventCore(sim.CoreDefault)
+	defer SetBatching(sim.BatchDefault)
+	defer SetParallelism(0)
+	out := make(map[string]string)
+	for _, exp := range Experiments(1) {
+		run := exp.Run
+		if exp.ID == "E12" {
+			run = func() (*trace.Table, error) { return E12LargeNSizes([]int{16, 32}) }
+		}
+		tbl, err := run()
+		if err != nil {
+			t.Fatalf("%s (shards=%d, core=%v, batch=%v, workers=%d): %v", exp.ID, shards, eventCore, mode, workers, err)
+		}
+		var sb strings.Builder
+		if err := tbl.Render(&sb); err != nil {
+			t.Fatal(err)
+		}
+		out[exp.ID] = sb.String()
+	}
+	return out
+}
+
+// TestShardedTablesByteIdentical regenerates the full experiment table set
+// at shards=1 (the sequential reference) and compares byte-for-byte against
+// sharded cells across shard counts, event cores, batch modes, and worker
+// counts. Any leak in the barrier merge — worker-order pend concatenation,
+// stats folding, completion-trigger max, per-worker arena routing — perturbs
+// some run's Seq or rng stream and surfaces as a table diff.
+func TestShardedTablesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders every experiment table seven times; run without -short")
+	}
+	want := renderSharded(t, 1, sim.CoreDefault, sim.BatchOn, 1)
+	for _, cfg := range []struct {
+		shards  int
+		core    sim.EventCore
+		mode    sim.BatchMode
+		workers int
+	}{
+		{2, sim.CoreDefault, sim.BatchOn, 1},
+		{4, sim.CoreDefault, sim.BatchOn, 1},
+		{8, sim.CoreDefault, sim.BatchOn, 1},
+		{4, sim.CoreHeap, sim.BatchOn, 1},
+		{4, sim.CoreDefault, sim.BatchOff, 1}, // sharding must be inert with batching off
+		{4, sim.CoreDefault, sim.BatchOn, 8},  // composed with run-level parallelism
+	} {
+		got := renderSharded(t, cfg.shards, cfg.core, cfg.mode, cfg.workers)
+		for id, ref := range want {
+			if got[id] != ref {
+				t.Errorf("%s diverges (shards=%d, core=%v, batch=%v, workers=%d):\n--- reference ---\n%s\n--- got ---\n%s",
+					id, cfg.shards, cfg.core, cfg.mode, cfg.workers, ref, got[id])
+			}
+		}
+	}
+}
+
+// TestShardedRunReusedAllocs extends the zero-alloc warm-run contract to
+// shards > 1: the per-worker pend lists, touched lists, Batch iterators,
+// and payload arenas are all recycled by Reset, so a warm sharded run
+// allocates nothing — on the inline worker path (small ticks) and on the
+// goroutine dispatch path (n=34 multicast storms are 1156-event ticks >=
+// 2*shardParEventsPerWorker at shards=2, which dispatches; job channels
+// and WaitGroup signalling are allocation-free).
+func TestShardedRunReusedAllocs(t *testing.T) {
+	cases := []struct {
+		name   string
+		p      core.Params
+		scen   string
+		shards int
+		runs   int
+	}{
+		{"crash-inline", core.Params{Protocol: core.ProtoCrash, N: 10, T: 4, Eps: 1e-3, Lo: 0, Hi: 1},
+			"splitviews+crash/n=10,t=4", 4, 200},
+		{"byztrim-inline", core.Params{Protocol: core.ProtoByzTrim, N: 15, T: 2, Eps: 1e-3, Lo: 0, Hi: 1},
+			"splitviews/n=15,t=2", 8, 200},
+		{"crash-dispatch", core.Params{Protocol: core.ProtoCrash, N: 34, T: 16, Eps: 1e-3, Lo: 0, Hi: 1},
+			"random+crash/n=34,t=16", 2, 50},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			SetSharding(c.shards)
+			defer SetSharding(0)
+			spec, err := SpecFrom(c.p, BimodalInputs(c.p.N, 0, 1), scenario.MustParse(c.scen), 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := NewRunContext()
+			if rep, err := ctx.Run(spec); err != nil {
+				t.Fatalf("warm-up failed: %v", err)
+			} else if !rep.OK() {
+				t.Fatalf("warm-up run failed: %s", rep.Failure())
+			}
+			var runErr error
+			var runFail string
+			allocs := testing.AllocsPerRun(c.runs, func() {
+				rep, err := ctx.Run(spec)
+				switch {
+				case err != nil:
+					runErr = err
+				case !rep.OK():
+					runFail = rep.Failure()
+				}
+			})
+			if runErr != nil {
+				t.Fatalf("run failed: %v", runErr)
+			}
+			if runFail != "" {
+				t.Fatalf("run failed: %s", runFail)
+			}
+			if allocs != 0 {
+				t.Errorf("warm sharded steady state allocates %.2f/run, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestE12XL1024Smoke exercises the n=1024 scale axis the sharding layer
+// unlocks: the reduced E12-XL slice at shards=4 with full invariant
+// success. It runs from the CI bench-smoke job (make e12-xl); locally it
+// is opt-in via E12_XL_SMOKE=1 because a single fault-free n=1024 run
+// pushes ~10M messages.
+func TestE12XL1024Smoke(t *testing.T) {
+	if os.Getenv("E12_XL_SMOKE") == "" {
+		t.Skip("set E12_XL_SMOKE=1 to run the n=1024 sharded smoke")
+	}
+	SetSharding(4)
+	defer SetSharding(0)
+	tbl, err := E12XLSizes([]int{1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "false") {
+		t.Errorf("E12-XL row failed invariants:\n%s", sb.String())
+	}
+	t.Logf("E12-XL n=1024 @ shards=4:\n%s", sb.String())
+}

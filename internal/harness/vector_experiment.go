@@ -67,6 +67,8 @@ func runVectorOnce(base core.Params, dim int, seed int64) (msgs, bytes int, spre
 		Scheduler: scen.Scheduler.Scheduler,
 		Seed:      seed,
 		Core:      EventCore(),
+		Batch:     Batching(),
+		Shards:    Sharding(),
 	})
 	if err != nil {
 		return 0, 0, 0, false, err

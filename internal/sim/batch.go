@@ -120,6 +120,7 @@ type Batch struct {
 // per-delivery cost to index arithmetic (no envelope copy).
 func (b *Batch) Next() *Envelope {
 	n := b.net
+	w := b.ps.w
 	for b.pos < len(b.idxs) {
 		i := b.idxs[b.pos]
 		b.pos++
@@ -130,15 +131,15 @@ func (b *Batch) Next() *Envelope {
 			continue
 		}
 		ev := &b.events[i]
-		n.curTrig = i
+		w.curTrig = i
 		if ev.timer {
 			if th, ok := b.ps.proc.(TimerHandler); ok {
 				th.OnTimer(ev.tag)
 			}
 			continue
 		}
-		n.stats.MessagesDelivered++
-		n.delivTrig = append(n.delivTrig, i)
+		w.stats.MessagesDelivered++
+		w.delivTrig = append(w.delivTrig, i)
 		return &ev.env
 	}
 	return nil
@@ -205,40 +206,12 @@ func (n *Network) runBatched(budget int) error {
 			n.runTickSmall(batch)
 			continue
 		}
-		// Stage the tick by destination. Staging stores indices into the
-		// tick slice (not copies); batch is stable until the next PopTick.
-		for i := range batch {
-			events++
-			to := batch[i].env.To
-			if len(n.stage[to]) == 0 {
-				n.touched = append(n.touched, int32(to))
-			}
-			n.stage[to] = append(n.stage[to], int32(i))
-		}
-		n.deferOps = true
-		n.decideTrig = -1
-		n.delivTrig = n.delivTrig[:0]
-		for _, pi := range n.touched {
-			n.deliverPartyBatch(n.parties[pi], batch)
-			n.stage[pi] = n.stage[pi][:0]
-		}
-		n.touched = n.touched[:0]
-		n.deferOps = false
-		maxTrig := int32(len(batch))
-		if n.pendingHonest == 0 {
-			// The run completed mid-tick: the unbatched loop would have
-			// stopped at the completing event. Back out deliveries of
-			// later-triggered events and flush only ops triggered at or
-			// before it.
-			maxTrig = n.decideTrig
-			for _, trig := range n.delivTrig {
-				if trig > maxTrig {
-					n.stats.MessagesDelivered--
-				}
-			}
-		}
-		n.flushPending(maxTrig)
-		n.fireObservers(batch, maxTrig)
+		// Dense tick: stage by destination and drain through the shard
+		// workers — one worker when Shards resolves to 1 (the sequential
+		// body), S concurrent workers with a deterministic barrier merge
+		// otherwise (see shard.go).
+		events += len(batch)
+		n.runTickSharded(batch)
 		if n.pendingHonest == 0 {
 			break
 		}
@@ -273,7 +246,7 @@ func (n *Network) fireObservers(batch []event, maxTrig int32) {
 func (n *Network) deliverPartyBatch(ps *partyState, events []event) {
 	idxs := n.stage[ps.id]
 	if bp, ok := ps.proc.(BatchProcess); ok {
-		b := &n.bat
+		b := &ps.w.bat
 		*b = Batch{net: n, ps: ps, events: events, idxs: idxs}
 		bp.DeliverBatch(b)
 		b.drain()
@@ -291,15 +264,16 @@ func (n *Network) deliverEvent(ps *partyState, ev *event, trig int32) {
 	if n.crashed[ps.id] {
 		return
 	}
-	n.curTrig = trig
+	w := ps.w
+	w.curTrig = trig
 	if ev.timer {
 		if th, ok := ps.proc.(TimerHandler); ok {
 			th.OnTimer(ev.tag)
 		}
 		return
 	}
-	n.stats.MessagesDelivered++
-	n.delivTrig = append(n.delivTrig, trig)
+	w.stats.MessagesDelivered++
+	w.delivTrig = append(w.delivTrig, trig)
 	ps.proc.Deliver(ev.env.From, ev.env.Data)
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // Stats aggregates message-level accounting for one execution.
@@ -115,8 +116,8 @@ type Network struct {
 	parties    []*partyState // the run's parties: allParties[:cfg.N]
 	allParties []*partyState // every party record ever built, for recycling
 	queue      eventQueue
-	queueCore  EventCore // resolved core the queue implements
-	batch      []event   // reusable same-tick delivery batch (Run loop)
+	queueCore  EventCore     // resolved core the queue implements
+	batch      []event       // reusable same-tick delivery batch (Run loop)
 	fate       FateScheduler // cfg.Scheduler when it decides drops/dups; nil otherwise
 	rng        *rand.Rand
 	now        Time
@@ -137,19 +138,18 @@ type Network struct {
 	decision   []float64
 	decidedAt  []Time
 
-	// Batched tick delivery state (see batch.go): per-destination staging
-	// of the tick's event indices, the deferred send/timer ops with their
-	// counting-sort scratch, and the trigger bookkeeping behind the
-	// mid-tick completion repair.
-	batching   bool
-	stage      [][]int32
-	touched    []int32
-	pend       []pendingOp
-	delivTrig  []int32
-	curTrig    int32
-	decideTrig int32
-	deferOps   bool
-	bat        Batch
+	// Batched tick delivery state (see batch.go, shard.go): per-destination
+	// staging of the tick's event indices, the shard workers that drain it,
+	// and the run-global merge targets for the deferred send/timer ops and
+	// delivery triggers (fed from the per-worker lists at the tick barrier).
+	batching  bool
+	stage     [][]int32
+	pend      []pendingOp
+	delivTrig []int32
+	deferOps  bool
+	shards    int            // resolved worker count for this run
+	ws        []*shardWorker // worker fleet; only ws[:shards] run a tick
+	shardWG   *sync.WaitGroup
 
 	maxHonestDelay Time
 	pendingHonest  int // honest parties that have not decided yet
@@ -158,36 +158,41 @@ type Network struct {
 	observer func(now Time, env Envelope)
 
 	defaultMaxEvents int
-
-	// blocks is the payload arena: Send and Multicast snapshot the caller's
-	// bytes into the current block, so protocols encode into reusable
-	// scratch buffers and a multicast's n envelopes share one copy. A
-	// payload slice is valid only while its envelope is in flight (until
-	// the delivery callback returns): exhausted blocks are kept and
-	// recycled by Reset, so memory is bounded by the peak per-run payload
-	// volume rather than churned per run.
-	blocks   [][]byte
-	cur      []byte // blocks[blk], the block currently being carved
-	blk      int    // index of cur; -1 before the first block exists
-	arenaOff int    // write offset into cur
 }
 
 // arenaBlock is the payload arena's allocation granularity.
 const arenaBlock = 1 << 16
 
-// snapshot copies data into the payload arena and returns the full-slice
-// copy. The copy is capacity-clipped so appends can never bleed into a
-// neighboring payload. The in-block fast path is kept small enough to
-// inline into Send/Multicast; block turnover is outlined in nextBlock.
-func (n *Network) snapshot(data []byte) []byte {
+// payloadArena is a recycled block arena for message payloads: Send and
+// Multicast snapshot the caller's bytes into the current block, so protocols
+// encode into reusable scratch buffers and a multicast's n envelopes share
+// one copy. A payload slice is valid only while its envelope is in flight
+// (until the delivery callback returns): exhausted blocks are kept and
+// recycled by reset, so memory is bounded by the peak per-run payload volume
+// rather than churned per run. Each shard worker owns one arena — snapshots
+// happen while a party's tick is being delivered, which under sharding runs
+// on the worker goroutine — so a party always snapshots through its worker
+// (partyState.w), never through shared Network state.
+type payloadArena struct {
+	blocks [][]byte
+	cur    []byte // blocks[blk], the block currently being carved
+	blk    int    // index of cur; -1 before the first block exists
+	off    int    // write offset into cur
+}
+
+// snapshot copies data into the arena and returns the full-slice copy. The
+// copy is capacity-clipped so appends can never bleed into a neighboring
+// payload. The in-block fast path is kept small enough to inline into
+// Send/Multicast; block turnover is outlined in nextBlock.
+func (a *payloadArena) snapshot(data []byte) []byte {
 	if len(data) == 0 {
 		return nil
 	}
-	if n.arenaOff+len(data) > len(n.cur) {
-		n.nextBlock(len(data))
+	if a.off+len(data) > len(a.cur) {
+		a.nextBlock(len(data))
 	}
-	buf := n.cur[n.arenaOff : n.arenaOff+len(data) : n.arenaOff+len(data)]
-	n.arenaOff += len(data)
+	buf := a.cur[a.off : a.off+len(data) : a.off+len(data)]
+	a.off += len(data)
 	copy(buf, data)
 	return buf
 }
@@ -195,32 +200,47 @@ func (n *Network) snapshot(data []byte) []byte {
 // nextBlock advances cur to the next pooled block that fits need bytes,
 // allocating (and pooling) a new block only when none does. Skipped blocks
 // stay pooled for later runs.
-func (n *Network) nextBlock(need int) {
+func (a *payloadArena) nextBlock(need int) {
 	for {
-		n.blk++
-		if n.blk >= len(n.blocks) {
+		a.blk++
+		if a.blk >= len(a.blocks) {
 			size := arenaBlock
 			if need > size {
 				size = need
 			}
-			n.blocks = append(n.blocks, make([]byte, size))
+			a.blocks = append(a.blocks, make([]byte, size))
 		}
-		n.cur = n.blocks[n.blk]
-		n.arenaOff = 0
-		if need <= len(n.cur) {
+		a.cur = a.blocks[a.blk]
+		a.off = 0
+		if need <= len(a.cur) {
 			return
 		}
 	}
 }
 
+// reset rewinds the arena to reuse its pooled blocks for a new run.
+func (a *payloadArena) reset() {
+	a.off = 0
+	if len(a.blocks) > 0 {
+		a.blk, a.cur = 0, a.blocks[0]
+	} else {
+		a.blk, a.cur = -1, nil
+	}
+}
+
 // partyState is a party's cold identity record and its API implementation.
 // The hot flags and values (crashed/decided, send budget, decision) live in
-// the Network's parallel arrays, indexed by id.
+// the Network's parallel arrays, indexed by id. w is the shard worker that
+// delivers this party's ticks: the party's API calls route their deferred
+// ops, stats deltas, and payload snapshots through it, so under sharding a
+// delivering party touches only per-party and worker-local state (the
+// ownership argument in shard.go).
 type partyState struct {
 	id   PartyID
 	proc Process
 	net  *Network
 	rng  *rand.Rand
+	w    *shardWorker
 }
 
 var _ API = (*partyState)(nil)
@@ -230,14 +250,14 @@ func (p *partyState) N() int           { return p.net.cfg.N }
 func (p *partyState) Rand() *rand.Rand { return p.rng }
 
 func (p *partyState) Send(to PartyID, data []byte) {
-	p.net.send(p, to, p.net.snapshot(data))
+	p.net.send(p, to, p.w.arena.snapshot(data))
 }
 
 func (p *partyState) Multicast(data []byte) {
 	// One snapshot shared by all n envelopes: the sender may reuse its
 	// buffer immediately, and the n recipients alias a single copy.
 	n := p.net
-	buf := n.snapshot(data)
+	buf := p.w.arena.snapshot(data)
 	if n.deferOps {
 		// Batched tick in progress: the whole multicast coalesces into one
 		// pending op (expanded recipient-by-recipient at the flush, in the
@@ -260,13 +280,14 @@ func (p *partyState) Multicast(data []byte) {
 		if k == 0 {
 			return
 		}
-		n.stats.MessagesSent += k
-		n.stats.BytesSent += k * len(buf)
+		w := p.w
+		w.stats.MessagesSent += k
+		w.stats.BytesSent += k * len(buf)
 		if !n.faulty[id] {
-			n.stats.HonestMessagesSent += k
-			n.stats.HonestBytesSent += k * len(buf)
+			w.stats.HonestMessagesSent += k
+			w.stats.HonestBytesSent += k * len(buf)
 		}
-		n.pend = append(n.pend, pendingOp{data: buf, from: id, trig: n.curTrig, mcastTo: int32(k)})
+		w.pend = append(w.pend, pendingOp{data: buf, from: id, trig: w.curTrig, mcastTo: int32(k)})
 		return
 	}
 	for to := 0; to < n.cfg.N; to++ {
@@ -283,8 +304,9 @@ func (p *partyState) SetTimer(delay Time, tag uint64) {
 		delay = 1
 	}
 	if net.deferOps {
-		net.pend = append(net.pend, pendingOp{
-			from: p.id, delay: delay, tag: tag, trig: net.curTrig, timer: true,
+		w := p.w
+		w.pend = append(w.pend, pendingOp{
+			from: p.id, delay: delay, tag: tag, trig: w.curTrig, timer: true,
 		})
 		return
 	}
@@ -305,17 +327,26 @@ func (p *partyState) Decide(value float64) {
 	net.decided[p.id] = true
 	net.decision[p.id] = value
 	net.decidedAt[p.id] = net.now
-	if !net.faulty[p.id] {
-		net.pendingHonest--
-		if net.now > net.finishTime {
-			net.finishTime = net.now
+	if net.faulty[p.id] {
+		return
+	}
+	if net.deferOps {
+		// Batched tick in progress: record the decision against the worker;
+		// the tick barrier folds the pending-honest decrement and the
+		// finish-time update (now is tick-constant, so folding is exact) and
+		// tracks the latest trigger that produced an honest decision — if
+		// this tick completes the run, the unbatched loop would have stopped
+		// exactly there (the mid-tick completion repair).
+		w := p.w
+		w.honestDecided++
+		if w.curTrig > w.decideTrig {
+			w.decideTrig = w.curTrig
 		}
-		// Track the latest trigger that produced an honest decision: if
-		// this tick completes the run, the unbatched loop would have
-		// stopped exactly there (the mid-tick completion repair).
-		if net.deferOps && net.curTrig > net.decideTrig {
-			net.decideTrig = net.curTrig
-		}
+		return
+	}
+	net.pendingHonest--
+	if net.now > net.finishTime {
+		net.finishTime = net.now
 	}
 }
 
@@ -390,10 +421,16 @@ func (n *Network) Reset(cfg Config) error {
 		ps.proc = nil
 	}
 	n.resizeSoA(cfg.N)
+	// Resolve the worker count and (re)partition the parties into contiguous
+	// shards. The fleet only grows; assignment is fixed per Reset so warm-run
+	// allocation high-water marks stay deterministic (no work stealing).
+	n.shards = resolveShards(cfg.Shards, cfg.N)
+	n.ensureWorkers(n.shards)
 	for i, ps := range n.parties {
 		if i < recycled {
 			ps.rng.Seed(partySeed(cfg.Seed, i))
 		}
+		ps.w = n.ws[i*n.shards/cfg.N]
 		ps.proc = nil
 		n.faulty[i] = false
 		n.byz[i] = false
@@ -426,14 +463,15 @@ func (n *Network) Reset(cfg Config) error {
 		n.pend[i].data = nil
 	}
 	n.pend = n.pend[:0]
-	n.touched = n.touched[:0]
 	n.delivTrig = n.delivTrig[:0]
 	n.deferOps = false
-	n.arenaOff = 0
-	if len(n.blocks) > 0 {
-		n.blk, n.cur = 0, n.blocks[0]
-	} else {
-		n.blk, n.cur = -1, nil
+	// Reset every worker ever built (not just this run's ws[:shards]): their
+	// tick scratch, pend lists, and payload arenas are recycled in place so
+	// warm sharded runs stay allocation-free, and workers idled by a smaller
+	// shard count must not pin the previous run's payload blocks' contents
+	// as live data.
+	for _, w := range n.ws {
+		w.resetRun()
 	}
 	return nil
 }
@@ -515,18 +553,26 @@ func (n *Network) send(from *partyState, to PartyID, data []byte) {
 	if n.sendBudget[id] > 0 {
 		n.sendBudget[id]--
 	}
+	if n.deferOps {
+		// Batched tick in progress: record the send (and its accounting)
+		// against the sender's shard worker, tagged with the event being
+		// processed; Seq assignment and the delay draw happen in trigger
+		// order at the tick-end flush (see batch.go, shard.go).
+		w := from.w
+		w.stats.MessagesSent++
+		w.stats.BytesSent += len(data)
+		if !n.faulty[id] {
+			w.stats.HonestMessagesSent++
+			w.stats.HonestBytesSent += len(data)
+		}
+		w.pend = append(w.pend, pendingOp{data: data, from: id, to: to, trig: w.curTrig})
+		return
+	}
 	n.stats.MessagesSent++
 	n.stats.BytesSent += len(data)
 	if !n.faulty[id] {
 		n.stats.HonestMessagesSent++
 		n.stats.HonestBytesSent += len(data)
-	}
-	if n.deferOps {
-		// Batched tick in progress: record the send against the event
-		// being processed; Seq assignment and the delay draw happen in
-		// trigger order at the tick-end flush (see batch.go).
-		n.pend = append(n.pend, pendingOp{data: data, from: id, to: to, trig: n.curTrig})
-		return
 	}
 	n.scheduleSend(id, to, data)
 }

@@ -1,0 +1,328 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file is the intra-run sharding layer: a single run's dense ticks are
+// drained by S workers concurrently, each owning a contiguous shard of the
+// parties, with a deterministic merge at the tick-end barrier. It is the
+// scale-out step past batched tick delivery (batch.go): one E12 run at
+// n = 512 is ~2.6M messages processed by a single goroutine, and the next
+// size doublings (n = 1024, 4096) only fit the wall clock if that work is
+// split across cores.
+//
+// Why this is safe — the ownership argument. During the worker phase of a
+// tick, every mutable word is owned by exactly one goroutine:
+//
+//   - Per-party state (crashed/sendBudget/decided/decision/decidedAt, the
+//     party's process and rand source, its stage list) is touched only
+//     while delivering to that party, and each party belongs to exactly one
+//     shard. Protocol processes hold no state shared across parties, and a
+//     delivering party's API calls (Send/Multicast/SetTimer/Decide/Rand)
+//     touch only its own records.
+//   - Cross-party run state is split per worker: deferred ops, delivery
+//     triggers, stats deltas, honest-decision counts, and the payload arena
+//     all live in the worker's shardWorker and are folded at the barrier.
+//   - Everything serial — the Seq counter, the scheduler and its rng, the
+//     event queue, the global Stats, the observer — is touched only between
+//     ticks, on the run goroutine.
+//
+// Why this is deterministic — the barrier-merge argument. Batched delivery
+// already defers every send/multicast/timer as a trigger-tagged pendingOp
+// and flushes at tick end in trigger order (batch.go). All ops with a given
+// trigger index come from delivering one event to one party — which one
+// worker processed — so they sit contiguously, in emission order, in that
+// worker's pend list. Concatenating the per-worker lists in worker order
+// and running the same stable sort by trigger therefore reproduces the
+// sequential flush order EXACTLY: Seq assignment, scheduler rng draws,
+// lossy-network fate decisions, and observer replay are byte-identical at
+// every shard count. Stats deltas, the pending-honest decrement, and the
+// mid-tick-completion trigger merge by sum/max, which are order-free. The
+// sparse-tick, budget-tripping, and per-envelope (Batch off) paths never
+// enter the worker phase at all: they run the sequential reference body.
+//
+// The worker fleet is persistent: goroutines for workers 1..S-1 are parked
+// on unbuffered job channels across ticks, runs, and Resets, so a warm
+// sharded run performs zero steady-state heap allocations (the same
+// contract as every other recycled piece of run state). A parked goroutine
+// references only its shardWorker and channel — never the Network — so an
+// abandoned Network remains collectable; a runtime.AddCleanup per worker
+// closes the channel when the Network is collected, terminating the fleet.
+
+const (
+	// shardAutoParties is the per-shard party count the auto heuristic
+	// (Config.Shards == 0) targets: below 2×shardAutoParties parties a run
+	// stays sequential, and the shard count never exceeds N/shardAutoParties
+	// — message volume scales with n², so shards this fine already hold far
+	// more per-tick work than the barrier costs.
+	shardAutoParties = 128
+	// maxShards bounds the worker fleet (and the merge fan-in).
+	maxShards = 64
+	// shardParEventsPerWorker is the per-worker tick size below which a
+	// sharded network runs its workers inline on the run goroutine instead
+	// of dispatching goroutines: waking a worker costs about as much as
+	// delivering ~100 envelopes, so thin ticks are cheaper sequential. The
+	// two paths execute identical per-worker code, so the choice is free
+	// per tick (the same argument as the sparse-tick fallback in batch.go).
+	shardParEventsPerWorker = 128
+)
+
+// resolveShards maps Config.Shards to the concrete worker count for a run
+// of n parties.
+func resolveShards(cfgShards, n int) int {
+	s := cfgShards
+	if s == 0 {
+		s = runtime.GOMAXPROCS(0)
+		if lim := n / shardAutoParties; s > lim {
+			s = lim
+		}
+	}
+	if s > n {
+		s = n
+	}
+	if s > maxShards {
+		s = maxShards
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// shardWorker is one worker's tick-scoped scratch: everything a delivering
+// party's API calls touch that is not per-party. With one shard the single
+// worker runs on the run goroutine and the merge degenerates to a pointer
+// swap, so the sequential path pays no copies for the indirection.
+type shardWorker struct {
+	// touched lists this shard's destinations staged for the current tick,
+	// in first-appearance (Seq) order; the worker drains exactly these.
+	touched []int32
+	// pend accumulates the deferred ops emitted by this shard's parties.
+	// Within one trigger index the ops are in emission order, and one
+	// trigger belongs to exactly one worker — the invariant behind the
+	// deterministic barrier merge.
+	pend []pendingOp
+	// delivTrig records the trigger index of every delivery performed by
+	// this worker, for the tick-end observer replay and completion repair.
+	delivTrig []int32
+	// curTrig is the trigger index of the event currently being processed.
+	curTrig int32
+	// decideTrig is the largest trigger that produced an honest decision
+	// this tick (-1 if none), merged by max at the barrier.
+	decideTrig int32
+	// honestDecided counts honest decisions this tick, merged by sum.
+	honestDecided int
+	// stats is the tick's stats delta, folded into Network.stats at the
+	// barrier (before the completion repair backs anything out).
+	stats Stats
+	// bat is the worker's reusable Batch iterator.
+	bat Batch
+	// arena snapshots the payloads of this shard's deferred sends; blocks
+	// are recycled across runs exactly like the Network-level arena.
+	arena payloadArena
+	// work feeds the parked goroutine behind workers 1..S-1 (nil for
+	// worker 0, which always runs on the run goroutine).
+	work chan shardJob
+}
+
+// shardJob is one tick's work order for a parked worker goroutine. The
+// goroutine drops every reference before parking again, so a job cannot
+// keep a Network alive across ticks.
+type shardJob struct {
+	net   *Network
+	batch []event
+	wg    *sync.WaitGroup
+}
+
+// shardLoop is the body of a parked worker goroutine: drain one tick's
+// staged parties per job until the channel closes (which the Network's
+// runtime cleanup does when the Network is collected).
+func shardLoop(w *shardWorker, work chan shardJob) {
+	for {
+		job, ok := <-work
+		if !ok {
+			return
+		}
+		job.net.runWorkerTick(w, job.batch)
+		wg := job.wg
+		// Drop the Network and tick references before signalling: once Done
+		// returns the run goroutine owns the tick again, and a parked
+		// goroutine must pin nothing but its worker and channel.
+		job = shardJob{}
+		wg.Done()
+	}
+}
+
+// ensureWorkers grows the worker fleet to count, launching the parked
+// goroutines behind workers 1..count-1. Worker 0 never gets a goroutine.
+// The fleet only grows; a later Reset to fewer shards leaves the extra
+// workers parked.
+func (n *Network) ensureWorkers(count int) {
+	if count > 1 && n.shardWG == nil {
+		// Separately allocated so a worker goroutine signalling completion
+		// holds a pointer to a 16-byte object, not into the Network.
+		n.shardWG = new(sync.WaitGroup)
+	}
+	for len(n.ws) < count {
+		w := new(shardWorker)
+		w.resetRun() // initialize decideTrig = -1 and the empty arena
+		if len(n.ws) > 0 {
+			w.work = make(chan shardJob)
+			go shardLoop(w, w.work)
+			// The goroutine exits when the channel closes; tie that to the
+			// Network's lifetime without the cleanup (or the goroutine)
+			// referencing the Network itself.
+			runtime.AddCleanup(n, func(ch chan shardJob) { close(ch) }, w.work)
+		}
+		n.ws = append(n.ws, w)
+	}
+}
+
+// resetTick clears the worker's per-tick accumulators (the per-run pieces —
+// arena, slice capacities — are handled by resetRun).
+func (w *shardWorker) resetTick() {
+	w.touched = w.touched[:0]
+	w.pend = w.pend[:0]
+	w.delivTrig = w.delivTrig[:0]
+	w.curTrig = 0
+	w.decideTrig = -1
+	w.honestDecided = 0
+	w.stats = Stats{}
+}
+
+// resetRun restores the worker for a new run, recycling its scratch
+// capacity. Pending payload references are dropped defensively (an aborted
+// run can leave ops staged) so recycled arena blocks are never pinned by
+// stale ops.
+func (w *shardWorker) resetRun() {
+	for i := range w.pend {
+		w.pend[i].data = nil
+	}
+	w.resetTick()
+	w.bat = Batch{}
+	w.arena.reset()
+}
+
+// runTickSharded stages one dense tick by destination, drains it through
+// the shard workers, and performs the deterministic barrier merge, flush,
+// and observer replay. It is the only caller of the worker phase; with one
+// shard it is exactly the sequential batched tick body.
+func (n *Network) runTickSharded(batch []event) {
+	// Stage the tick by destination, routing each destination to its
+	// shard's touched list. Staging stores indices into the tick slice
+	// (not copies); batch is stable until the next PopTick.
+	for i := range batch {
+		to := batch[i].env.To
+		if len(n.stage[to]) == 0 {
+			w := n.parties[to].w
+			w.touched = append(w.touched, int32(to))
+		}
+		n.stage[to] = append(n.stage[to], int32(i))
+	}
+	n.deferOps = true
+	workers := n.ws[:n.shards]
+	if n.shards > 1 && len(batch) >= n.shards*shardParEventsPerWorker {
+		launched := 0
+		for _, w := range workers[1:] {
+			if len(w.touched) == 0 {
+				continue
+			}
+			n.shardWG.Add(1)
+			w.work <- shardJob{net: n, batch: batch, wg: n.shardWG}
+			launched++
+		}
+		n.runWorkerTick(workers[0], batch)
+		if launched > 0 {
+			n.shardWG.Wait()
+		}
+	} else {
+		for _, w := range workers {
+			if len(w.touched) > 0 {
+				n.runWorkerTick(w, batch)
+			}
+		}
+	}
+	n.deferOps = false
+
+	// Barrier merge: fold the per-worker deltas into the run-global state.
+	// Sum and max are order-free; the pend and delivTrig concatenations
+	// are in fixed worker order, and the flush's stable sort by trigger
+	// restores the exact sequential emission order (see the file comment).
+	decideTrig := int32(-1)
+	honestDecided := 0
+	n.delivTrig = n.delivTrig[:0]
+	if n.shards == 1 {
+		w := workers[0]
+		n.pend, w.pend = w.pend, n.pend[:0]
+		n.delivTrig, w.delivTrig = w.delivTrig, n.delivTrig[:0]
+	} else {
+		for _, w := range workers {
+			n.pend = append(n.pend, w.pend...)
+			for i := range w.pend {
+				w.pend[i].data = nil
+			}
+			w.pend = w.pend[:0]
+			n.delivTrig = append(n.delivTrig, w.delivTrig...)
+			w.delivTrig = w.delivTrig[:0]
+		}
+	}
+	for _, w := range workers {
+		n.stats.add(&w.stats)
+		honestDecided += w.honestDecided
+		if w.decideTrig > decideTrig {
+			decideTrig = w.decideTrig
+		}
+		w.stats = Stats{}
+		w.honestDecided = 0
+		w.decideTrig = -1
+	}
+	if honestDecided > 0 {
+		n.pendingHonest -= honestDecided
+		// now is monotone across ticks, so folding the finish-time update
+		// at the barrier lands on the same value as the per-decision update
+		// of the sequential path.
+		if n.now > n.finishTime {
+			n.finishTime = n.now
+		}
+	}
+
+	maxTrig := int32(len(batch))
+	if n.pendingHonest == 0 {
+		// The run completed mid-tick: the unbatched loop would have stopped
+		// at the completing event. Back out deliveries of later-triggered
+		// events and flush only ops triggered at or before it.
+		maxTrig = decideTrig
+		for _, trig := range n.delivTrig {
+			if trig > maxTrig {
+				n.stats.MessagesDelivered--
+			}
+		}
+	}
+	n.flushPending(maxTrig)
+	n.fireObservers(batch, maxTrig)
+}
+
+// runWorkerTick drains one worker's staged parties for the tick. It runs
+// either on the run goroutine (one shard, or a thin tick) or on the
+// worker's parked goroutine; in the parallel case it must touch only
+// shard-owned and worker-local state (the ownership argument above).
+func (n *Network) runWorkerTick(w *shardWorker, batch []event) {
+	for _, pi := range w.touched {
+		n.deliverPartyBatch(n.parties[pi], batch)
+		n.stage[pi] = n.stage[pi][:0]
+	}
+	w.touched = w.touched[:0]
+}
+
+// add folds a per-worker stats delta into s at the tick barrier.
+func (s *Stats) add(d *Stats) {
+	s.MessagesSent += d.MessagesSent
+	s.MessagesDelivered += d.MessagesDelivered
+	s.BytesSent += d.BytesSent
+	s.HonestMessagesSent += d.HonestMessagesSent
+	s.HonestBytesSent += d.HonestBytesSent
+	s.MessagesDropped += d.MessagesDropped
+	s.MessagesDuped += d.MessagesDuped
+}

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// This file pins intra-run sharding (shard.go) to the sequential batched
+// path: identical delivery traces, stats, decisions, and errors at every
+// shard count, across schedulers (including rng-consuming ones), crash
+// plans, timers, mid-tick run completion, budget aborts, and recycled
+// networks — the simulator-level form of the byte-identical-tables contract
+// in internal/harness.
+
+func TestResolveShards(t *testing.T) {
+	cases := []struct {
+		cfg, n, want int
+	}{
+		{1, 1024, 1},                     // explicit sequential
+		{4, 1024, 4},                     // explicit count
+		{4, 2, 2},                        // clamped to the party count
+		{maxShards + 9, 4096, maxShards}, // fleet bound
+		{0, 8, 1},                        // auto: small runs stay sequential
+	}
+	for _, c := range cases {
+		if got := resolveShards(c.cfg, c.n); got != c.want {
+			t.Errorf("resolveShards(%d, %d) = %d, want %d", c.cfg, c.n, got, c.want)
+		}
+	}
+	// Auto on a large run is bounded by the density heuristic regardless of
+	// core count, and never exceeds it.
+	if got := resolveShards(0, 4096); got < 1 || got > 4096/shardAutoParties {
+		t.Errorf("resolveShards(0, 4096) = %d, want in [1,%d]", got, 4096/shardAutoParties)
+	}
+}
+
+// runShardTrace executes a chatty mesh at the given shard count and returns
+// the delivery trace, result, and run error.
+func runShardTrace(t *testing.T, n int, sched Scheduler, shards int, mut func(*Config)) ([]batchRecord, *Result, error) {
+	t.Helper()
+	cfg := Config{N: n, Scheduler: sched, Seed: 11, Batch: BatchOn, Shards: shards}
+	if mut != nil {
+		mut(&cfg)
+	}
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []batchRecord
+	net.SetObserver(func(now Time, env Envelope) {
+		trace = append(trace, batchRecord{Now: now, From: env.From, To: env.To, Seq: env.Seq, Len: len(env.Data)})
+	})
+	for i := 0; i < cfg.N; i++ {
+		if err := net.SetProcess(PartyID(i), &chattyProc{need: 40}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, runErr := net.Run()
+	return trace, res, runErr
+}
+
+// requireSameRun asserts two (trace, result, error) triples are identical.
+func requireSameRun(t *testing.T, label string,
+	refTrace []batchRecord, refRes *Result, refErr error,
+	gotTrace []batchRecord, gotRes *Result, gotErr error,
+) {
+	t.Helper()
+	if !errors.Is(gotErr, refErr) && !(gotErr == nil && refErr == nil) {
+		t.Fatalf("%s: errors diverge: ref %v, got %v", label, refErr, gotErr)
+	}
+	if len(refTrace) != len(gotTrace) {
+		t.Fatalf("%s: trace lengths diverge: ref %d, got %d", label, len(refTrace), len(gotTrace))
+	}
+	for i := range refTrace {
+		if refTrace[i] != gotTrace[i] {
+			t.Fatalf("%s: delivery %d diverges: ref %+v, got %+v", label, i, refTrace[i], gotTrace[i])
+		}
+	}
+	if refRes.Stats != gotRes.Stats {
+		t.Fatalf("%s: stats diverge: ref %+v, got %+v", label, refRes.Stats, gotRes.Stats)
+	}
+	if refRes.FinishTime != gotRes.FinishTime || refRes.MaxHonestDelay != gotRes.MaxHonestDelay {
+		t.Fatalf("%s: timing diverges: ref (%d,%d), got (%d,%d)", label,
+			refRes.FinishTime, refRes.MaxHonestDelay, gotRes.FinishTime, gotRes.MaxHonestDelay)
+	}
+	if len(refRes.Decisions) != len(gotRes.Decisions) {
+		t.Fatalf("%s: decision counts diverge", label)
+	}
+	for id, v := range refRes.Decisions {
+		if gotRes.Decisions[id] != v || gotRes.DecidedAt[id] != refRes.DecidedAt[id] {
+			t.Fatalf("%s: party %d decision diverges", label, id)
+		}
+	}
+}
+
+// TestShardTraceEquivalence asserts event-for-event identical delivery
+// traces, stats, and decisions between shards=1 and shards in {2,4,8}
+// across a scheduler matrix with shared-rng draws and mid-multicast crash
+// truncation. At N=12 every worker runs inline on the run goroutine (ticks
+// stay under the dispatch threshold), isolating the merge logic itself;
+// the goroutine dispatch path is covered by the large-N test below.
+func TestShardTraceEquivalence(t *testing.T) {
+	scheds := map[string]func() Scheduler{
+		"const":  func() Scheduler { return constDelay{d: 5} },
+		"random": func() Scheduler { return rngSched{max: 9} },
+		"skewed": func() Scheduler { return fromSched{} },
+	}
+	muts := map[string]func(*Config){
+		"fault-free": nil,
+		"crash": func(cfg *Config) {
+			cfg.Crashes = []CrashPlan{{Party: 1, AfterSends: 9}, {Party: 4, AfterSends: 20}}
+		},
+	}
+	for sname, mk := range scheds {
+		for mname, mut := range muts {
+			t.Run(sname+"/"+mname, func(t *testing.T) {
+				refTrace, refRes, refErr := runShardTrace(t, 12, mk(), 1, mut)
+				for _, shards := range []int{2, 4, 8} {
+					gotTrace, gotRes, gotErr := runShardTrace(t, 12, mk(), shards, mut)
+					requireSameRun(t, sname+"/"+mname, refTrace, refRes, refErr, gotTrace, gotRes, gotErr)
+				}
+			})
+		}
+	}
+}
+
+// TestShardTraceEquivalenceParallel runs a mesh large enough that dense
+// ticks exceed the goroutine dispatch threshold (N=64 multicast storms are
+// 4096-event ticks >= 8*shardParEventsPerWorker), so the concurrent worker
+// path — not just the inline loop — must reproduce the sequential streams.
+// Run with -race this doubles as the data-race proof for the worker phase.
+func TestShardTraceEquivalenceParallel(t *testing.T) {
+	for _, mk := range []struct {
+		name  string
+		sched func() Scheduler
+	}{
+		{"const", func() Scheduler { return constDelay{d: 5} }},
+		{"random", func() Scheduler { return rngSched{max: 4} }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			crash := func(cfg *Config) {
+				cfg.Crashes = []CrashPlan{{Party: 3, AfterSends: 70}, {Party: 40, AfterSends: 130}}
+			}
+			refTrace, refRes, refErr := runShardTrace(t, 64, mk.sched(), 1, crash)
+			for _, shards := range []int{2, 8} {
+				gotTrace, gotRes, gotErr := runShardTrace(t, 64, mk.sched(), shards, crash)
+				requireSameRun(t, mk.name, refTrace, refRes, refErr, gotTrace, gotRes, gotErr)
+			}
+		})
+	}
+}
+
+// TestShardBudgetEquivalence pins the event-budget abort under sharding:
+// the budget-tripping tick is handed to the sequential reference loop, so
+// the aborted prefix must match shards=1 event for event.
+func TestShardBudgetEquivalence(t *testing.T) {
+	for _, budget := range []int{7, 23, 50} {
+		mut := func(cfg *Config) { cfg.MaxEvents = budget }
+		refTrace, refRes, refErr := runShardTrace(t, 12, constDelay{d: 3}, 1, mut)
+		if !errors.Is(refErr, ErrEventBudget) {
+			t.Fatalf("budget %d: reference run did not trip the budget: %v", budget, refErr)
+		}
+		gotTrace, gotRes, gotErr := runShardTrace(t, 12, constDelay{d: 3}, 4, mut)
+		requireSameRun(t, "budget", refTrace, refRes, refErr, gotTrace, gotRes, gotErr)
+	}
+}
+
+// TestShardMidTickCompletion pins the completion repair under sharding: all
+// parties decide in the same dense tick, and the merged decideTrig must cut
+// the flush at the same event the sequential loop stops at.
+func TestShardMidTickCompletion(t *testing.T) {
+	run := func(shards int) (*Result, Stats) {
+		cfg := Config{N: 8, Scheduler: constDelay{d: 4}, Seed: 3, Batch: BatchOn, Shards: shards}
+		net, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < cfg.N; i++ {
+			if err := net.SetProcess(PartyID(i), &chattyProc{need: 25}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, runErr := net.Run()
+		if runErr != nil {
+			t.Fatalf("shards=%d run failed: %v", shards, runErr)
+		}
+		return res, res.Stats
+	}
+	refRes, refStats := run(1)
+	for _, shards := range []int{2, 4, 8} {
+		gotRes, gotStats := run(shards)
+		if refStats != gotStats {
+			t.Fatalf("shards=%d: stats diverge: ref %+v, got %+v", shards, refStats, gotStats)
+		}
+		if refRes.FinishTime != gotRes.FinishTime {
+			t.Fatalf("shards=%d: finish time diverges: ref %d, got %d", shards, refRes.FinishTime, gotRes.FinishTime)
+		}
+		for id, v := range refRes.Decisions {
+			if gotRes.Decisions[id] != v {
+				t.Fatalf("shards=%d: party %d decision diverges", shards, id)
+			}
+		}
+	}
+}
+
+// TestShardRecycledNetworkEquivalence pins Reset's per-shard scratch
+// recycling: a network that just ran at shards=8 and is Reset to a
+// different shard count must reproduce a fresh network's run exactly
+// (worker pend lists, arenas, touched lists all rewound).
+func TestShardRecycledNetworkEquivalence(t *testing.T) {
+	cfg := Config{N: 12, Scheduler: constDelay{d: 5}, Seed: 11, Batch: BatchOn, Shards: 8}
+	net, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attach := func() {
+		for i := 0; i < cfg.N; i++ {
+			if err := net.SetProcess(PartyID(i), &chattyProc{need: 40}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	attach()
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 4, 8} {
+		cfg.Shards = shards
+		if err := net.Reset(cfg); err != nil {
+			t.Fatal(err)
+		}
+		var trace []batchRecord
+		net.SetObserver(func(now Time, env Envelope) {
+			trace = append(trace, batchRecord{Now: now, From: env.From, To: env.To, Seq: env.Seq, Len: len(env.Data)})
+		})
+		attach()
+		res, runErr := net.Run()
+		refTrace, refRes, refErr := runShardTrace(t, 12, constDelay{d: 5}, shards, nil)
+		requireSameRun(t, "recycled", refTrace, refRes, refErr, trace, res, runErr)
+	}
+}
+
+// TestShardConfigValidation covers the new Config field's validation.
+func TestShardConfigValidation(t *testing.T) {
+	cfg := Config{N: 4, Scheduler: constDelay{d: 1}, Shards: -1}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative Shards accepted")
+	}
+	cfg.Shards = 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("auto Shards rejected: %v", err)
+	}
+}
