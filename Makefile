@@ -8,7 +8,7 @@ GO ?= go
 BENCH_OLD ?= BENCH_7.json
 BENCH_NEW ?= BENCH_8.json
 
-.PHONY: check vet race bench bench-compare bench-smoke bench-smoke-refresh benchmem e12-smoke e12-xl incident-replay incident-regen livenet-soak
+.PHONY: check vet race bench bench-compare bench-smoke bench-smoke-refresh benchmem e12-smoke e12-xl incident-replay incident-regen livenet-soak recovery-soak
 
 check:
 	$(GO) build ./...
@@ -78,6 +78,14 @@ incident-regen:
 # LIVENET_SOAK=1 so default test runs stay fast.
 livenet-soak:
 	LIVENET_SOAK=1 $(GO) test -race -run TestLivenetSoak -count=1 -v ./internal/livenet/
+
+# recovery-soak runs the crash-recovery supervisor under the race detector:
+# two parties checkpointed, killed, and rejoined mid-run under 10% injected
+# loss on the reliable transport. The run must reconverge to eps-agreement
+# with both restarts attributed. Seeded and wall-clock-bounded; gated
+# behind RECOVERY_SOAK=1 so default test runs stay fast.
+recovery-soak:
+	RECOVERY_SOAK=1 $(GO) test -race -run TestRecoverySoak -count=1 -v ./internal/livenet/
 
 # benchmem runs the substrate micro-benchmarks with allocation accounting,
 # the numbers PERF.md tracks.

@@ -1,5 +1,5 @@
 // Benchmark harness: one benchmark per evaluation artifact (experiments
-// E1–E13 in DESIGN.md — every table and figure), plus micro-benchmarks of
+// E1–E14 in DESIGN.md — every table and figure), plus micro-benchmarks of
 // the substrates. Each experiment benchmark regenerates its table per
 // iteration; run with -v to see a rendered table. cmd/aabench prints all
 // tables with more seeds.
@@ -129,6 +129,12 @@ func BenchmarkE12LargeN(b *testing.B) {
 // raw vs reliable transport under loss/dup/outage/flap).
 func BenchmarkE13Resilience(b *testing.B) {
 	runExperiment(b, harness.E13Resilience)
+}
+
+// BenchmarkE14Recovery regenerates Table E14 (crash-recovery sweep:
+// checkpoint lag vs transport, rollback-rejoin episodes).
+func BenchmarkE14Recovery(b *testing.B) {
+	runExperiment(b, harness.E14Recovery)
 }
 
 // --- micro-benchmarks of the substrates and a single protocol run ---

@@ -80,6 +80,29 @@
 // reused-report path (testing.AllocsPerRun pins exactly 0 for the crash,
 // trim, and witness protocols).
 //
+// # Crash recovery
+//
+// Every protocol party is a core.Snapshotter: Snapshot serializes its
+// complete round state into a versioned internal/checkpoint envelope
+// (magic, version, body, CRC — about 110 bytes for a mid-round crash
+// party at n=9), Restore rolls the party back to exactly those bytes
+// with typed rejection of corrupt, truncated, or cross-shape snapshots,
+// and Rejoin re-announces the current round so peers catch the party
+// up. The scenario axes "recover:k:down:lag" and "amnesia:k:down" drive
+// the episode deterministically in the simulator — crash the last k
+// fault slots, discard state newer than a lag-stale (or zero)
+// checkpoint, rejoin after a darkness window — and internal/livenet
+// runs the same episode on real goroutines under a restart supervisor
+// (checkpoint and kill delivered on the party's own goroutine, down
+// window, stale-inbox drain, Restore + Rejoin), soaked in CI under
+// -race (`make recovery-soak`). The E14 sweep quantifies the recovery
+// trade: fresh checkpoints reconverge on any repaired transport, stale
+// and amnesiac restarts need the adaptive DECIDED re-announce over the
+// reliable transport, and raw transport stalls when traffic lands in
+// the darkness window. Snapshot/Restore round trips are
+// allocation-free, so supervised warm runs keep the zero-alloc steady
+// state.
+//
 // # Record/replay workflow
 //
 // Every claim above about equivalence is also enforced by data: the
@@ -91,7 +114,11 @@
 // -record out.bundle` captures a run, `aarun -replay in.bundle`
 // re-executes it and hard-fails on any divergence with the first divergent
 // send sequence, and `aafuzz -artifacts DIR` automatically emits a bundle
-// (plus its one-line replay command) for every violation it finds. The
+// (plus its one-line replay command) for every violation it finds.
+// Bundles encode at the lowest version that carries their data: v2 adds
+// the drop/dup fate log for lossy runs, v3 adds per-party checkpoint
+// digests for recovery runs, and fate-free bundles stay byte-identical
+// to v1. The
 // committed corpus under testdata/incidents/ replays in CI across both
 // event cores, both delivery modes, and 1/8 workers (`make
 // incident-replay`), so a schedule-equivalence regression anywhere in the

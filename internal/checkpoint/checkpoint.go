@@ -1,0 +1,253 @@
+// Package checkpoint defines the versioned binary snapshot format that
+// crash-recovery parties persist and restore: a magic + version header, a
+// field payload of primitive append/read codecs, and a CRC32 trailer —
+// the same hardening discipline as the incident bundle format
+// (internal/incident). A snapshot captures the full volatile state of one
+// protocol party (round buckets, seen bitsets, witness ring, RBC slabs)
+// via the core.Snapshotter interface; this package owns only the encoding
+// primitives, so the simulator and livenet can treat snapshots as opaque
+// bytes.
+//
+// Encoding is append-style over a caller-owned buffer (zero-alloc when the
+// buffer is recycled); decoding is bounds-checked against truncation and
+// corruption and never panics — a damaged checkpoint surfaces as a wrapped
+// ErrMalformed/ErrTruncated/ErrCorrupt, exactly like a damaged incident
+// bundle.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Version is the current snapshot format version.
+const Version = 1
+
+// magic is the leading four bytes of every snapshot.
+const magic = "AACP"
+
+// headerLen is magic + u16 version.
+const headerLen = len(magic) + 2
+
+// trailerLen is the CRC32 suffix.
+const trailerLen = 4
+
+// maxWords caps a bitset read so a corrupt length field cannot drive a
+// giant allocation check; shapes in this repo stay far below it.
+const maxWords = 1 << 20
+
+// Sentinel decode errors.
+var (
+	ErrMalformed = errors.New("checkpoint: malformed snapshot")
+	ErrTruncated = fmt.Errorf("%w: truncated", ErrMalformed)
+	ErrCorrupt   = fmt.Errorf("%w: checksum mismatch", ErrMalformed)
+	ErrVersion   = errors.New("checkpoint: unsupported snapshot version")
+)
+
+// Begin starts a snapshot: it appends the magic + version header to buf
+// (normally buf[:0] of a recycled buffer) and returns the extended slice.
+func Begin(buf []byte) []byte {
+	buf = append(buf, magic...)
+	return binary.LittleEndian.AppendUint16(buf, Version)
+}
+
+// Seal appends the CRC32 trailer over everything already in buf (header
+// included) and returns the finished snapshot. buf must start with the
+// Begin header.
+func Seal(buf []byte) []byte {
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// AppendUvarint appends a varint-encoded unsigned field.
+func AppendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// AppendInt appends a non-negative int field (negative values are encoded
+// as a sentinel bit so -1 budget-style fields round-trip).
+func AppendInt(buf []byte, v int) []byte {
+	return binary.AppendVarint(buf, int64(v))
+}
+
+// AppendBool appends a single-byte boolean field.
+func AppendBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// AppendF64 appends a float64 field as its IEEE bits.
+func AppendF64(buf []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+}
+
+// AppendWords appends a length-prefixed []uint64 (bitset backing or any
+// word array).
+func AppendWords(buf []byte, words []uint64) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(words)))
+	for _, w := range words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// Digest returns the FNV-1a hash of a finished snapshot, forced nonzero —
+// the compact fingerprint the incident bundle format records per
+// checkpoint so replay can detect snapshot divergence without carrying
+// the bytes.
+func Digest(data []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// Dec is the bounds-checked snapshot reader. All read methods latch the
+// first error and return zero values afterwards, so restore code can read
+// a whole record and check Err once.
+type Dec struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// Open verifies a snapshot's magic, version, and CRC trailer and returns
+// a decoder positioned at the first payload field. The decoder is returned
+// by value so restore paths (which run on the warm zero-alloc budget) can
+// keep it on the stack.
+func Open(data []byte) (Dec, error) {
+	if len(data) < headerLen+trailerLen {
+		return Dec{}, fmt.Errorf("%w: %d bytes", ErrTruncated, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return Dec{}, fmt.Errorf("%w: bad magic", ErrMalformed)
+	}
+	version := binary.LittleEndian.Uint16(data[len(magic):])
+	if version == 0 || version > Version {
+		return Dec{}, fmt.Errorf("%w: %d (max %d)", ErrVersion, version, Version)
+	}
+	body := data[:len(data)-trailerLen]
+	want := binary.LittleEndian.Uint32(data[len(data)-trailerLen:])
+	if crc32.ChecksumIEEE(body) != want {
+		return Dec{}, ErrCorrupt
+	}
+	return Dec{data: body, off: headerLen}, nil
+}
+
+// Err returns the first decode error, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Done verifies the payload was fully consumed without error.
+func (d *Dec) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.data) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrMalformed, len(d.data)-d.off)
+	}
+	return nil
+}
+
+func (d *Dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", ErrTruncated, what, d.off)
+	}
+}
+
+// Uvarint reads one unsigned varint field.
+func (d *Dec) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Int reads one signed varint field.
+func (d *Dec) Int() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data[d.off:])
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.off += n
+	return int(v)
+}
+
+// Bool reads one boolean field.
+func (d *Dec) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.data) {
+		d.fail("bool")
+		return false
+	}
+	b := d.data[d.off]
+	d.off++
+	if b > 1 {
+		if d.err == nil {
+			d.err = fmt.Errorf("%w: bool byte %d", ErrMalformed, b)
+		}
+		return false
+	}
+	return b == 1
+}
+
+// F64 reads one float64 field.
+func (d *Dec) F64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.data) {
+		d.fail("f64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.data[d.off:]))
+	d.off += 8
+	return v
+}
+
+// Words reads a length-prefixed word array into dst, which must have
+// exactly the recorded length — shape is part of the restoring party's
+// configuration, so a mismatch means the snapshot belongs to a different
+// shape and is rejected rather than silently truncated.
+func (d *Dec) Words(dst []uint64) {
+	ln := d.Uvarint()
+	if d.err != nil {
+		return
+	}
+	if ln > maxWords || int(ln) != len(dst) {
+		d.err = fmt.Errorf("%w: word array length %d, want %d", ErrMalformed, ln, len(dst))
+		return
+	}
+	if d.off+8*int(ln) > len(d.data) {
+		d.fail("words")
+		return
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(d.data[d.off:])
+		d.off += 8
+	}
+}

@@ -1,0 +1,142 @@
+package checkpoint
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// buildSample encodes one of every primitive and seals it.
+func buildSample() []byte {
+	buf := Begin(nil)
+	buf = AppendUvarint(buf, 300)
+	buf = AppendInt(buf, -1)
+	buf = AppendBool(buf, true)
+	buf = AppendF64(buf, math.Pi)
+	buf = AppendWords(buf, []uint64{0xDEAD, 0, ^uint64(0)})
+	return Seal(buf)
+}
+
+func TestRoundTrip(t *testing.T) {
+	snap := buildSample()
+	d, err := Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := d.Uvarint(); v != 300 {
+		t.Errorf("uvarint = %d", v)
+	}
+	if v := d.Int(); v != -1 {
+		t.Errorf("int = %d", v)
+	}
+	if !d.Bool() {
+		t.Error("bool = false")
+	}
+	if v := d.F64(); v != math.Pi {
+		t.Errorf("f64 = %v", v)
+	}
+	words := make([]uint64, 3)
+	d.Words(words)
+	if words[0] != 0xDEAD || words[2] != ^uint64(0) {
+		t.Errorf("words = %v", words)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferReuse(t *testing.T) {
+	// A recycled buffer (cap from a previous snapshot) must produce the
+	// identical encoding.
+	first := buildSample()
+	reused := Seal(AppendWords(AppendF64(AppendBool(AppendInt(AppendUvarint(Begin(first[:0]), 300), -1), true), math.Pi), []uint64{0xDEAD, 0, ^uint64(0)}))
+	if string(reused) != string(first) {
+		t.Error("reused buffer produced a different encoding")
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	snap := buildSample()
+	for cut := 0; cut < len(snap); cut++ {
+		if _, err := Open(snap[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		} else if !errors.Is(err, ErrMalformed) {
+			t.Fatalf("truncation at %d: %v not wrapped in ErrMalformed", cut, err)
+		}
+	}
+}
+
+func TestCorruption(t *testing.T) {
+	snap := buildSample()
+	for i := range snap {
+		bad := append([]byte(nil), snap...)
+		bad[i] ^= 0x40
+		if _, err := Open(bad); err == nil {
+			t.Fatalf("byte flip at %d accepted", i)
+		}
+	}
+}
+
+func TestVersionSkew(t *testing.T) {
+	snap := buildSample()
+	bad := append([]byte(nil), snap...)
+	bad[4] = 99 // version low byte
+	bad = Seal(bad[:len(bad)-4])
+	if _, err := Open(bad); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: %v", err)
+	}
+}
+
+func TestWordShapeMismatch(t *testing.T) {
+	snap := Seal(AppendWords(Begin(nil), []uint64{1, 2}))
+	d, err := Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Words(make([]uint64, 3))
+	if d.Err() == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestErrorLatching(t *testing.T) {
+	snap := Seal(AppendUvarint(Begin(nil), 7))
+	d, err := Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d.Uvarint()
+	_ = d.F64() // runs past the payload: must latch, not panic
+	_ = d.Int()
+	if d.Err() == nil {
+		t.Error("overread not latched")
+	}
+	if err := d.Done(); err == nil {
+		t.Error("Done passed after overread")
+	}
+}
+
+func TestDoneRejectsTrailingBytes(t *testing.T) {
+	snap := Seal(AppendUvarint(AppendUvarint(Begin(nil), 1), 2))
+	d, err := Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d.Uvarint()
+	if err := d.Done(); err == nil {
+		t.Error("trailing payload accepted")
+	}
+}
+
+func TestDigest(t *testing.T) {
+	a, b := buildSample(), Seal(AppendUvarint(Begin(nil), 1))
+	if Digest(a) == Digest(b) {
+		t.Error("distinct snapshots share a digest")
+	}
+	if Digest(a) != Digest(buildSample()) {
+		t.Error("digest not deterministic")
+	}
+	if Digest(nil) == 0 {
+		t.Error("digest zero")
+	}
+}

@@ -68,6 +68,7 @@ type AsyncAA struct {
 	fn             multiset.Func
 	viewBuf        []float64 // per-round reception scratch, reused across rounds
 	wireBuf        []byte    // wire-encoding scratch; runtimes snapshot on send
+	snapRounds     []uint32  // sorted-round scratch for Snapshot, reused
 	input          float64
 	v              float64
 	round          uint32 // round currently being collected (1-based)

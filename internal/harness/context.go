@@ -225,6 +225,7 @@ func (c *RunContext) run(spec Spec, rep *Report) error {
 		Scheduler: spec.Scheduler.Scheduler,
 		Seed:      spec.Seed,
 		Crashes:   spec.Crashes,
+		Restarts:  spec.Restarts,
 		MaxEvents: spec.MaxEvents,
 		Core:      EventCore(),
 		Batch:     Batching(),
@@ -338,6 +339,7 @@ func (c *RunContext) run(spec Spec, rep *Report) error {
 			}
 		}
 	}
+	rep.Checkpoints = append(rep.Checkpoints[:0], net.CheckpointDigests()...)
 	rep.Transport = relnet.Stats{}
 	for _, w := range c.rel[:c.relUsed] {
 		s := w.TransportStats()

@@ -95,22 +95,31 @@ func E13Resilience() (*trace.Table, error) {
 	return tbl, nil
 }
 
-// e13Verdict compresses a report's outcome into one table token.
+// e13Verdict compresses a report's outcome into one table token. A
+// "+giveups" suffix flags rows where the reliable transport abandoned a
+// frame after exhausting its retries: the run may still converge, but an
+// abandoned frame means the retry budget was the only thing between this
+// cell and a stall, so flagged rows deserve scrutiny.
 func e13Verdict(rep *Report) string {
+	verdict := ""
 	switch {
 	case rep.OK():
-		return "converged"
+		verdict = "converged"
 	case errors.Is(rep.RunErr, sim.ErrStalled):
-		return "stalled"
+		verdict = "stalled"
 	case errors.Is(rep.RunErr, sim.ErrEventBudget):
-		return "budget"
+		verdict = "budget"
 	case rep.RunErr != nil:
-		return "run-error"
+		verdict = "run-error"
 	case len(rep.ProtoErrs) > 0:
-		return "proto-error"
+		verdict = "proto-error"
 	case !rep.ValidityOK:
-		return "validity"
+		verdict = "validity"
 	default:
-		return "agreement"
+		verdict = "agreement"
 	}
+	if rep.Transport.GiveUps > 0 {
+		verdict += "+giveups"
+	}
+	return verdict
 }

@@ -37,6 +37,7 @@ func Experiments(seeds int) []Experiment {
 		{ID: "E11", Title: "FIFO vs unordered channels", Run: E11FIFO},
 		{ID: "E12", Title: "Large-n scenario sweep", Run: func() (*trace.Table, error) { return E12LargeN() }},
 		{ID: "E13", Title: "Lossy-network resilience", Run: E13Resilience},
+		{ID: "E14", Title: "Crash-recovery sweep", Run: E14Recovery},
 	}
 }
 

@@ -261,9 +261,9 @@ func FuzzScenarios(trials int, seed int64) (*ScenarioFuzzResult, error) {
 		}
 		spec.Reliable = reliable
 		for _, f := range scen.Faults {
-			if scenario.IsNetFault(f) {
-				// Lossy axes trade messages for retransmissions; give the
-				// run the same headroom the E13 resilience sweep uses.
+			if scenario.IsNetFault(f) || scenario.IsRestartFault(f) {
+				// Lossy and recovery axes trade messages for retransmissions;
+				// give the run the same headroom the E13 resilience sweep uses.
 				spec.MaxEvents = 20_000_000
 				break
 			}
@@ -336,6 +336,28 @@ func randomRunnableScenario(rng *rand.Rand) (core.Params, scenario.Spec, bool) {
 			scen.Faults = append(scen.Faults, fmt.Sprintf("flap:%d", 20+rng.Intn(61)))
 			reliable = true
 		}
+	}
+	// Crash-recovery axes occupy no fault slot but do not compose with
+	// party faults, so they only enter trials whose fault draw came up
+	// empty. The fuzzer keeps to the guaranteed-convergent corner of the
+	// axis — lag 0 (the rollback discards nothing) or an amnesiac restart
+	// at t=1 (nothing has been delivered yet) — because a rollback with
+	// real lag loses traffic the transport has already acked, which only
+	// the adaptive DECIDED re-announce recovers (E14 measures that trade
+	// deliberately; the fuzzer asserts unconditional convergence). A
+	// destructive recovery axis always rides the reliable transport:
+	// traffic sent into the darkness window is unrecoverable raw.
+	if len(scen.Faults) == 0 && rng.Intn(4) == 0 {
+		k := 1 + rng.Intn(p.T)
+		if rng.Intn(2) == 0 {
+			scen.Faults = append(scen.Faults, fmt.Sprintf("recover:%d:%d:0", k, 20+rng.Intn(180)))
+		} else {
+			scen.Faults = append(scen.Faults, fmt.Sprintf("amnesia:%d:1", k))
+		}
+		if rng.Intn(2) == 0 {
+			scen.Faults = append(scen.Faults, fmt.Sprintf("loss:0.0%d", 1+rng.Intn(5)))
+		}
+		reliable = true
 	}
 	return p, scen, reliable
 }

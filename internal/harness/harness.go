@@ -44,6 +44,10 @@ type Spec struct {
 	// Params.T (checked).
 	Crashes []sim.CrashPlan
 	Byz     map[sim.PartyID]fault.Behavior
+	// Restarts lists crash-recovery episodes (scenario recover/amnesia
+	// axes). Restart parties stay honest — they must re-decide after the
+	// rollback — so they occupy no fault slot here either.
+	Restarts []sim.RestartPlan
 	// Seed drives all randomness in the run.
 	Seed int64
 	// RecordTrajectory enables diameter-over-time sampling.
@@ -98,6 +102,10 @@ type Report struct {
 	// acks, dedup suppressions, give-ups) across the honest parties when
 	// the spec ran with Reliable set; zero otherwise.
 	Transport relnet.Stats
+	// Checkpoints holds one content digest per snapshot the run's restart
+	// plans took, in firing order (empty without a restart axis). Replays
+	// compare them to pin checkpoint bytes across recorded incidents.
+	Checkpoints []uint64
 }
 
 // OK reports overall success: live, valid, and ε-agreed.
@@ -139,6 +147,7 @@ func SpecFrom(p core.Params, inputs []float64, scen scenario.Spec, seed int64) (
 		Scheduler: res.Scheduler,
 		Crashes:   res.Crashes,
 		Byz:       res.Byz,
+		Restarts:  res.Restarts,
 		Seed:      seed,
 	}, nil
 }

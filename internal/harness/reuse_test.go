@@ -113,16 +113,22 @@ func TestRunContextReuseByteIdenticalLargeN(t *testing.T) {
 // growth), which testing.AllocsPerRun's integer average then floors.
 func TestRunReusedAllocs(t *testing.T) {
 	cases := []struct {
-		name string
-		p    core.Params
-		scen string
+		name     string
+		p        core.Params
+		scen     string
+		reliable bool
 	}{
 		{"crash-aa", core.Params{Protocol: core.ProtoCrash, N: 10, T: 4, Eps: 1e-3, Lo: 0, Hi: 1},
-			"splitviews+crash/n=10,t=4"},
+			"splitviews+crash/n=10,t=4", false},
 		{"byztrim-aa", core.Params{Protocol: core.ProtoByzTrim, N: 15, T: 2, Eps: 1e-3, Lo: 0, Hi: 1},
-			"splitviews/n=15,t=2"},
+			"splitviews/n=15,t=2", false},
 		{"witness-aa", core.Params{Protocol: core.ProtoWitness, N: 10, T: 3, Eps: 1e-3, Lo: 0, Hi: 1},
-			"splitviews/n=10,t=3"},
+			"splitviews/n=10,t=3", false},
+		// The reliable-transport wrapper recycles its link state through
+		// Reset (dedup maps survive the rcv reslice), so the ack/retransmit
+		// path rides the same zero-alloc budget as the raw one.
+		{"crash-aa-reliable", core.Params{Protocol: core.ProtoCrash, N: 10, T: 4, Eps: 1e-3, Lo: 0, Hi: 1},
+			"random+loss:0.05/n=10,t=4", true},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -130,6 +136,7 @@ func TestRunReusedAllocs(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			spec.Reliable = c.reliable
 			ctx := NewRunContext()
 			if rep, err := ctx.Run(spec); err != nil {
 				t.Fatalf("warm-up failed: %v", err)

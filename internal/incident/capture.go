@@ -137,6 +137,7 @@ func Capture(b *Bundle) (*harness.Report, error) {
 	b.SendSums = probe.sums
 	b.Drops = probe.drops
 	b.Dups = probe.dups
+	b.Checkpoints = append([]uint64(nil), rep.Checkpoints...)
 	b.Digest = digestOf(rep, dig.deliveries, dig.hash)
 	return rep, nil
 }
@@ -351,6 +352,15 @@ func (p *Prepared) Diff(rep *harness.Report) *Divergence {
 	}
 	if got.ProtoErrs != want.ProtoErrs {
 		add("protocol errors: recorded %d, replayed %d", want.ProtoErrs, got.ProtoErrs)
+	}
+	if len(rep.Checkpoints) != len(p.bundle.Checkpoints) {
+		add("checkpoints: recorded %d, replayed %d", len(p.bundle.Checkpoints), len(rep.Checkpoints))
+	} else {
+		for i, ck := range p.bundle.Checkpoints {
+			if rep.Checkpoints[i] != ck {
+				add("checkpoint[%d]: recorded %#x, replayed %#x", i, ck, rep.Checkpoints[i])
+			}
+		}
 	}
 	if div.FirstBadSend == NoDivergentSend && len(div.Mismatches) == 0 {
 		return nil

@@ -41,7 +41,8 @@ func (e *encoder) str(s string) {
 // network-fate data encode as version 1, byte-identical to the historical
 // format; fate data (drops, dups, the reliable flag, nonzero digest
 // drop/dup counters) switches to version 2, which appends the fate record
-// after the digest.
+// after the digest; checkpoint digests (crash-recovery runs) switch to
+// version 3, which appends the checkpoint record after the fate record.
 func Encode(b *Bundle) ([]byte, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
@@ -55,6 +56,9 @@ func Encode(b *Bundle) ([]byte, error) {
 	version := uint16(1)
 	if b.fated() {
 		version = versionFated
+	}
+	if b.recovered() {
+		version = versionRecover
 	}
 	e := &encoder{buf: make([]byte, 0, 64+8*len(b.Inputs)+3*len(b.Delays)+4*len(b.SendSums))}
 	e.str(b.Name)
@@ -125,6 +129,12 @@ func Encode(b *Bundle) ([]byte, error) {
 		}
 		e.uvar(uint64(d.MessagesDropped))
 		e.uvar(uint64(d.MessagesDuped))
+	}
+	if version >= versionRecover {
+		e.uvar(uint64(len(b.Checkpoints)))
+		for _, ck := range b.Checkpoints {
+			e.u64(ck)
+		}
 	}
 
 	out := make([]byte, 0, 6+len(e.buf)+4)
@@ -363,6 +373,14 @@ func Decode(data []byte) (*Bundle, error) {
 		}
 		b.Digest.MessagesDropped = int64(d.uvar())
 		b.Digest.MessagesDuped = int64(d.uvar())
+	}
+	if version >= versionRecover {
+		if n := d.count(maxFaults, "checkpoint"); d.err == nil && n > 0 {
+			b.Checkpoints = make([]uint64, n)
+			for i := range b.Checkpoints {
+				b.Checkpoints[i] = d.u64()
+			}
+		}
 	}
 	if d.err != nil {
 		return nil, d.err

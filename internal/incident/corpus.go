@@ -134,5 +134,42 @@ func Episodes() []*Bundle {
 			MaxEvents: 20_000_000,
 			Inputs:    harness.LinearInputs(16, 0, 1),
 		},
+		{
+			// Two parties checkpoint at tick 20, crash at tick 50 losing 30
+			// ticks of progress, and rejoin through the adaptive DECIDED
+			// re-announce over the reliable transport (bundle format v3: the
+			// snapshot content digests are part of the recorded trace). Any
+			// change to the snapshot codec, the restore path, or the rejoin
+			// re-send order shifts the checkpoint digests or the delivery
+			// hash here first.
+			Name:      "rollback-rejoin-reconverge",
+			Scenario:  "random+recover:2:50:30/n=9,t=2",
+			Protocol:  ProtoCrash,
+			Adaptive:  true,
+			Eps:       1e-3,
+			Lo:        0,
+			Hi:        1,
+			Seed:      7,
+			MaxEvents: 20_000_000,
+			Reliable:  true,
+			Inputs:    harness.BimodalInputs(9, 0, 1),
+		},
+		{
+			// Two amnesiac parties restart from their tick-0 checkpoint under
+			// Bernoulli loss: every pre-crash delivery to them is forgotten
+			// and the whole exchange is redone through ack/retransmit
+			// catch-up. Pins the zero-state restore path and the interaction
+			// between restart darkness windows and the retransmit schedule.
+			Name:      "amnesia-restart-catchup",
+			Scenario:  "random+amnesia:2:1+loss:0.05/n=12,t=3",
+			Protocol:  ProtoCrash,
+			Eps:       1e-2,
+			Lo:        0,
+			Hi:        1,
+			Seed:      909,
+			MaxEvents: 20_000_000,
+			Reliable:  true,
+			Inputs:    harness.BimodalInputs(12, 0, 1),
+		},
 	}
 }

@@ -29,16 +29,21 @@ import (
 )
 
 // Version is the current bundle format version. Decode accepts versions 1
-// and 2 and rejects anything else with ErrVersion; the format is
+// through 3 and rejects anything else with ErrVersion; the format is
 // append-only within a version. Version 2 appends the network-fate record
 // (dropped and duplicated send sequences, the reliable-transport flag, and
-// the drop/dup counters in the digest); Encode still emits version 1 for
-// bundles without fate data, so the pre-existing corpus re-encodes
-// byte-identically.
-const Version uint16 = 2
+// the drop/dup counters in the digest); version 3 appends the checkpoint
+// record (one content digest per crash-recovery snapshot, in firing
+// order). Encode emits the lowest version that carries the bundle's data —
+// version 1 without fate data, version 2 without checkpoints — so the
+// pre-existing corpus re-encodes byte-identically.
+const Version uint16 = 3
 
 // versionFated is the first version carrying the network-fate record.
 const versionFated uint16 = 2
+
+// versionRecover is the first version carrying the checkpoint record.
+const versionRecover uint16 = 3
 
 // Sentinel errors.
 var (
@@ -216,6 +221,12 @@ type Bundle struct {
 	// Reliable records that the run wrapped honest parties in the
 	// ack/retransmit transport (harness.Spec.Reliable).
 	Reliable bool
+	// Checkpoints holds one content digest per crash-recovery snapshot the
+	// run's restart plans took, in firing order (harness.Report.Checkpoints).
+	// The restart plans themselves are re-derived from the scenario string's
+	// recover/amnesia token on replay; the digests pin the snapshotted state
+	// so a replay that checkpoints different bytes is named directly.
+	Checkpoints []uint64
 	// Digest is the recorded outcome replays are diffed against.
 	Digest Digest
 }
@@ -228,10 +239,16 @@ type Dup struct {
 }
 
 // fated reports whether the bundle carries version-2 fate data and must
-// encode as version 2.
+// encode as version 2 or later.
 func (b *Bundle) fated() bool {
 	return len(b.Drops) > 0 || len(b.Dups) > 0 || b.Reliable ||
 		b.Digest.MessagesDropped != 0 || b.Digest.MessagesDuped != 0
+}
+
+// recovered reports whether the bundle carries version-3 checkpoint data
+// and must encode as version 3.
+func (b *Bundle) recovered() bool {
+	return len(b.Checkpoints) > 0
 }
 
 // caps bound decoded bundles so a hostile file cannot balloon memory.
@@ -255,11 +272,13 @@ func (b *Bundle) Validate() error {
 		return fmt.Errorf("%w: %d inputs for n=%d", ErrMalformed, len(b.Inputs), p.N)
 	}
 	// Only party-fault tokens conflict with explicit overrides; network-fault
-	// axes (loss/dup/outage/flap) live in the scheduler and compose freely
-	// with the fuzzer's explicit crash plans.
+	// axes (loss/dup/outage/flap) live in the scheduler and restart axes
+	// (recover/amnesia) keep their parties honest, so both compose freely
+	// with the fuzzer's explicit crash plans (party overlap is caught by
+	// sim.Config validation at run time).
 	if len(b.Crashes) > 0 || len(b.Byz) > 0 {
 		for _, f := range scen.Faults {
-			if !scenario.IsNetFault(f) {
+			if !scenario.IsNetFault(f) && !scenario.IsRestartFault(f) {
 				return fmt.Errorf("%w: scenario %q carries party-fault tokens alongside explicit fault overrides", ErrMalformed, b.Scenario)
 			}
 		}
@@ -318,6 +337,11 @@ func (b *Bundle) Validate() error {
 		}
 		if dup.Extra < 1 || dup.Extra > sim.MaxDelayCap {
 			return fmt.Errorf("%w: dup extra delay %d at seq %d outside [1,%d]", ErrMalformed, dup.Extra, dup.Seq, sim.MaxDelayCap)
+		}
+	}
+	for i, ck := range b.Checkpoints {
+		if ck == 0 {
+			return fmt.Errorf("%w: zero checkpoint digest at index %d", ErrMalformed, i)
 		}
 	}
 	if b.MaxEvents < 0 {

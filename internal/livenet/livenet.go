@@ -81,6 +81,31 @@ type Options struct {
 	// (internal/relnet), so lost and duplicated frames are retransmitted
 	// and deduplicated exactly as in the simulator's reliable runs.
 	Reliable bool
+	// RestartParties makes parties 0..RestartParties-1 crash and recover
+	// once each under restart supervision: the supervisor checkpoints the
+	// party's state on its owning goroutine, kills it at a staggered
+	// wall-clock instant (its decision is withdrawn, its queued inbox
+	// discarded, all state newer than the checkpoint lost), holds it down
+	// for RestartDown, then restores the checkpoint and rejoins it via the
+	// protocol's catch-up re-announce — the live analogue of the
+	// simulator's "recover" scenario axis. Restart-supervised processes
+	// must support checkpointing (the built-in protocols do).
+	RestartParties int
+	// RestartAfter is when the first kill fires (default 75ms).
+	RestartAfter time.Duration
+	// RestartStagger separates consecutive parties' kills (default 25ms).
+	RestartStagger time.Duration
+	// RestartDown is how long a killed party stays dark before it rejoins
+	// (default 50ms). While down its inbox sheds as usual; everything
+	// queued is discarded at the moment of rejoin, as a real process
+	// restart would lose its socket buffers.
+	RestartDown time.Duration
+	// RestartLag is how long before the kill the checkpoint is taken
+	// (default 0: the checkpoint is taken at the kill instant, so only
+	// in-flight traffic is lost). A positive lag rolls the party back to
+	// genuinely stale state, which only converges when the protocol's
+	// rejoin path can re-learn the gap (adaptive + Reliable).
+	RestartLag time.Duration
 }
 
 // Result of a live run. On ErrTimeout the Result still carries the partial
@@ -106,13 +131,21 @@ type Result struct {
 	// SendTimeouts counts deliveries abandoned after SendTimeout of inbox
 	// contention.
 	SendTimeouts int64
-	// Degraded lists the parties that lost traffic to shedding or send
-	// timeouts on their inbox, ascending. A run can degrade and still
-	// converge — that is the point of the reliable transport.
+	// Degraded lists the parties that lost traffic to shedding, send
+	// timeouts, or ack/retransmit give-ups on their links, ascending. A
+	// run can degrade and still converge — that is the point of the
+	// reliable transport; a give-up, though, means a frame was abandoned
+	// for good, so give-up rows deserve scrutiny even in converged runs.
 	Degraded []sim.PartyID
 	// Transport aggregates the ack/retransmit counters across parties
 	// when the run used Options.Reliable; zero otherwise.
 	Transport relnet.Stats
+	// Restarts counts completed kill/rejoin cycles across all parties
+	// under restart supervision.
+	Restarts int64
+	// Restarted lists the parties that completed at least one restart
+	// cycle, ascending.
+	Restarted []sim.PartyID
 }
 
 // ErrTimeout is returned when the context expires before enough parties
@@ -125,6 +158,24 @@ type item struct {
 	tag  uint64 // timer channel only
 }
 
+// ctlKind is a restart-supervision control message, processed on the
+// party's owning goroutine so snapshots and restores never race protocol
+// state.
+type ctlKind uint8
+
+const (
+	ctlCheckpoint ctlKind = iota
+	ctlKill
+)
+
+// snapshotter is the structural interface restart-supervised processes
+// must implement (satisfied by the core protocols and the relnet wrapper).
+type snapshotter interface {
+	Snapshot(buf []byte) ([]byte, error)
+	Restore(data []byte) error
+	Rejoin()
+}
+
 type network struct {
 	opts    Options
 	start   time.Time
@@ -133,17 +184,41 @@ type network struct {
 	ctx     context.Context
 	cancel  context.CancelFunc
 
+	ctls []chan ctlKind // restart supervision; nil without RestartParties
+
 	messages     atomic.Int64
 	dropped      atomic.Int64
 	duped        atomic.Int64
 	shed         []atomic.Int64 // per recipient
 	sendTimeouts []atomic.Int64 // per recipient
+	restarted    []atomic.Int64 // completed kill/rejoin cycles per party
 
-	mu        sync.Mutex
-	decisions map[sim.PartyID]float64
-	want      int
-	doneCh    chan struct{}
-	doneOnce  sync.Once
+	mu         sync.Mutex
+	decisions  map[sim.PartyID]float64
+	want       int
+	doneCh     chan struct{}
+	doneOnce   sync.Once
+	restartErr error
+}
+
+// undecide withdraws a killed party's decision so its rejoin must re-earn
+// it. If the run already completed, the withdrawal is moot — the race
+// matches the simulator's contract (a run that finishes before a pending
+// restart fires stays finished).
+func (n *network) undecide(id sim.PartyID) {
+	n.mu.Lock()
+	delete(n.decisions, id)
+	n.mu.Unlock()
+}
+
+// fail records the first restart-supervision error (snapshot or restore
+// failure); the run's verdict surfaces it.
+func (n *network) fail(err error) {
+	n.mu.Lock()
+	if n.restartErr == nil {
+		n.restartErr = err
+	}
+	n.mu.Unlock()
 }
 
 // dark reports whether a party is inside its flap window at time t.
@@ -304,6 +379,23 @@ func Run(ctx context.Context, procs []sim.Process, opts Options) (*Result, error
 	if opts.FlapLen <= 0 {
 		opts.FlapLen = 100 * time.Millisecond
 	}
+	if opts.RestartParties > len(procs) {
+		opts.RestartParties = len(procs)
+	}
+	if opts.RestartAfter <= 0 {
+		opts.RestartAfter = 75 * time.Millisecond
+	}
+	if opts.RestartStagger <= 0 {
+		opts.RestartStagger = 25 * time.Millisecond
+	}
+	if opts.RestartDown <= 0 {
+		opts.RestartDown = 50 * time.Millisecond
+	}
+	for i := 0; i < opts.RestartParties; i++ {
+		if _, ok := procs[i].(snapshotter); !ok {
+			return nil, fmt.Errorf("livenet: party %d process %T does not support checkpoint restart", i, procs[i])
+		}
+	}
 
 	var rel []*relnet.Proc
 	if opts.Reliable {
@@ -326,6 +418,7 @@ func Run(ctx context.Context, procs []sim.Process, opts Options) (*Result, error
 		cancel:       cancel,
 		shed:         make([]atomic.Int64, len(procs)),
 		sendTimeouts: make([]atomic.Int64, len(procs)),
+		restarted:    make([]atomic.Int64, len(procs)),
 		decisions:    make(map[sim.PartyID]float64, len(procs)),
 		want:         opts.WaitFor,
 		doneCh:       make(chan struct{}),
@@ -333,6 +426,12 @@ func Run(ctx context.Context, procs []sim.Process, opts Options) (*Result, error
 	for i := range net.inboxes {
 		net.inboxes[i] = make(chan item, opts.InboxDepth)
 		net.timers[i] = make(chan item, opts.InboxDepth)
+	}
+	if opts.RestartParties > 0 {
+		net.ctls = make([]chan ctlKind, len(procs))
+		for i := 0; i < opts.RestartParties; i++ {
+			net.ctls[i] = make(chan ctlKind, 4)
+		}
 	}
 
 	net.start = time.Now()
@@ -347,10 +446,71 @@ func Run(ctx context.Context, procs []sim.Process, opts Options) (*Result, error
 				rng: rand.New(rand.NewSource(opts.Seed ^ (int64(id+1) * 0x5851F42D4C957F2D))),
 			}
 			p.Init(api)
+			// A nil ctl channel blocks forever in the select, so parties
+			// outside restart supervision pay nothing for the extra case.
+			var ctl chan ctlKind
+			var sp snapshotter
+			var snap []byte
+			if net.ctls != nil && net.ctls[id] != nil {
+				ctl = net.ctls[id]
+				sp = p.(snapshotter)
+				// The post-Init state is the fallback checkpoint: a kill
+				// that outruns its checkpoint message restarts from zero,
+				// like the simulator's amnesia axis.
+				b, err := sp.Snapshot(nil)
+				if err != nil {
+					net.fail(fmt.Errorf("livenet: party %d initial checkpoint: %w", id, err))
+					net.cancel()
+					return
+				}
+				snap = b
+			}
 			for {
 				select {
 				case <-runCtx.Done():
 					return
+				case c := <-ctl:
+					switch c {
+					case ctlCheckpoint:
+						b, err := sp.Snapshot(snap[:0])
+						if err != nil {
+							net.fail(fmt.Errorf("livenet: party %d checkpoint: %w", id, err))
+							net.cancel()
+							return
+						}
+						snap = b
+					case ctlKill:
+						// Crash: withdraw the decision, go dark for
+						// RestartDown (the inbox sheds behind our back),
+						// then restart from the checkpoint.
+						net.undecide(id)
+						down := time.NewTimer(opts.RestartDown)
+						select {
+						case <-runCtx.Done():
+							down.Stop()
+							return
+						case <-down.C:
+						}
+						// The dead process's socket buffers are gone:
+						// discard everything queued while it was down.
+						// Timer callbacks survive (stale tags are ignored
+						// by their handlers), so retransmit schedules keep
+						// their cadence across the restart.
+						for drained := false; !drained; {
+							select {
+							case <-net.inboxes[id]:
+							default:
+								drained = true
+							}
+						}
+						if err := sp.Restore(snap); err != nil {
+							net.fail(fmt.Errorf("livenet: party %d restore: %w", id, err))
+							net.cancel()
+							return
+						}
+						sp.Rejoin()
+						net.restarted[id].Add(1)
+					}
 				case it := <-net.timers[id]:
 					if th, ok := p.(sim.TimerHandler); ok {
 						th.OnTimer(it.tag)
@@ -360,6 +520,33 @@ func Run(ctx context.Context, procs []sim.Process, opts Options) (*Result, error
 				}
 			}
 		}(sim.PartyID(i), proc)
+	}
+
+	// Restart supervision: checkpoint and kill messages land on the party's
+	// control channel and are processed on its owning goroutine, so no
+	// snapshot ever observes torn protocol state.
+	for i := 0; i < opts.RestartParties; i++ {
+		ctl := net.ctls[i]
+		sendCtl := func(c ctlKind) {
+			select {
+			case ctl <- c:
+			case <-runCtx.Done():
+			}
+		}
+		killAt := opts.RestartAfter + time.Duration(i)*opts.RestartStagger
+		if opts.RestartLag > 0 {
+			ckptAt := killAt - opts.RestartLag
+			if ckptAt < 0 {
+				ckptAt = 0
+			}
+			time.AfterFunc(ckptAt, func() { sendCtl(ctlCheckpoint) })
+			time.AfterFunc(killAt, func() { sendCtl(ctlKill) })
+		} else {
+			// Lag zero: checkpoint at the kill instant, so only in-flight
+			// traffic is lost. Both messages ride one timer to keep their
+			// order.
+			time.AfterFunc(killAt, func() { sendCtl(ctlCheckpoint); sendCtl(ctlKill) })
+		}
 	}
 
 	var err error
@@ -392,17 +579,31 @@ func Run(ctx context.Context, procs []sim.Process, opts Options) (*Result, error
 		shed, timedOut := net.shed[i].Load(), net.sendTimeouts[i].Load()
 		res.Shed += shed
 		res.SendTimeouts += timedOut
-		if shed > 0 || timedOut > 0 {
+		degraded := shed > 0 || timedOut > 0
+		if rel != nil {
+			ts := rel[i].TransportStats()
+			res.Transport.DataSent += ts.DataSent
+			res.Transport.Retransmits += ts.Retransmits
+			res.Transport.AcksSent += ts.AcksSent
+			res.Transport.DupsSuppressed += ts.DupsSuppressed
+			res.Transport.GiveUps += ts.GiveUps
+			// A give-up abandoned a frame for good on one of this party's
+			// outbound links; that is health-relevant degradation even when
+			// the run converged anyway.
+			if ts.GiveUps > 0 {
+				degraded = true
+			}
+		}
+		if degraded {
 			res.Degraded = append(res.Degraded, id)
 		}
+		if r := net.restarted[i].Load(); r > 0 {
+			res.Restarts += r
+			res.Restarted = append(res.Restarted, id)
+		}
 	}
-	for _, r := range rel {
-		ts := r.TransportStats()
-		res.Transport.DataSent += ts.DataSent
-		res.Transport.Retransmits += ts.Retransmits
-		res.Transport.AcksSent += ts.AcksSent
-		res.Transport.DupsSuppressed += ts.DupsSuppressed
-		res.Transport.GiveUps += ts.GiveUps
+	if err == nil && net.restartErr != nil {
+		err = net.restartErr
 	}
 	return res, err
 }

@@ -208,6 +208,172 @@ func (p *slowProc) Deliver(sim.PartyID, []byte) {
 	}
 }
 
+func TestLiveRestartSupervision(t *testing.T) {
+	// Two parties are checkpointed, killed, and rejoined mid-run under
+	// modest loss with the reliable transport. Loss forces the run through
+	// at least one retransmit RTO (32 ticks), so the staggered kills land
+	// while the exchange is still in flight; after both rejoin, everyone
+	// must converge and the restarts must be attributed.
+	const n, faults = 9, 2
+	inputs := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = float64(i) / float64(n-1)
+	}
+	procs := crashProcs(t, n, faults, inputs)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := Run(ctx, procs, Options{
+		MaxJitter:      2 * time.Millisecond,
+		Tick:           time.Millisecond,
+		Seed:           21,
+		Loss:           0.05,
+		Reliable:       true,
+		RestartParties: 2,
+		RestartAfter:   15 * time.Millisecond,
+		RestartStagger: 10 * time.Millisecond,
+		RestartDown:    20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("restart run did not converge: %v (decided %d, undecided %v, restarts %d)",
+			err, len(res.Decisions), res.Undecided, res.Restarts)
+	}
+	if len(res.Decisions) != n {
+		t.Fatalf("decisions: %d of %d", len(res.Decisions), n)
+	}
+	lo, hi := 2.0, -1.0
+	for _, v := range res.Decisions {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi-lo > 1e-3 {
+		t.Errorf("spread %v > eps", hi-lo)
+	}
+	if lo < 0 || hi > 1 {
+		t.Errorf("validity violated: [%v, %v]", lo, hi)
+	}
+	if res.Restarts != 2 {
+		t.Errorf("restarts = %d, want 2", res.Restarts)
+	}
+	if len(res.Restarted) != 2 || res.Restarted[0] != 0 || res.Restarted[1] != 1 {
+		t.Errorf("restarted = %v, want [0 1]", res.Restarted)
+	}
+	t.Logf("restart run: %v elapsed, %d msgs, %d dropped, %d retransmits, %d restarts",
+		res.Elapsed, res.Messages, res.Dropped, res.Transport.Retransmits, res.Restarts)
+}
+
+func TestLiveRestartRequiresSnapshotter(t *testing.T) {
+	// A process without checkpoint support cannot be restart-supervised;
+	// the run must refuse up front, not fail mid-restart.
+	procs := []sim.Process{stuckProc{}, stuckProc{}}
+	if _, err := Run(context.Background(), procs, Options{RestartParties: 1}); err == nil {
+		t.Error("snapshot-less process accepted under restart supervision")
+	}
+}
+
+func TestLiveFlapShedRetransmitSurvival(t *testing.T) {
+	// Flap windows on top of one-slot inboxes: the shed storm discards
+	// queued frames wholesale, and the flap drops everything in the dark
+	// windows, but the retransmit timers — which ride the never-shed timer
+	// channel — must keep their cadence and re-deliver until every party
+	// converges.
+	const n, faults = 5, 1
+	inputs := []float64{0, 0.25, 0.5, 0.75, 1}
+	procs := crashProcs(t, n, faults, inputs)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := Run(ctx, procs, Options{
+		MaxJitter:   500 * time.Microsecond,
+		Tick:        time.Millisecond,
+		Seed:        17,
+		InboxDepth:  1,
+		FlapParties: 2,
+		FlapAfter:   10 * time.Millisecond,
+		FlapStagger: 15 * time.Millisecond,
+		FlapLen:     25 * time.Millisecond,
+		Reliable:    true,
+	})
+	if err != nil {
+		t.Fatalf("flap+shed run did not converge: %v (decided %d, shed %d, retransmits %d)",
+			err, len(res.Decisions), res.Shed, res.Transport.Retransmits)
+	}
+	if len(res.Decisions) != n {
+		t.Fatalf("decisions: %d of %d", len(res.Decisions), n)
+	}
+	if res.Shed == 0 {
+		t.Error("one-slot inboxes shed nothing")
+	}
+	if res.Transport.Retransmits == 0 {
+		t.Error("reliable transport never retransmitted through the shed storm")
+	}
+	t.Logf("flap+shed run: %v elapsed, %d msgs, %d dropped, %d shed, %d retransmits, %d give-ups",
+		res.Elapsed, res.Messages, res.Dropped, res.Shed,
+		res.Transport.Retransmits, res.Transport.GiveUps)
+}
+
+// TestRecoverySoak is the CI recovery soak: two parties killed and
+// restarted under 10% loss with the reliable transport and -race, which
+// must reconverge with the restarts attributed. Gated behind
+// RECOVERY_SOAK=1 to keep default test runs fast.
+func TestRecoverySoak(t *testing.T) {
+	if os.Getenv("RECOVERY_SOAK") == "" {
+		t.Skip("set RECOVERY_SOAK=1 to run the crash-recovery soak")
+	}
+	const n, faults = 9, 2
+	inputs := make([]float64, n)
+	for i := range inputs {
+		inputs[i] = float64(i) / float64(n-1)
+	}
+	procs := crashProcs(t, n, faults, inputs)
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Second)
+	defer cancel()
+	res, err := Run(ctx, procs, Options{
+		MaxJitter:      500 * time.Microsecond,
+		Tick:           500 * time.Microsecond,
+		Seed:           13,
+		InboxDepth:     256,
+		Loss:           0.1,
+		Reliable:       true,
+		RestartParties: 2,
+		RestartAfter:   15 * time.Millisecond,
+		RestartStagger: 10 * time.Millisecond,
+		RestartDown:    25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("recovery soak did not converge: %v (decided %d, undecided %v, restarts %d, retransmits %d)",
+			err, len(res.Decisions), res.Undecided, res.Restarts, res.Transport.Retransmits)
+	}
+	if len(res.Decisions) != n {
+		t.Fatalf("decisions: %d of %d", len(res.Decisions), n)
+	}
+	lo, hi := 2.0, -1.0
+	for _, v := range res.Decisions {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi-lo > 1e-3 {
+		t.Errorf("spread %v > eps", hi-lo)
+	}
+	if lo < 0 || hi > 1 {
+		t.Errorf("validity violated: [%v, %v]", lo, hi)
+	}
+	if res.Restarts != 2 {
+		t.Errorf("restarts = %d, want 2", res.Restarts)
+	}
+	if res.Dropped == 0 {
+		t.Error("soak injected no loss")
+	}
+	t.Logf("recovery soak: %v elapsed, %d msgs, %d dropped, %d retransmits, %d restarts, degraded %v",
+		res.Elapsed, res.Messages, res.Dropped, res.Transport.Retransmits, res.Restarts, res.Degraded)
+}
+
 // TestLivenetSoak is the CI soak: loss + duplication + flapping parties
 // with the reliable transport under -race, which must converge with no
 // hung senders. Gated behind LIVENET_SOAK=1 to keep default test runs

@@ -84,6 +84,10 @@ type Broadcaster struct {
 	freeRS     []*roundState
 	denseSpare []*roundState
 	mapSpare   map[uint32]*roundState
+
+	// snapRounds is the sorted-round scratch the snapshot encoder uses when
+	// the map container is active, reused across snapshots.
+	snapRounds []uint32
 }
 
 // slab is one recyclable round arena: the instance array and the two

@@ -22,6 +22,7 @@ package relnet
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math/rand"
 
 	"repro/internal/sim"
@@ -201,8 +202,15 @@ func (p *Proc) deliverData(from sim.PartyID, seq uint64, payload []byte) {
 	p.stats.AcksSent++
 	p.api.Send(from, p.buf)
 
+	// Grow by reslicing within capacity: Reset leaves the recycled links
+	// zeroed but with their dedup maps retained, and append(…, rcvLink{})
+	// would overwrite those maps and re-allocate them every run.
 	for int(from) >= len(p.rcv) {
-		p.rcv = append(p.rcv, rcvLink{})
+		if len(p.rcv) < cap(p.rcv) {
+			p.rcv = p.rcv[:len(p.rcv)+1]
+		} else {
+			p.rcv = append(p.rcv, rcvLink{})
+		}
 	}
 	link := &p.rcv[from]
 	if seq <= link.watermark {
@@ -337,6 +345,46 @@ func (p *Proc) Multicast(data []byte) {
 }
 
 // --- protocol-state passthrough for the harness ---
+
+// Snapshot forwards the crash-recovery checkpoint hook to the inner
+// process. The wrapper's own link state (sequence counters, dedup
+// watermarks, outstanding packets) is deliberately NOT part of the
+// snapshot: resetting sequence numbers on restore would make every
+// post-rejoin frame collide with the receivers' dedup watermarks, so
+// transport state survives the crash the way durable connection state
+// would — only protocol state rolls back.
+func (p *Proc) Snapshot(buf []byte) ([]byte, error) {
+	sn, ok := p.inner.(snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("relnet: inner process %T does not support checkpointing", p.inner)
+	}
+	return sn.Snapshot(buf)
+}
+
+// Restore forwards the checkpoint restore to the inner process.
+func (p *Proc) Restore(data []byte) error {
+	sn, ok := p.inner.(snapshotter)
+	if !ok {
+		return fmt.Errorf("relnet: inner process %T does not support checkpointing", p.inner)
+	}
+	return sn.Restore(data)
+}
+
+// Rejoin forwards the catch-up hook; the re-sent traffic flows back out
+// through the wrapper's Send and gets fresh link sequence numbers, so
+// peers that already saw the pre-crash copies accept it.
+func (p *Proc) Rejoin() {
+	if sn, ok := p.inner.(snapshotter); ok {
+		sn.Rejoin()
+	}
+}
+
+// snapshotter mirrors core.Snapshotter / sim's structural interface.
+type snapshotter interface {
+	Snapshot(buf []byte) ([]byte, error)
+	Restore(data []byte) error
+	Rejoin()
+}
 
 // Estimate implements sim.Estimator by reading through to the inner
 // process (reporting "no estimate" when it is not an estimator).

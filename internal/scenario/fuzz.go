@@ -58,6 +58,26 @@ func Random(rng *rand.Rand) Spec {
 		}
 		s.Faults = append(s.Faults, tok)
 	}
+	// Crash-recovery axes: bare, boundary (k=0, down past the delay cap,
+	// negative lag), and raw-garbage arguments all appear, plus the
+	// invalid compositions above (party faults + recover, multiple
+	// restart tokens across draws) — spec-time rejection is the contract.
+	if rng.Intn(4) == 0 {
+		tok := RestartFaultNames()[rng.Intn(len(restartFaults))]
+		switch rng.Intn(3) {
+		case 0:
+			// Bare token: registry defaults.
+		case 1:
+			if tok == "amnesia" {
+				tok += fmt.Sprintf(":%d:%d", rng.Intn(4), rng.Intn(600)-5)
+			} else {
+				tok += fmt.Sprintf(":%d:%d:%d", rng.Intn(4), rng.Intn(600)-5, rng.Intn(200)-5)
+			}
+		default:
+			tok += ":" + []string{"x", "-1", "1.5", "0:0", "2"}[rng.Intn(5)]
+		}
+		s.Faults = append(s.Faults, tok)
+	}
 	return s
 }
 

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -10,6 +11,13 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
+
+// ErrBadWindow rejects fault windows the simulator could never open:
+// zero or negative lengths, and windows starting past sim.MaxDelayCap
+// (the largest virtual time any message delay can reach, so a later
+// window is a silent no-op in every run). Both are spec-time errors —
+// a window typo must fail at Parse, not degrade into a fault-free run.
+var ErrBadWindow = errors.New("scenario: fault window outside simulable range")
 
 // SchedulerBuilder constructs a fresh scheduler instance for an n-party run
 // with fault bound t. arg is the optional ":<value>" suffix of the spec
@@ -329,12 +337,12 @@ func init() {
 				return nil, fmt.Errorf("scenario: outage region size %q out of range [1, n=%d]", parts[0], n)
 			}
 			st, err := strconv.ParseInt(parts[1], 10, 64)
-			if err != nil || st < 0 {
-				return nil, fmt.Errorf("scenario: bad outage start %q", parts[1])
+			if err != nil || st < 0 || sim.Time(st) > sim.MaxDelayCap {
+				return nil, fmt.Errorf("%w: outage start %q (want 0 <= start <= %d)", ErrBadWindow, parts[1], sim.MaxDelayCap)
 			}
 			ln, err := strconv.ParseInt(parts[2], 10, 64)
 			if err != nil || ln < 1 {
-				return nil, fmt.Errorf("scenario: bad outage length %q", parts[2])
+				return nil, fmt.Errorf("%w: outage length %q (want >= 1)", ErrBadWindow, parts[2])
 			}
 			k, start, length = kk, sim.Time(st), sim.Time(ln)
 		}
@@ -350,9 +358,13 @@ func init() {
 	// len-tick window apiece, staggered in time; the party resumes with
 	// its pre-outage state, unlike a sim.CrashPlan crash.
 	RegisterNetFault("flap", func(_, t int, arg string, inner sim.Scheduler) (sim.Scheduler, error) {
-		length, err := timeArg(arg, 60)
-		if err != nil {
-			return nil, err
+		length := sim.Time(60)
+		if arg != "" {
+			v, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil || v < 1 || sim.Time(v) > sim.MaxDelayCap {
+				return nil, fmt.Errorf("%w: flap window length %q (want 1 <= len <= %d)", ErrBadWindow, arg, sim.MaxDelayCap)
+			}
+			length = sim.Time(v)
 		}
 		return &fault.Flap{Inner: inner, Slots: t, Base: 40, Stagger: 60, Len: length}, nil
 	})

@@ -151,15 +151,16 @@ func (s Spec) schedKey() (name, arg string) {
 }
 
 // partyFaults returns the fault tokens that occupy fault slots — every
-// token that is not a registered network-fault axis. When no net tokens
-// are present the spec's own slice is returned without allocating.
+// token that is not a registered network-fault or restart axis. When no
+// slot-free tokens are present the spec's own slice is returned without
+// allocating.
 func (s Spec) partyFaults() []string {
 	for i, f := range s.Faults {
-		if IsNetFault(f) {
+		if IsNetFault(f) || IsRestartFault(f) {
 			out := make([]string, 0, len(s.Faults)-1)
 			out = append(out, s.Faults[:i]...)
 			for _, g := range s.Faults[i+1:] {
-				if !IsNetFault(g) {
+				if !IsNetFault(g) && !IsRestartFault(g) {
 					out = append(out, g)
 				}
 			}
@@ -180,18 +181,42 @@ func (s Spec) validateShape() error {
 	if s.N < 1 {
 		return fmt.Errorf("scenario: %s: n = %d, need >= 1", s.Sched, s.N)
 	}
-	// Network-fault tokens occupy no fault slots, so only party faults
-	// count against T (and a net-only composition is fine with t unset).
-	party := 0
+	// Network-fault and restart tokens occupy no fault slots, so only
+	// party faults count against T (and a net-only composition is fine
+	// with t unset).
+	party, restarts := 0, 0
 	for _, f := range s.Faults {
 		if IsNetFault(f) {
 			continue // the ":<arg>" suffix is validated when the wrapper builds
 		}
+		if IsRestartFault(f) {
+			restarts++
+			continue
+		}
 		if _, ok := faults[f]; !ok {
-			return fmt.Errorf("scenario: unknown fault %q (have %s; net faults: %s)",
-				f, strings.Join(FaultNames(), ", "), strings.Join(NetFaultNames(), ", "))
+			return fmt.Errorf("scenario: unknown fault %q (have %s; net faults: %s; restart faults: %s)",
+				f, strings.Join(FaultNames(), ", "), strings.Join(NetFaultNames(), ", "),
+				strings.Join(RestartFaultNames(), ", "))
 		}
 		party++
+	}
+	if restarts > 1 {
+		return fmt.Errorf("scenario: %s: at most one restart axis per spec", s.Sched)
+	}
+	if restarts > 0 {
+		// Restart parties live in the last fault slots; party-fault kinds
+		// fill every slot cyclically, so the two can only collide — the
+		// combination is rejected here rather than by sim.Config.Validate
+		// mid-assembly.
+		if party > 0 {
+			return fmt.Errorf("scenario: %s: restart axes do not compose with party faults (slots overlap)", s.Sched)
+		}
+		if s.T == TUnset {
+			return fmt.Errorf("scenario: %s: restart axes need an explicit t", s.Sched)
+		}
+		if s.T < 1 {
+			return fmt.Errorf("scenario: %s: restart axes need t >= 1, got t=%d", s.Sched, s.T)
+		}
 	}
 	if s.T != TUnset {
 		if s.T < 0 || s.T >= s.N {
@@ -219,13 +244,22 @@ func (s Spec) buildScheduler(t int) (sched.Named, error) {
 	}
 	for _, f := range s.Faults {
 		base, narg, _ := strings.Cut(f, ":")
-		build, ok := netFaults[base]
-		if !ok {
+		if build, ok := netFaults[base]; ok {
+			scheduler, err = build(s.N, t, narg, scheduler)
+			if err != nil {
+				return sched.Named{}, err
+			}
 			continue
 		}
-		scheduler, err = build(s.N, t, narg, scheduler)
-		if err != nil {
-			return sched.Named{}, err
+		if build, ok := restartFaults[base]; ok {
+			// A restart axis darkens the downed parties' traffic for the
+			// crash window (the state rollback itself rides Resolve's
+			// sim.RestartPlans; see restart.go).
+			plans, perr := build(s.N, t, narg)
+			if perr != nil {
+				return sched.Named{}, perr
+			}
+			scheduler = darknessFor(scheduler, plans)
 		}
 	}
 	return sched.Named{Name: s.Sched, Scheduler: scheduler}, nil
@@ -256,6 +290,9 @@ type Resolved struct {
 	Scheduler sched.Named
 	Crashes   []sim.CrashPlan
 	Byz       map[sim.PartyID]fault.Behavior
+	// Restarts carries the crash-recovery plans of a restart axis; the
+	// matching darkness window is already layered into Scheduler.
+	Restarts []sim.RestartPlan
 }
 
 // Resolve instantiates the spec. The spec must be valid and have a
@@ -273,6 +310,10 @@ func (s Spec) Resolve() (*Resolved, error) {
 		return nil, err
 	}
 	res := &Resolved{Scheduler: named}
+	res.Restarts, err = s.restartPlans(s.T)
+	if err != nil {
+		return nil, err
+	}
 	// Network-fault tokens live inside the scheduler wrapper stack built
 	// above; only party faults fill the cyclic slot assignment.
 	pf := s.partyFaults()

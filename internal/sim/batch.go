@@ -186,11 +186,25 @@ func (n *Network) runBatched(budget int) error {
 	batch := n.batch[:0]
 	for n.pendingHonest > 0 {
 		if n.queue.Len() == 0 {
+			// Mirror the unbatched stall branch: pending restart actions
+			// fire (a rejoin can re-seed the queue) before the stall
+			// verdict is final.
+			if n.restartsPending() {
+				if err = n.advanceToRestart(); err != nil {
+					break
+				}
+				continue
+			}
 			err = ErrStalled
 			break
 		}
 		batch = n.queue.PopTick(batch[:0])
 		n.now = batch[0].at
+		if n.restartsPending() {
+			if err = n.fireRestarts(); err != nil {
+				break
+			}
+		}
 		if events+len(batch) > budget {
 			// The budget trips inside this tick (or the run completes
 			// first): process it with the reference loop so the aborted

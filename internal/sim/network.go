@@ -154,6 +154,15 @@ type Network struct {
 	maxHonestDelay Time
 	pendingHonest  int // honest parties that have not decided yet
 
+	// Crash-recovery state (see restart.go): the time-sorted action list
+	// resolved from cfg.Restarts, the firing cursor, the per-plan snapshot
+	// buffers (recycled across runs), and the digest log the incident
+	// layer records.
+	ractions    []restartAction
+	rnext       int
+	planSnaps   [][]byte
+	ckptDigests []uint64
+
 	// observer, when non-nil, is invoked after every delivery.
 	observer func(now Time, env Envelope)
 
@@ -449,6 +458,7 @@ func (n *Network) Reset(cfg Config) error {
 		n.byz[id] = true
 		n.parties[id].proc = proc
 	}
+	n.resetRestarts()
 	n.batching = cfg.Batch.Resolve() == BatchOn
 	n.now = 0
 	n.seq = 0
@@ -649,11 +659,25 @@ func (n *Network) runUnbatched(budget int) error {
 	for n.pendingHonest > 0 {
 		if bi == len(batch) {
 			if n.queue.Len() == 0 {
+				// A pending restart can revive a drained run: a rejoin
+				// re-sends, so the stall verdict is only final once no
+				// actions remain.
+				if n.restartsPending() {
+					if err = n.advanceToRestart(); err != nil {
+						break
+					}
+					continue
+				}
 				err = ErrStalled
 				break
 			}
 			batch, bi = n.queue.PopTick(batch[:0]), 0
 			n.now = batch[0].at
+			if n.restartsPending() {
+				if err = n.fireRestarts(); err != nil {
+					break
+				}
+			}
 		}
 		if events >= budget {
 			err = ErrEventBudget

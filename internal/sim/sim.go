@@ -129,6 +129,10 @@ type Config struct {
 	Crashes []CrashPlan
 	// Byzantine maps a party to a replacement adversarial process.
 	Byzantine map[PartyID]Process
+	// Restarts lists crash-recovery episodes (checkpoint, crash, rejoin).
+	// Restarting parties must be distinct from crash and Byzantine parties
+	// and their processes must support checkpointing (core.Snapshotter).
+	Restarts []RestartPlan
 	// MaxEvents aborts runaway executions; 0 means a generous default.
 	MaxEvents int
 	// Core selects the event-queue implementation (CoreDefault resolves to
@@ -203,7 +207,33 @@ func (c *Config) Validate() error {
 			}
 		}
 	}
+	for i, rp := range c.Restarts {
+		if rp.Party < 0 || int(rp.Party) >= c.N {
+			return fmt.Errorf("sim: config: restart party %d out of range [0,%d)", rp.Party, c.N)
+		}
+		if rp.Down < 1 || rp.Down < rp.Checkpoint {
+			return fmt.Errorf("sim: config: restart party %d: down time %d before checkpoint %d", rp.Party, rp.Down, rp.Checkpoint)
+		}
+		if rp.Rejoin <= rp.Down {
+			return fmt.Errorf("sim: config: restart party %d: rejoin %d not after down %d", rp.Party, rp.Rejoin, rp.Down)
+		}
+		for _, prev := range c.Restarts[:i] {
+			if prev.Party == rp.Party {
+				return fmt.Errorf("sim: config: party %d assigned two restart plans", rp.Party)
+			}
+		}
+		for _, cr := range c.Crashes {
+			if cr.Party == rp.Party {
+				return fmt.Errorf("sim: config: party %d assigned two faults", rp.Party)
+			}
+		}
+	}
 	for p, proc := range c.Byzantine {
+		for _, rp := range c.Restarts {
+			if rp.Party == p {
+				return fmt.Errorf("sim: config: party %d assigned two faults", p)
+			}
+		}
 		if p < 0 || int(p) >= c.N {
 			return fmt.Errorf("sim: config: byzantine party %d out of range [0,%d)", p, c.N)
 		}
