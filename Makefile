@@ -8,7 +8,7 @@ GO ?= go
 BENCH_OLD ?= BENCH_7.json
 BENCH_NEW ?= BENCH_8.json
 
-.PHONY: check vet race bench bench-compare bench-smoke bench-smoke-refresh benchmem e12-smoke e12-xl incident-replay incident-regen livenet-soak recovery-soak
+.PHONY: check vet race bench bench-compare bench-smoke bench-smoke-refresh benchmem e12-smoke e12-xl incident-replay incident-regen livenet-soak recovery-soak serve-soak
 
 check:
 	$(GO) build ./...
@@ -86,6 +86,16 @@ livenet-soak:
 # behind RECOVERY_SOAK=1 so default test runs stay fast.
 recovery-soak:
 	RECOVERY_SOAK=1 $(GO) test -race -run TestRecoverySoak -count=1 -v ./internal/livenet/
+
+# serve-soak runs the serving layer against wall-clock agreement instances
+# under the race detector: heavy-tailed arrivals at 2x saturation pushed
+# through the admission envelope onto the live transport with 10% loss and
+# one flapping party, reliable transport on. Every request must be
+# accounted (decided/shed/deadline/breaker/degraded — no silent drops) and
+# goodput must stay above the floor. Seeded and wall-clock-bounded; gated
+# behind SERVE_SOAK=1 so default test runs stay fast.
+serve-soak:
+	SERVE_SOAK=1 $(GO) test -race -run TestServeSoak -count=1 -v -timeout 5m ./internal/serve/
 
 # benchmem runs the substrate micro-benchmarks with allocation accounting,
 # the numbers PERF.md tracks.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/microbench"
 	"repro/internal/multiset"
 	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -135,6 +136,13 @@ func BenchmarkE13Resilience(b *testing.B) {
 // checkpoint lag vs transport, rollback-rejoin episodes).
 func BenchmarkE14Recovery(b *testing.B) {
 	runExperiment(b, harness.E14Recovery)
+}
+
+// BenchmarkE15Overload regenerates Table E15 (serving-layer overload
+// sweep: offered-load multiplier x fault mix through the admission
+// envelope).
+func BenchmarkE15Overload(b *testing.B) {
+	runExperiment(b, serve.E15Overload)
 }
 
 // --- micro-benchmarks of the substrates and a single protocol run ---

@@ -49,6 +49,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/microbench"
+	"repro/internal/serve"
 	"repro/internal/sim"
 )
 
@@ -176,6 +177,13 @@ func run(args []string) error {
 		Generated:   time.Now().UTC().Format(time.RFC3339),
 	}
 	exps := harness.Experiments(*seeds)
+	// E15 lives in internal/serve (it drives the serving layer over the
+	// harness, so it cannot register from inside the harness package).
+	exps = append(exps, harness.Experiment{
+		ID:    "E15",
+		Title: "Overload sweep: offered load x fault mix",
+		Run:   serve.E15Overload,
+	})
 	if *xl {
 		exps = append(exps, harness.Experiment{
 			ID:    "E12XL",

@@ -103,6 +103,32 @@
 // allocation-free, so supervised warm runs keep the zero-alloc steady
 // state.
 //
+// # Agreement as a service
+//
+// The internal/serve package multiplexes concurrent agreement requests
+// over the pooled harness run contexts behind a robustness envelope:
+// per-cohort circuit breakers, a token-bucket admission gate, and a
+// bounded priority queue that evicts strictly-lower-priority work
+// before shedding arrivals (guard order breaker, bucket, queue).
+// Admitted requests carry a deadline into every attempt — in live mode
+// it propagates down to livenet's per-send timeout — and failed
+// attempts retry with exponential backoff, never past the deadline.
+// Each request resolves to exactly one structured outcome (decided,
+// shed, deadline-exceeded, breaker-open, degraded-partial) and both
+// engines enforce the accounting identity Offered = Decided + Shed +
+// DeadlineExceeded + BreakerOpen + Degraded, so overload can never
+// leak an unaccounted request. Load comes from internal/workload:
+// seeded request generators parsed from token specs covering arrival
+// processes (poisson, burst), heavy-tailed service times (lognormal,
+// pareto), deadline/priority cohorts, and disturbance windows, all
+// deterministic per seed. Failing requests are auto-captured as
+// internal/incident bundles with a printed replay one-liner. The E15
+// sweep (cmd/aaserve, cmd/aabench) drives offered load from 0.5x to 4x
+// saturation across clean/lossy/flaky fault mixes; the acceptance bar
+// is graceful degradation — 4x goodput within 20% of the 1x plateau
+// with every rejection attributed — and `make serve-soak` runs the
+// wall-clock arm under -race in CI.
+//
 // # Record/replay workflow
 //
 // Every claim above about equivalence is also enforced by data: the

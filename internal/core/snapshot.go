@@ -181,7 +181,9 @@ func (a *AsyncAA) Restore(data []byte) error {
 }
 
 // Rejoin implements Snapshotter: re-announce the restored position. A
-// decided adaptive party re-multicasts DECIDED, an in-progress party
+// decided party re-registers its decision with the runtime (the restart
+// supervisor withdrew it at kill time; both runtimes dedup the re-call)
+// and, when adaptive, re-multicasts DECIDED; an in-progress party
 // re-sends its current round value, and a pre-quorum adaptive party
 // re-sends INIT — all idempotent at every receiver.
 func (a *AsyncAA) Rejoin() {
@@ -190,6 +192,7 @@ func (a *AsyncAA) Rejoin() {
 	}
 	switch {
 	case a.decided:
+		a.api.Decide(a.v)
 		if a.p.Adaptive {
 			a.wireBuf = wire.AppendDecided(a.wireBuf[:0], wire.Decided{Value: a.v})
 			a.api.Multicast(a.wireBuf)
@@ -296,7 +299,15 @@ func (s *SyncAA) Restore(data []byte) error {
 // assumption — a recovery window longer than the round pace shows up as
 // the usual lost-synchrony Err, which is the honest outcome.
 func (s *SyncAA) Rejoin() {
-	if s.err != nil || s.decided || s.api == nil || s.round == 0 {
+	if s.err != nil || s.api == nil {
+		return
+	}
+	if s.decided {
+		// Re-register the withdrawn decision; both runtimes dedup.
+		s.api.Decide(s.v)
+		return
+	}
+	if s.round == 0 {
 		return
 	}
 	s.beginRound()
@@ -450,7 +461,15 @@ func (w *WitnessAA) restoreRound(d *checkpoint.Dec) error {
 // (receivers' first-SEND-wins dedup makes this idempotent) and, if the
 // party had already filed its report for the round, re-multicast it.
 func (w *WitnessAA) Rejoin() {
-	if w.err != nil || w.decided || w.api == nil || w.round == 0 || w.bcast == nil {
+	if w.err != nil || w.api == nil {
+		return
+	}
+	if w.decided {
+		// Re-register the withdrawn decision; both runtimes dedup.
+		w.api.Decide(w.v)
+		return
+	}
+	if w.round == 0 || w.bcast == nil {
 		return
 	}
 	w.bcast.Broadcast(w.round, w.v)

@@ -309,3 +309,60 @@ func BenchmarkSnapshotRestore(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(buf)), "snapshot-bytes")
 }
+
+// TestRejoinReannouncesDecision pins the restart-supervision liveness
+// contract: both runtimes withdraw a killed party's decision (livenet
+// undecide, sim restartDown), so a party whose restored checkpoint is
+// already decided must re-register that decision through the API on
+// Rejoin — a decided non-adaptive party that stays silent hangs the run
+// waiting for a decision that already happened. Both runtimes dedup the
+// re-call, so the re-announce is safe even when nothing was withdrawn.
+func TestRejoinReannouncesDecision(t *testing.T) {
+	wide := func(p Params) Params { p.Eps = 5; return p } // eps > range: decide at Init
+	cases := []struct {
+		name  string
+		build func() (Snapshotter, error)
+	}{
+		{"async", func() (Snapshotter, error) {
+			return NewAsyncAA(wide(crashParams(3, 1)), 0.5)
+		}},
+		{"sync", func() (Snapshotter, error) {
+			return NewSyncAA(wide(Params{Protocol: ProtoSync, N: 4, T: 1, Eps: 0.25, Lo: 0, Hi: 1, RoundDuration: 10}), 0.5)
+		}},
+		{"witness", func() (Snapshotter, error) {
+			return NewWitnessAA(wide(Params{Protocol: ProtoWitness, N: 4, T: 1, Eps: 0.25, Lo: 0, Hi: 1}), 0.5)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := c.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			api := newFakeAPI(0, 4)
+			p.(sim.Process).Init(api)
+			if !api.decided {
+				t.Fatal("wide-eps party did not decide at Init")
+			}
+			b := snap(t, p)
+
+			q, err := c.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			api2 := newFakeAPI(0, 4)
+			q.(sim.Process).Init(api2)
+			if err := q.Restore(b); err != nil {
+				t.Fatal(err)
+			}
+			// Model the kill: the runtime withdrew the decision.
+			api2.decided = false
+			api2.decision = 0
+			q.Rejoin()
+			if !api2.decided || api2.decision != 0.5 {
+				t.Fatalf("rejoin did not re-announce: decided=%v decision=%v",
+					api2.decided, api2.decision)
+			}
+		})
+	}
+}

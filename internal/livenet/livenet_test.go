@@ -314,6 +314,65 @@ func TestLiveFlapShedRetransmitSurvival(t *testing.T) {
 		res.Transport.Retransmits, res.Transport.GiveUps)
 }
 
+// TestLiveShedTimeoutRestartInterplay pins the serving layer's worst-case
+// interplay in one process: one-slot inboxes shedding their oldest item on
+// every contention, a tight per-request SendTimeout (the budget aaserve
+// propagates from a request deadline), and restart supervision killing and
+// reviving a party — all concurrently over the reliable transport. The
+// retransmit timers ride the never-shed timer channel and the supervisor
+// runs on the party's own goroutine, so none of the three mechanisms may
+// starve another: the run must still converge, with the shedding, the
+// restart, and the retransmit cadence all attributed in the result.
+func TestLiveShedTimeoutRestartInterplay(t *testing.T) {
+	const n, faults = 5, 1
+	inputs := []float64{0, 0.25, 0.5, 0.75, 1}
+	procs := crashProcs(t, n, faults, inputs)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Run(ctx, procs, Options{
+		MaxJitter:      500 * time.Microsecond,
+		Tick:           time.Millisecond,
+		Seed:           29,
+		InboxDepth:     1,
+		SendTimeout:    2 * time.Millisecond,
+		Reliable:       true,
+		RestartParties: 1,
+		RestartAfter:   15 * time.Millisecond,
+		RestartDown:    20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("shed+timeout+restart run did not converge: %v (decided %d, shed %d, sendTimeouts %d, restarts %d)",
+			err, len(res.Decisions), res.Shed, res.SendTimeouts, res.Restarts)
+	}
+	if len(res.Decisions) != n {
+		t.Fatalf("decisions: %d of %d", len(res.Decisions), n)
+	}
+	lo, hi := 2.0, -1.0
+	for _, v := range res.Decisions {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi-lo > 1e-3 {
+		t.Errorf("spread %v > eps", hi-lo)
+	}
+	if res.Shed == 0 {
+		t.Error("one-slot inboxes shed nothing")
+	}
+	if res.Restarts != 1 {
+		t.Errorf("restarts = %d, want 1", res.Restarts)
+	}
+	if res.Transport.Retransmits == 0 {
+		t.Error("reliable transport never retransmitted through the shed/restart churn")
+	}
+	t.Logf("interplay run: %v elapsed, %d msgs, %d shed, %d send-timeouts, %d retransmits, %d restarts, degraded %v",
+		res.Elapsed, res.Messages, res.Shed, res.SendTimeouts,
+		res.Transport.Retransmits, res.Restarts, res.Degraded)
+}
+
 // TestRecoverySoak is the CI recovery soak: two parties killed and
 // restarted under 10% loss with the reliable transport and -race, which
 // must reconverge with the restarts attributed. Gated behind

@@ -93,20 +93,34 @@ func (s Spec) WithT(t int) Spec {
 	return s
 }
 
+// tokenErrf formats a positioned single-token parse error: the raw spec,
+// the 1-based token index, the offending token, and its byte offset, so
+// the reader of a failed sweep knows exactly which axis to fix. The
+// underlying cause wraps with %w — sentinel checks like
+// errors.Is(err, ErrBadWindow) keep working through Parse.
+func tokenErrf(raw string, idx, off int, tok string, err error) error {
+	return fmt.Errorf("scenario: %q: token %d %q (char %d): %w", raw, idx, tok, off, err)
+}
+
 // Parse reads the canonical string form. The parsed spec is validated.
+// Errors about a single token (unknown name, bad ":<arg>" suffix, bad
+// parameter) name the token and its position in the string; cross-token
+// shape errors (fault slots vs t, restart compositions) carry no position
+// because no single token owns them.
 func Parse(raw string) (Spec, error) {
 	s := Spec{T: TUnset}
 	head := raw
 	if i := strings.IndexByte(raw, '/'); i >= 0 {
 		head = raw[:i]
+		off := i + 1
 		for _, kv := range strings.Split(raw[i+1:], ",") {
 			k, v, ok := strings.Cut(kv, "=")
 			if !ok {
-				return Spec{}, fmt.Errorf("scenario: %q: bad parameter %q (want k=v)", raw, kv)
+				return Spec{}, fmt.Errorf("scenario: %q: parameter %q (char %d): want k=v", raw, kv, off)
 			}
 			x, err := strconv.Atoi(strings.TrimSpace(v))
 			if err != nil {
-				return Spec{}, fmt.Errorf("scenario: %q: parameter %s: %w", raw, k, err)
+				return Spec{}, fmt.Errorf("scenario: %q: parameter %q (char %d): %w", raw, kv, off, err)
 			}
 			switch strings.TrimSpace(k) {
 			case "n":
@@ -116,21 +130,71 @@ func Parse(raw string) (Spec, error) {
 				// Validate: t=-1 would otherwise collide with the TUnset
 				// sentinel and silently drop from the string form.
 				if x < 0 {
-					return Spec{}, fmt.Errorf("scenario: %q: t = %d, need >= 0", raw, x)
+					return Spec{}, fmt.Errorf("scenario: %q: parameter %q (char %d): t = %d, need >= 0", raw, kv, off, x)
 				}
 				s.T = x
 			default:
-				return Spec{}, fmt.Errorf("scenario: %q: unknown parameter %q", raw, k)
+				return Spec{}, fmt.Errorf("scenario: %q: parameter %q (char %d): unknown parameter %q", raw, kv, off, k)
 			}
+			off += len(kv) + 1
 		}
 	}
+	// Split the head on "+", tracking each token's byte offset.
 	parts := strings.Split(head, "+")
+	offs := make([]int, len(parts))
+	for i, off := 1, 0; i < len(parts); i++ {
+		off += len(parts[i-1]) + 1
+		offs[i] = off
+	}
 	s.Sched = strings.TrimSpace(parts[0])
 	for _, f := range parts[1:] {
 		s.Faults = append(s.Faults, strings.TrimSpace(f))
 	}
-	if err := s.Validate(); err != nil {
+	// Registry membership, token by token, before any shape checks: a typo
+	// should name its token, not fall through to a slot-count complaint.
+	name, arg := s.schedKey()
+	if _, ok := schedulers[name]; !ok {
+		return Spec{}, tokenErrf(raw, 1, offs[0], parts[0],
+			fmt.Errorf("unknown scheduler %q (have %s)", name, strings.Join(SchedulerNames(), ", ")))
+	}
+	for i, f := range s.Faults {
+		if IsNetFault(f) || IsRestartFault(f) {
+			continue
+		}
+		if _, ok := faults[f]; !ok {
+			return Spec{}, tokenErrf(raw, i+2, offs[i+1], parts[i+1],
+				fmt.Errorf("unknown fault %q (have %s; net faults: %s; restart faults: %s)",
+					f, strings.Join(FaultNames(), ", "), strings.Join(NetFaultNames(), ", "),
+					strings.Join(RestartFaultNames(), ", ")))
+		}
+	}
+	// Cross-token shape checks (fault slots vs t, restart composition, run
+	// shape): these have no single offending token, so no position.
+	if err := s.validateShape(); err != nil {
 		return Spec{}, err
+	}
+	// Probe each token's factory individually so ":<arg>" problems carry
+	// their token position. The probe uses a safe t on TUnset specs, as
+	// Validate does.
+	t := s.T
+	if t == TUnset {
+		t = 0
+	}
+	base, err := schedulers[name](s.N, t, arg)
+	if err != nil {
+		return Spec{}, tokenErrf(raw, 1, offs[0], parts[0], err)
+	}
+	for i, f := range s.Faults {
+		fb, narg, _ := strings.Cut(f, ":")
+		if build, ok := netFaults[fb]; ok {
+			if _, err := build(s.N, t, narg, base); err != nil {
+				return Spec{}, tokenErrf(raw, i+2, offs[i+1], parts[i+1], err)
+			}
+		} else if build, ok := restartFaults[fb]; ok {
+			if _, err := build(s.N, t, narg); err != nil {
+				return Spec{}, tokenErrf(raw, i+2, offs[i+1], parts[i+1], err)
+			}
+		}
 	}
 	return s, nil
 }

@@ -57,6 +57,44 @@ func TestParseRejects(t *testing.T) {
 	}
 }
 
+// TestParseErrorNamesToken pins the satellite contract: a parse error
+// about a single token names the token, its 1-based index, and its byte
+// position in the raw string, so a failed sweep row says which axis to
+// fix. Cross-token shape errors (slot counts, restart composition) carry
+// no position — no single token owns them.
+func TestParseErrorNamesToken(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want []string
+	}{
+		{"warp/n=9,t=2", []string{`token 1 "warp"`, `(char 0)`, `unknown scheduler "warp"`}},
+		{"sync:0/n=9,t=2", []string{`token 1 "sync:0"`, `(char 0)`}},
+		{"sync+gremlin/n=9,t=2", []string{`token 2 "gremlin"`, `(char 5)`, `unknown fault "gremlin"`}},
+		{"random+crash+gremlin/n=9,t=2", []string{`token 3 "gremlin"`, `(char 13)`}},
+		{"random+loss:2/n=9,t=2", []string{`token 2 "loss:2"`, `(char 7)`}},
+		{"random+crash+flap:0/n=9,t=2", []string{`token 3 "flap:0"`, `(char 13)`}},
+		{"random+outage:2:50:0/n=9,t=2", []string{`token 2 "outage:2:50:0"`, `(char 7)`}},
+		{"random+recover:1:9999999:0/n=9,t=2", []string{`token 2 "recover:1:9999999:0"`, `(char 7)`}},
+		{"sync/n=9,x=1", []string{`parameter "x=1"`, `(char 9)`}},
+		{"sync/n=", []string{`parameter "n="`, `(char 5)`}},
+		{"sync/n=9,t=-1", []string{`parameter "t=-1"`, `(char 9)`, "need >= 0"}},
+		// Shape errors stay positionless: both tokens are individually fine.
+		{"sync+crash+spam+spam/n=9,t=2", []string{"fault kinds for"}},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.raw)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted", tc.raw)
+			continue
+		}
+		for _, want := range tc.want {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("Parse(%q) error %q missing %q", tc.raw, err, want)
+			}
+		}
+	}
+}
+
 // TestResolveMirrorsLegacySuite pins the registry against the historical
 // wiring: the six-scheduler suite must produce exactly sched.Suite's
 // parameterizations, and the fault kinds exactly fault.Suite(0,1) plus the
